@@ -1,0 +1,206 @@
+// Command benchtab regenerates the paper's evaluation artefacts:
+//
+//	benchtab -table 2          # Table II (the paper's main results table)
+//	benchtab -table ablation   # A1: the 9 feature configurations on one dataset
+//	benchtab -table fractions  # A2: training-fraction sweep
+//	benchtab -table transfer   # A3: cross-dataset transfer learning
+//	benchtab -table clusters   # A4: property clustering from the similarity graph
+//	benchtab -table datasets   # dataset statistics (the paper's Section V-B numbers)
+//
+// By default it runs on the -lite dataset variants with a reduced run
+// count so a full Table II completes in minutes on a laptop; pass
+// -scale full -runs 25 for the paper-scale protocol (hours).
+// EXPERIMENTS.md records both the expected shapes and measured outputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/eval"
+)
+
+func main() {
+	table := flag.String("table", "2", "which artefact to regenerate: 2|ablation|fractions|transfer|clusters|heterogeneity|datasets")
+	scale := flag.String("scale", "lite", "dataset scale: lite|full")
+	runs := flag.Int("runs", 3, "runs per configuration (paper: 25)")
+	seed := flag.Int64("seed", 1, "seed")
+	names := flag.String("datasets", "cameras,headphones,phones,tvs", "datasets to include")
+	dim := flag.Int("dim", 50, "embedding dimension")
+	verbose := flag.Bool("v", false, "per-run progress on stderr")
+	flag.Parse()
+
+	if err := run(*table, *scale, *runs, *seed, *names, *dim, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, scale string, runs int, seed int64, names string, dim int, verbose bool) error {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "training domain embeddings (dim=%d)...\n", dim)
+	store, err := trainStore(seed, dim)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "embeddings ready: %d words in %v\n", store.Size(), time.Since(start).Round(time.Millisecond))
+
+	ds, err := buildDatasets(names, scale, seed)
+	if err != nil {
+		return err
+	}
+
+	h := eval.NewHarness(store, seed)
+	h.Runs = runs
+	if verbose {
+		h.OnRun = func(run int, m eval.PRF) { fmt.Fprintf(os.Stderr, "  run %d: %v\n", run, m) }
+	}
+
+	switch table {
+	case "2":
+		rows, err := h.Table2(eval.Table2Config{Datasets: ds})
+		if err != nil {
+			return err
+		}
+		fmt.Println("=== Table II: P/R/F1 by feature level, dataset, training fraction ===")
+		fmt.Print(eval.RenderTable2(rows))
+	case "ablation":
+		for _, d := range ds {
+			fmt.Printf("=== A1: feature ablation on %s @ 80%% training ===\n", d.Name)
+			rows, err := h.Ablation(d, 0.8)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Printf("%-16s %v\n", r.Config, r.Metrics)
+			}
+		}
+	case "fractions":
+		fmt.Println("=== A2: training-fraction sweep (LEAPME, all features) ===")
+		fmt.Printf("%-14s %-6s %-6s %-6s %-6s\n", "dataset", "frac", "P", "R", "F1")
+		for _, d := range ds {
+			pts, err := h.FractionSweep(d, []float64{0.2, 0.4, 0.6, 0.8})
+			if err != nil {
+				return err
+			}
+			for _, pt := range pts {
+				fmt.Printf("%-14s %-6.1f %-6.2f %-6.2f %-6.2f\n", pt.Dataset, pt.TrainFrac, pt.Metrics.P, pt.Metrics.R, pt.Metrics.F1)
+			}
+		}
+	case "transfer":
+		fmt.Println("=== A3: transfer learning (train on rows, test on columns; F1) ===")
+		res, err := h.Transfer(ds)
+		if err != nil {
+			return err
+		}
+		cells := map[string]map[string]eval.PRF{}
+		var order []string
+		for _, r := range res {
+			if cells[r.TrainDataset] == nil {
+				cells[r.TrainDataset] = map[string]eval.PRF{}
+				order = append(order, r.TrainDataset)
+			}
+			cells[r.TrainDataset][r.TestDataset] = r.Metrics
+		}
+		fmt.Printf("%-14s", "train\\test")
+		for _, c := range order {
+			fmt.Printf(" %-12s", c)
+		}
+		fmt.Println()
+		for _, tr := range order {
+			fmt.Printf("%-14s", tr)
+			for _, te := range order {
+				fmt.Printf(" %-12.2f", cells[tr][te].F1)
+			}
+			fmt.Println()
+		}
+	case "clusters":
+		fmt.Println("=== A4: property clustering from the similarity graph (80% training) ===")
+		fmt.Printf("%-14s %-24s %-6s %-6s %-6s\n", "dataset", "scheme", "P", "R", "F1")
+		for _, d := range ds {
+			res, err := h.Clusterings(d)
+			if err != nil {
+				return err
+			}
+			for _, r := range res {
+				fmt.Printf("%-14s %-24s %-6.2f %-6.2f %-6.2f\n", r.Dataset, r.Scheme, r.Metrics.P, r.Metrics.R, r.Metrics.F1)
+			}
+		}
+	case "heterogeneity":
+		fmt.Println("=== A5: name-heterogeneity sweep (80% training; F1) ===")
+		fmt.Println("lower canonical bias = sources agree less on names")
+		fmt.Printf("%-8s %-8s %-8s %-8s %-10s\n", "bias", "LEAPME", "AML", "FCA-Map", "margin")
+		cfg := dataset.HeadphonesConfig(seed)
+		if scale == "lite" {
+			cfg = dataset.Lite(cfg)
+		}
+		pts, err := h.HeterogeneitySweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			best := pt.AML.F1
+			if pt.FCAMap.F1 > best {
+				best = pt.FCAMap.F1
+			}
+			fmt.Printf("%-8.1f %-8.2f %-8.2f %-8.2f %+-10.2f\n",
+				pt.CanonicalBias, pt.LEAPME.F1, pt.AML.F1, pt.FCAMap.F1, pt.LEAPME.F1-best)
+		}
+	case "datasets":
+		fmt.Println("=== Dataset statistics (compare with the paper's Section V-B) ===")
+		fmt.Printf("%-14s %-8s %-11s %-9s %-10s %-14s\n", "dataset", "sources", "properties", "entities", "instances", "matching pairs")
+		for _, d := range ds {
+			s := d.Summary()
+			fmt.Printf("%-14s %-8d %-11d %-9d %-10d %-14d\n", d.Name, s.Sources, s.Properties, s.Entities, s.Instances, s.MatchingPairs)
+		}
+	default:
+		return fmt.Errorf("unknown table %q", table)
+	}
+	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func trainStore(seed int64, dim int) (*embedding.Store, error) {
+	all := domain.Categories()
+	cats := []*domain.Category{all["cameras"], all["headphones"], all["phones"], all["tvs"]}
+	corpus := domain.Corpus(cats, domain.CorpusConfig{SentencesPerProp: 120, Seed: seed})
+	cfg := embedding.DefaultGloVeConfig()
+	cfg.Dim = dim
+	cfg.Seed = seed
+	return embedding.TrainGloVe(corpus, cfg)
+}
+
+func buildDatasets(names, scale string, seed int64) ([]*dataset.Dataset, error) {
+	configs := map[string]dataset.GenConfig{
+		"cameras":    dataset.CamerasConfig(seed),
+		"headphones": dataset.HeadphonesConfig(seed),
+		"phones":     dataset.PhonesConfig(seed),
+		"tvs":        dataset.TVsConfig(seed),
+	}
+	var ds []*dataset.Dataset
+	for _, name := range strings.Split(names, ",") {
+		cfg, ok := configs[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q", name)
+		}
+		switch scale {
+		case "lite":
+			cfg = dataset.Lite(cfg)
+		case "full":
+		default:
+			return nil, fmt.Errorf("unknown scale %q (lite|full)", scale)
+		}
+		d, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}

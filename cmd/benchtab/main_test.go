@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestBenchtabDatasetsTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training in -short mode")
+	}
+	// The cheapest artefact: dataset statistics only.
+	if err := run("datasets", "lite", 1, 1, "headphones", 8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchtabUnknownTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training in -short mode")
+	}
+	if err := run("bogus", "lite", 1, 1, "headphones", 8, false); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestBenchtabBadInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training in -short mode")
+	}
+	if err := run("datasets", "huge", 1, 1, "headphones", 8, false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("datasets", "lite", 1, 1, "bicycles", 8, false); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leapme/internal/dataset"
+)
+
+func TestDatagenRun(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "headphones", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.LoadDir(filepath.Join(dir, "headphones-lite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "headphones-lite" || len(d.Props) == 0 {
+		t.Errorf("loaded dataset = %s with %d props", d.Name, len(d.Props))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "headphones-lite", "instances.csv")); err != nil {
+		t.Error("instances.csv missing")
+	}
+}
+
+func TestDatagenMultiple(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "phones, tvs", true, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"phones-lite", "tvs-lite"} {
+		if _, err := dataset.LoadDir(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDatagenUnknownDataset(t *testing.T) {
+	if err := run(t.TempDir(), "bicycles", false, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

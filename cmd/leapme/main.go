@@ -1,0 +1,398 @@
+// Command leapme is the end-to-end CLI for the LEAPME property matcher:
+//
+//	leapme embed   -out store.bin [-dim 50] [-categories cameras,...]
+//	leapme match   -data data/cameras -store store.bin -train source00,source01 [-top 20]
+//	leapme eval    -data data/cameras -store store.bin [-frac 0.8] [-runs 5]
+//	leapme cluster -data data/cameras -store store.bin -train source00,source01 [-scheme star]
+//	leapme label   -data data/cameras -store store.bin -category cameras -train source00,source01
+//
+// embed trains domain GloVe embeddings (and prints an embedding quality
+// report); match trains on the named sources and prints the matches it
+// finds among the remaining sources; eval runs the paper's protocol and
+// prints averaged P/R/F1; cluster derives property clusters from the
+// similarity graph; label runs TAPON semantic labelling against a
+// reference ontology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"leapme/internal/core"
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/eval"
+	"leapme/internal/features"
+	"leapme/internal/graph"
+	"leapme/internal/mathx"
+	"leapme/internal/tapon"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "embed":
+		err = cmdEmbed(os.Args[2:])
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
+	case "label":
+		err = cmdLabel(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "leapme: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leapme:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  leapme embed   -out store.bin [-dim 50] [-epochs 30] [-categories cameras,headphones,phones,tvs] [-seed 1]
+  leapme match   -data DIR -store store.bin -train src1,src2 [-features both/all] [-threshold 0.5] [-top 0]
+  leapme eval    -data DIR -store store.bin [-frac 0.8] [-runs 5] [-features both/all] [-seed 1]
+  leapme cluster -data DIR -store store.bin -train src1,src2 [-scheme components|star|correlation]
+  leapme label   -data DIR -store store.bin -category cameras -train src1,src2 [-top 20]`)
+}
+
+func cmdEmbed(args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	out := fs.String("out", "store.bin", "output file for the embedding store")
+	dim := fs.Int("dim", 50, "embedding dimension")
+	epochs := fs.Int("epochs", 30, "GloVe epochs")
+	cats := fs.String("categories", "cameras,headphones,phones,tvs", "categories for the corpus")
+	sentences := fs.Int("sentences", 120, "corpus sentences per property")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+
+	all := domain.Categories()
+	var selected []*domain.Category
+	for _, name := range strings.Split(*cats, ",") {
+		c, ok := all[strings.TrimSpace(name)]
+		if !ok {
+			return fmt.Errorf("unknown category %q", name)
+		}
+		selected = append(selected, c)
+	}
+	corpus := domain.Corpus(selected, domain.CorpusConfig{SentencesPerProp: *sentences, Seed: *seed})
+	cfg := embedding.DefaultGloVeConfig()
+	cfg.Dim = *dim
+	cfg.Epochs = *epochs
+	cfg.Seed = *seed
+	store, err := embedding.TrainGloVe(corpus, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := store.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d vectors of dimension %d on %d sentences → %s\n",
+		store.Size(), store.Dim(), len(corpus), *out)
+	// Quality gate: synonym groups of the selected categories must embed
+	// closer together than cross-property phrases.
+	rep := store.MeasureQuality(domain.SynonymGroups(selected))
+	fmt.Printf("quality: %v\n", rep)
+	if rep.Separation < 0.2 {
+		fmt.Fprintln(os.Stderr, "warning: low synonym separation; consider more epochs or corpus sentences")
+	}
+	return nil
+}
+
+func loadStore(path string) (*embedding.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return embedding.ReadStore(f)
+}
+
+func parseFeatures(s string) (features.Config, error) {
+	return features.ParseConfig(s)
+}
+
+// trainedMatcher loads data+store, trains on the given sources and
+// returns the matcher plus the held-out test properties.
+func trainedMatcher(dataDir, storePath, trainList, featStr string, threshold float64, seed int64) (*core.Matcher, []dataset.Property, *dataset.Dataset, error) {
+	store, err := loadStore(storePath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d, err := dataset.LoadDir(dataDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fc, err := parseFeatures(featStr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trainSrc := map[string]bool{}
+	for _, s := range strings.Split(trainList, ",") {
+		trainSrc[strings.TrimSpace(s)] = true
+	}
+	known := map[string]bool{}
+	for _, s := range d.Sources {
+		known[s] = true
+	}
+	testSrc := map[string]bool{}
+	for _, s := range d.Sources {
+		if !trainSrc[s] {
+			testSrc[s] = true
+		}
+	}
+	for s := range trainSrc {
+		if !known[s] {
+			return nil, nil, nil, fmt.Errorf("training source %q not in dataset (sources: %s)", s, strings.Join(d.Sources, ", "))
+		}
+	}
+	if len(testSrc) == 0 {
+		return nil, nil, nil, fmt.Errorf("no sources left for testing")
+	}
+	opts := core.DefaultOptions(seed)
+	opts.Features = fc
+	opts.Threshold = threshold
+	m, err := core.NewMatcher(store, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m.ComputeFeatures(d)
+	pairs := core.TrainingPairs(d.PropsOfSources(trainSrc), 2, mathx.NewRand(seed))
+	if len(pairs) == 0 {
+		return nil, nil, nil, fmt.Errorf("no training pairs among sources %s", trainList)
+	}
+	if _, err := m.Train(pairs); err != nil {
+		return nil, nil, nil, err
+	}
+	return m, d.PropsOfSources(testSrc), d, nil
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	dataDir := fs.String("data", "", "dataset directory (from datagen)")
+	storePath := fs.String("store", "", "embedding store file (from embed)")
+	trainList := fs.String("train", "", "comma-separated training sources")
+	featStr := fs.String("features", "both/all", "feature config level/kind")
+	threshold := fs.Float64("threshold", 0.5, "match threshold")
+	top := fs.Int("top", 0, "print only the top N matches by score (0 = all)")
+	explain := fs.Bool("explain", false, "attribute each printed match to its feature groups")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+	if *dataDir == "" || *storePath == "" || *trainList == "" {
+		return fmt.Errorf("match needs -data, -store and -train")
+	}
+	m, testProps, _, err := trainedMatcher(*dataDir, *storePath, *trainList, *featStr, *threshold, *seed)
+	if err != nil {
+		return err
+	}
+	matches, err := m.Matches(testProps)
+	if err != nil {
+		return err
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Score > matches[j].Score })
+	if *top > 0 && len(matches) > *top {
+		matches = matches[:*top]
+	}
+	for _, sp := range matches {
+		if *explain {
+			ex, err := m.Explain(sp.A, sp.B)
+			if err != nil {
+				return err
+			}
+			fmt.Println(ex)
+		} else {
+			fmt.Printf("%.3f  %-40s  %s\n", sp.Score, sp.A, sp.B)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d matches among %d test properties\n", len(matches), len(testProps))
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	dataDir := fs.String("data", "", "dataset directory")
+	storePath := fs.String("store", "", "embedding store file")
+	frac := fs.Float64("frac", 0.8, "training source fraction")
+	runs := fs.Int("runs", 5, "number of random splits")
+	featStr := fs.String("features", "both/all", "feature config")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+	if *dataDir == "" || *storePath == "" {
+		return fmt.Errorf("eval needs -data and -store")
+	}
+	store, err := loadStore(*storePath)
+	if err != nil {
+		return err
+	}
+	d, err := dataset.LoadDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	fc, err := parseFeatures(*featStr)
+	if err != nil {
+		return err
+	}
+	h := eval.NewHarness(store, *seed)
+	h.Runs = *runs
+	h.OnRun = func(run int, m eval.PRF) {
+		fmt.Fprintf(os.Stderr, "run %d: %v\n", run, m)
+	}
+	m, err := h.EvalLEAPME(d, fc, *frac)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s @ %.0f%% training (%d runs, features %s): %v\n", d.Name, *frac*100, *runs, fc, m)
+	return nil
+}
+
+func cmdLabel(args []string) error {
+	fs := flag.NewFlagSet("label", flag.ExitOnError)
+	dataDir := fs.String("data", "", "dataset directory")
+	storePath := fs.String("store", "", "embedding store file")
+	category := fs.String("category", "", "reference ontology category (cameras|headphones|phones|tvs)")
+	trainList := fs.String("train", "", "comma-separated training sources (ground truth used)")
+	top := fs.Int("top", 20, "print only the N most confident labels (0 = all)")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+	if *dataDir == "" || *storePath == "" || *category == "" || *trainList == "" {
+		return fmt.Errorf("label needs -data, -store, -category and -train")
+	}
+	store, err := loadStore(*storePath)
+	if err != nil {
+		return err
+	}
+	d, err := dataset.LoadDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	cat, ok := domain.Categories()[*category]
+	if !ok {
+		return fmt.Errorf("unknown category %q", *category)
+	}
+	var classes []string
+	for _, p := range cat.Props {
+		classes = append(classes, p.Canonical)
+	}
+	trainSrc := map[string]bool{}
+	for _, s := range strings.Split(*trainList, ",") {
+		trainSrc[strings.TrimSpace(s)] = true
+	}
+	trainData := &dataset.Dataset{Name: d.Name + "-train", Category: d.Category}
+	testData := &dataset.Dataset{Name: d.Name + "-test", Category: d.Category}
+	for _, s := range d.Sources {
+		if trainSrc[s] {
+			trainData.Sources = append(trainData.Sources, s)
+		} else {
+			testData.Sources = append(testData.Sources, s)
+		}
+	}
+	for _, p := range d.Props {
+		if trainSrc[p.Source] {
+			trainData.Props = append(trainData.Props, p)
+		} else {
+			testData.Props = append(testData.Props, p)
+		}
+	}
+	for _, in := range d.Instances {
+		if trainSrc[in.Source] {
+			trainData.Instances = append(trainData.Instances, in)
+		} else {
+			testData.Instances = append(testData.Instances, in)
+		}
+	}
+	l, err := tapon.New(store, classes, tapon.DefaultOptions(*seed))
+	if err != nil {
+		return err
+	}
+	if err := l.Train(trainData); err != nil {
+		return err
+	}
+	preds, err := l.Label(testData)
+	if err != nil {
+		return err
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].Confidence > preds[j].Confidence })
+	show := preds
+	if *top > 0 && len(show) > *top {
+		show = show[:*top]
+	}
+	for _, pr := range show {
+		fmt.Printf("%.3f  %-40s → %s\n", pr.Confidence, pr.Key, pr.Label)
+	}
+	a2, a1, n := tapon.Accuracy(preds, testData)
+	fmt.Fprintf(os.Stderr, "accuracy over %d slots with ground truth: phase1=%.3f two-phase=%.3f\n", n, a1, a2)
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	dataDir := fs.String("data", "", "dataset directory")
+	storePath := fs.String("store", "", "embedding store file")
+	trainList := fs.String("train", "", "comma-separated training sources")
+	scheme := fs.String("scheme", "components", "clustering scheme: components|star|correlation")
+	threshold := fs.Float64("threshold", 0.5, "match threshold")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+	if *dataDir == "" || *storePath == "" || *trainList == "" {
+		return fmt.Errorf("cluster needs -data, -store and -train")
+	}
+	m, testProps, _, err := trainedMatcher(*dataDir, *storePath, *trainList, "both/all", *threshold, *seed)
+	if err != nil {
+		return err
+	}
+	g := graph.New()
+	for _, p := range testProps {
+		g.AddNode(p.Key())
+	}
+	if err := m.MatchAll(testProps, func(sp core.ScoredPair) {
+		if sp.Match {
+			g.AddEdge(sp.A, sp.B, sp.Score)
+		}
+	}); err != nil {
+		return err
+	}
+	var clusters graph.Clustering
+	switch *scheme {
+	case "components":
+		clusters = g.ConnectedComponents()
+	case "star":
+		clusters = g.StarClustering()
+	case "correlation":
+		clusters = g.CorrelationClustering(0.7)
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	for i, c := range clusters {
+		if len(c) < 2 {
+			continue
+		}
+		fmt.Printf("cluster %d (%d properties):\n", i, len(c))
+		for _, k := range c {
+			fmt.Printf("  %s\n", k)
+		}
+	}
+	truth := dataset.MatchingPairs(testProps)
+	p, r, f1 := clusters.PairwiseQuality(truth)
+	fmt.Fprintf(os.Stderr, "pairwise quality vs ground truth: P=%.3f R=%.3f F1=%.3f\n", p, r, f1)
+	return nil
+}

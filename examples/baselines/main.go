@@ -1,0 +1,76 @@
+// Baselines: LEAPME against the paper's five comparison systems on one
+// dataset — a single-dataset slice of Table II.
+//
+// Run with:
+//
+//	go run ./examples/baselines [-dataset headphones] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"leapme"
+	"leapme/internal/baselines"
+)
+
+func main() {
+	name := flag.String("dataset", "headphones", "cameras|headphones|phones|tvs (lite variants)")
+	runs := flag.Int("runs", 3, "random splits per system")
+	frac := flag.Float64("frac", 0.8, "training source fraction")
+	flag.Parse()
+
+	var cfg leapme.GenConfig
+	switch *name {
+	case "cameras":
+		cfg = leapme.CamerasLite(1)
+	case "headphones":
+		cfg = leapme.HeadphonesLite(1)
+	case "phones":
+		cfg = leapme.PhonesLite(1)
+	case "tvs":
+		cfg = leapme.TVsLite(1)
+	default:
+		log.Fatalf("unknown dataset %q", *name)
+	}
+
+	fmt.Println("training domain embeddings...")
+	store, err := leapme.TrainDomainEmbeddings(leapme.DefaultEmbeddingSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := leapme.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := data.Summary()
+	fmt.Printf("dataset %q: %d sources, %d properties, %d matching pairs\n",
+		data.Name, s.Sources, s.Properties, s.MatchingPairs)
+	fmt.Printf("protocol: %d runs, %.0f%% of sources for training, 2 negatives per positive\n\n",
+		*runs, *frac*100)
+
+	h := leapme.NewHarness(store, 1)
+	h.Runs = *runs
+
+	fmt.Printf("%-10s %-6s %-6s %-6s\n", "system", "P", "R", "F1")
+	m, err := h.EvalLEAPME(data, leapme.FullFeatures(), *frac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %-6.2f %-6.2f %-6.2f\n", "LEAPME", m.P, m.R, m.F1)
+
+	for _, mk := range []func() baselines.Matcher{
+		func() baselines.Matcher { return baselines.NewNezhadi() },
+		func() baselines.Matcher { return baselines.NewAML() },
+		func() baselines.Matcher { return baselines.NewFCAMap() },
+		func() baselines.Matcher { return baselines.NewSemProp(store) },
+		func() baselines.Matcher { return baselines.NewLSH() },
+	} {
+		bm, err := h.EvalBaseline(data, mk, *frac)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-6.2f %-6.2f %-6.2f\n", mk().Name(), bm.P, bm.R, bm.F1)
+	}
+}

@@ -1,0 +1,135 @@
+// Customdata: matching your own data with LEAPME — the deployment
+// workflow. It builds a dataset from raw (source, entity, property,
+// value) tuples via FromInstances, labels a handful of pairs by hand,
+// trains, saves the model to disk, reloads it into a fresh matcher and
+// scores unlabeled pairs.
+//
+// Run with:
+//
+//	go run ./examples/customdata
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"leapme"
+	"leapme/internal/dataset"
+)
+
+func main() {
+	// Raw instance tuples as they might arrive from two scraped shops
+	// and an internal catalog. No schema, no alignment — just values.
+	tuples := []leapme.Instance{
+		// shopA uses terse names and bare numbers.
+		{Source: "shopA", Entity: "a1", Property: "mp", Value: "24.2"},
+		{Source: "shopA", Entity: "a1", Property: "weight", Value: "455 g"},
+		{Source: "shopA", Entity: "a1", Property: "price", Value: "$1,299.00"},
+		{Source: "shopA", Entity: "a2", Property: "mp", Value: "45.7"},
+		{Source: "shopA", Entity: "a2", Property: "weight", Value: "915 g"},
+		{Source: "shopA", Entity: "a2", Property: "price", Value: "$2,999.99"},
+		// shopB spells everything out.
+		{Source: "shopB", Entity: "b1", Property: "camera resolution", Value: "24 megapixels"},
+		{Source: "shopB", Entity: "b1", Property: "body weight", Value: "0.45 kg"},
+		{Source: "shopB", Entity: "b1", Property: "retail price", Value: "1299 USD"},
+		{Source: "shopB", Entity: "b2", Property: "camera resolution", Value: "61 megapixels"},
+		{Source: "shopB", Entity: "b2", Property: "body weight", Value: "0.9 kg"},
+		{Source: "shopB", Entity: "b2", Property: "retail price", Value: "3499 USD"},
+		// catalog uses snake_case.
+		{Source: "catalog", Entity: "c1", Property: "effective_pixels", Value: "24 MP"},
+		{Source: "catalog", Entity: "c1", Property: "mass", Value: "450 grams"},
+		{Source: "catalog", Entity: "c1", Property: "msrp", Value: "€1199"},
+		{Source: "catalog", Entity: "c2", Property: "shutter_speed", Value: "30-1/8000 s"},
+	}
+	data, err := leapme.FromInstances("shops", "cameras", tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d sources, %d properties, %d instances\n",
+		len(data.Sources), len(data.Props), len(data.Instances))
+
+	fmt.Println("training embeddings...")
+	spec := leapme.DefaultEmbeddingSpec()
+	spec.Categories = []string{"cameras"}
+	store, err := leapme.TrainDomainEmbeddings(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := leapme.NewMatcher(store, leapme.DefaultOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.ComputeFeatures(data)
+
+	// Hand-labeled pairs: in a real integration these come from a domain
+	// expert or an existing partial alignment.
+	key := func(src, name string) leapme.Key { return leapme.Key{Source: src, Name: name} }
+	labeled := []leapme.LabeledPair{
+		{A: key("shopA", "mp"), B: key("shopB", "camera resolution"), Match: true},
+		{A: key("shopA", "weight"), B: key("shopB", "body weight"), Match: true},
+		{A: key("shopA", "price"), B: key("shopB", "retail price"), Match: true},
+		{A: key("shopA", "mp"), B: key("shopB", "body weight"), Match: false},
+		{A: key("shopA", "mp"), B: key("shopB", "retail price"), Match: false},
+		{A: key("shopA", "weight"), B: key("shopB", "retail price"), Match: false},
+		{A: key("shopA", "weight"), B: key("shopB", "camera resolution"), Match: false},
+		{A: key("shopA", "price"), B: key("shopB", "camera resolution"), Match: false},
+		{A: key("shopA", "price"), B: key("shopB", "body weight"), Match: false},
+	}
+	if _, err := m.Train(labeled); err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist the trained model...
+	dir, err := os.MkdirTemp("", "leapme-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "matcher.model")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.WriteModel(mf); err != nil {
+		log.Fatal(err)
+	}
+	mf.Close()
+	fmt.Println("model saved to", modelPath)
+
+	// ...and load it into a fresh matcher, as a serving process would.
+	served, err := leapme.NewMatcher(store, leapme.DefaultOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	served.ComputeFeatures(data)
+	rf, err := os.Open(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := served.ReadModel(rf); err != nil {
+		log.Fatal(err)
+	}
+	rf.Close()
+
+	// Score the catalog's unlabeled properties against both shops.
+	fmt.Println("\ncatalog property matches:")
+	var scored []leapme.ScoredPair
+	err = served.MatchWhere(data.Props,
+		func(a, b dataset.Property) bool { return a.Source == "catalog" || b.Source == "catalog" },
+		func(sp leapme.ScoredPair) { scored = append(scored, sp) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(scored, func(i, j int) bool { return scored[i].Score > scored[j].Score })
+	for _, sp := range scored {
+		marker := " "
+		if sp.Match {
+			marker = "✓"
+		}
+		fmt.Printf("  %s %.3f  %-28s ~ %s\n", marker, sp.Score, sp.A, sp.B)
+	}
+}

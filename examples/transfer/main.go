@@ -1,0 +1,75 @@
+// Transfer: the paper's transfer-learning study — train LEAPME on one
+// product category and apply it, unchanged, to another. The trained model
+// captures what "a matching property pair looks like" (small feature
+// differences, close embeddings) rather than category specifics, so it
+// transfers, with some loss against the in-domain reference.
+//
+// Run with:
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leapme"
+)
+
+func main() {
+	fmt.Println("training domain embeddings over all four categories...")
+	store, err := leapme.TrainDomainEmbeddings(leapme.DefaultEmbeddingSpec())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []leapme.GenConfig{
+		leapme.HeadphonesLite(3),
+		leapme.PhonesLite(3),
+		leapme.TVsLite(3),
+	}
+	var datasets []*leapme.Dataset
+	for _, cfg := range configs {
+		d, err := leapme.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		datasets = append(datasets, d)
+		s := d.Summary()
+		fmt.Printf("  %-16s %d sources, %d properties, %d matching pairs\n",
+			d.Name, s.Sources, s.Properties, s.MatchingPairs)
+	}
+
+	h := leapme.NewHarness(store, 3)
+	h.Runs = 2
+
+	fmt.Println("\ntransfer matrix (train on rows, test on columns; F1):")
+	res, err := h.Transfer(datasets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cells := map[string]map[string]leapme.PRF{}
+	var order []string
+	for _, r := range res {
+		if cells[r.TrainDataset] == nil {
+			cells[r.TrainDataset] = map[string]leapme.PRF{}
+			order = append(order, r.TrainDataset)
+		}
+		cells[r.TrainDataset][r.TestDataset] = r.Metrics
+	}
+	fmt.Printf("%-18s", "train\\test")
+	for _, c := range order {
+		fmt.Printf(" %-16s", c)
+	}
+	fmt.Println()
+	for _, tr := range order {
+		fmt.Printf("%-18s", tr)
+		for _, te := range order {
+			fmt.Printf(" %-16.2f", cells[tr][te].F1)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ndiagonal cells are the in-domain reference (80% split of the")
+	fmt.Println("same dataset); off-diagonal cells transfer the trained model")
+	fmt.Println("across categories without retraining.")
+}

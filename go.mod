@@ -1,0 +1,3 @@
+module leapme
+
+go 1.22

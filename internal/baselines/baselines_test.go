@@ -1,0 +1,329 @@
+package baselines
+
+import (
+	"testing"
+
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+)
+
+var cachedStore *embedding.Store
+
+func getStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	if cachedStore == nil {
+		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
+			domain.CorpusConfig{SentencesPerProp: 40, Seed: 1})
+		cfg := embedding.DefaultGloVeConfig()
+		cfg.Dim = 24
+		cfg.Epochs = 15
+		s, err := embedding.TrainGloVe(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedStore = s
+	}
+	return cachedStore
+}
+
+// genInput produces a small generated camera dataset as matcher input plus
+// its ground truth.
+func genInput(t *testing.T, seed int64) (Input, map[dataset.Pair]bool) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name:           "bl-test",
+		Category:       domain.Cameras(),
+		NumSources:     4,
+		SharedPresence: 0.8,
+		CanonicalBias:  0.55,
+		SplitProb:      0.05,
+		NoiseProps:     6,
+		MinEntities:    8,
+		MaxEntities:    12,
+		MissingRate:    0.3,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[dataset.Pair]bool{}
+	for _, p := range dataset.MatchingPairs(d.Props) {
+		truth[p] = true
+	}
+	return Input{Props: d.Props, Values: d.InstancesByProperty()}, truth
+}
+
+func quality(t *testing.T, name string, matches []Match, truth map[dataset.Pair]bool) (p, r, f1 float64) {
+	t.Helper()
+	tp := 0
+	for _, m := range matches {
+		if truth[m.Pair.Canonical()] {
+			tp++
+		}
+	}
+	if len(matches) > 0 {
+		p = float64(tp) / float64(len(matches))
+	}
+	if len(truth) > 0 {
+		r = float64(tp) / float64(len(truth))
+	}
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	t.Logf("%s: P=%.3f R=%.3f F1=%.3f (%d predicted, %d truth)", name, p, r, f1, len(matches), len(truth))
+	return p, r, f1
+}
+
+func TestAMLProfile(t *testing.T) {
+	in, truth := genInput(t, 1)
+	matches, err := NewAML().Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, _ := quality(t, "AML", matches, truth)
+	// The paper's AML profile: very high precision, moderate recall.
+	if p < 0.7 {
+		t.Errorf("AML precision = %.3f, want ≥ 0.7", p)
+	}
+	if r < 0.2 {
+		t.Errorf("AML recall = %.3f, want ≥ 0.2", r)
+	}
+	if r > 0.95 {
+		t.Errorf("AML recall = %.3f; suspiciously high for an unsupervised name matcher", r)
+	}
+}
+
+func TestAMLScoresWithinBounds(t *testing.T) {
+	in, _ := genInput(t, 2)
+	matches, _ := NewAML().Match(in)
+	for _, m := range matches {
+		if m.Score < 0 || m.Score > 1 {
+			t.Fatalf("score %v outside [0,1]", m.Score)
+		}
+		if m.Pair.A.Source == m.Pair.B.Source {
+			t.Fatal("same-source match")
+		}
+	}
+}
+
+func TestFCAMapProfile(t *testing.T) {
+	in, truth := genInput(t, 3)
+	matches, err := NewFCAMap().Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, _ := quality(t, "FCA-Map", matches, truth)
+	// Near-perfect precision, limited recall (paper: P≈0.99, R≈0.34–0.38).
+	if p < 0.8 {
+		t.Errorf("FCA-Map precision = %.3f, want ≥ 0.8", p)
+	}
+	if r == 0 {
+		t.Error("FCA-Map found nothing")
+	}
+	if r > 0.9 {
+		t.Errorf("FCA-Map recall = %.3f; too high for exact token matching", r)
+	}
+}
+
+func TestFCAMapIdenticalTokenSets(t *testing.T) {
+	in := Input{Props: []dataset.Property{
+		{Source: "s1", Name: "Camera Resolution", Ref: "r"},
+		{Source: "s2", Name: "camera_resolution", Ref: "r"},
+		{Source: "s3", Name: "shutter speed", Ref: "s"},
+	}}
+	matches, err := NewFCAMap().Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	want := dataset.Pair{
+		A: dataset.Key{Source: "s1", Name: "Camera Resolution"},
+		B: dataset.Key{Source: "s2", Name: "camera_resolution"},
+	}.Canonical()
+	if matches[0].Pair != want {
+		t.Errorf("match = %v", matches[0].Pair)
+	}
+}
+
+func TestNezhadiTrainsAndMatches(t *testing.T) {
+	in, truth := genInput(t, 4)
+	// Split sources: train on source00/01, test on source02/03.
+	var trainProps, testProps []dataset.Property
+	for _, p := range in.Props {
+		if p.Source == "source00" || p.Source == "source01" {
+			trainProps = append(trainProps, p)
+		} else {
+			testProps = append(testProps, p)
+		}
+	}
+	pos := dataset.MatchingPairs(trainProps)
+	neg := sampleNegatives(trainProps, len(pos)*2, 1)
+	nz := NewNezhadi()
+	if err := nz.Train(Input{Props: trainProps}, pos, neg); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := nz.Match(Input{Props: testProps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testTruth := map[dataset.Pair]bool{}
+	for pr := range truth {
+		if pr.A.Source != "source00" && pr.A.Source != "source01" &&
+			pr.B.Source != "source00" && pr.B.Source != "source01" {
+			testTruth[pr] = true
+		}
+	}
+	_, _, f1 := quality(t, "Nezhadi", matches, testTruth)
+	if f1 < 0.3 {
+		t.Errorf("Nezhadi F1 = %.3f, want ≥ 0.3", f1)
+	}
+}
+
+func TestNezhadiErrors(t *testing.T) {
+	nz := NewNezhadi()
+	if _, err := nz.Match(Input{}); err == nil {
+		t.Error("Match before Train accepted")
+	}
+	if err := nz.Train(Input{}, nil, nil); err == nil {
+		t.Error("empty training accepted")
+	}
+	// Pair referencing unknown property.
+	err := nz.Train(Input{},
+		[]dataset.Pair{{A: dataset.Key{Source: "x", Name: "y"}, B: dataset.Key{Source: "z", Name: "w"}}},
+		[]dataset.Pair{{A: dataset.Key{Source: "x", Name: "y"}, B: dataset.Key{Source: "z", Name: "w"}}})
+	if err == nil {
+		t.Error("unknown property in training pair accepted")
+	}
+}
+
+func TestSemPropProfile(t *testing.T) {
+	in, truth := genInput(t, 5)
+	sp := NewSemProp(getStore(t))
+	matches, err := sp.Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, _ := quality(t, "SemProp", matches, truth)
+	// SemProp: balanced moderate precision and recall (paper: P 0.62–0.82,
+	// R 0.48–0.75).
+	if r < 0.4 {
+		t.Errorf("SemProp recall = %.3f, want ≥ 0.4", r)
+	}
+	if p < 0.1 {
+		t.Errorf("SemProp precision = %.3f, too low", p)
+	}
+}
+
+func TestSemPropNeedsStore(t *testing.T) {
+	sp := &SemProp{}
+	if _, err := sp.Match(Input{}); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestLSHProfile(t *testing.T) {
+	in, truth := genInput(t, 6)
+	matches, err := NewLSH().Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r, _ := quality(t, "LSH", matches, truth)
+	if p == 0 && r == 0 {
+		t.Error("LSH found nothing at all")
+	}
+	// Instance-only matching cannot reach high precision on properties
+	// with overlapping value domains; it should still find a fair share.
+	if r < 0.15 {
+		t.Errorf("LSH recall = %.3f, want ≥ 0.15", r)
+	}
+}
+
+func TestLSHEmptyValues(t *testing.T) {
+	in := Input{
+		Props: []dataset.Property{
+			{Source: "s1", Name: "a"},
+			{Source: "s2", Name: "b"},
+		},
+		Values: map[dataset.Key][]string{},
+	}
+	matches, err := NewLSH().Match(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("matches on empty values: %v", matches)
+	}
+}
+
+func TestMinhashJaccardEstimate(t *testing.T) {
+	a := map[string]bool{}
+	b := map[string]bool{}
+	for _, w := range []string{"one", "two", "three", "four", "five", "six", "seven", "eight"} {
+		a[w] = true
+		b[w] = true
+	}
+	b["nine"] = true
+	delete(b, "one")
+	// True Jaccard = 7/9 ≈ 0.78.
+	sa := minhash(a, 256, 1)
+	sb := minhash(b, 256, 1)
+	agree := 0
+	for i := range sa {
+		if sa[i] == sb[i] {
+			agree++
+		}
+	}
+	est := float64(agree) / 256
+	if est < 0.6 || est > 0.95 {
+		t.Errorf("minhash estimate = %.3f, want ≈0.78", est)
+	}
+}
+
+func TestTokenJaccard(t *testing.T) {
+	if got := tokenJaccard([]string{"a", "b"}, []string{"b", "c"}); got != 1.0/3 {
+		t.Errorf("tokenJaccard = %v", got)
+	}
+	if got := tokenJaccard(nil, nil); got != 0 {
+		t.Errorf("empty tokenJaccard = %v", got)
+	}
+	if got := tokenJaccard([]string{"a", "a", "b"}, []string{"a", "b"}); got != 1 {
+		t.Errorf("duplicate-token jaccard = %v", got)
+	}
+}
+
+func TestAllNamesNonEmpty(t *testing.T) {
+	store := getStore(t)
+	ms := []Matcher{NewAML(), NewFCAMap(), NewNezhadi(), NewSemProp(store), NewLSH()}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if m.Name() == "" || seen[m.Name()] {
+			t.Errorf("bad matcher name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+// sampleNegatives draws n random non-matching cross-source pairs.
+func sampleNegatives(props []dataset.Property, n int, seed int64) []dataset.Pair {
+	rng := mathx.NewRand(seed)
+	seen := map[dataset.Pair]bool{}
+	var out []dataset.Pair
+	for attempts := 0; len(out) < n && attempts < n*50; attempts++ {
+		i, j := rng.Intn(len(props)), rng.Intn(len(props))
+		a, b := props[i], props[j]
+		if i == j || a.Source == b.Source || dataset.Matching(a, b) {
+			continue
+		}
+		pr := dataset.Pair{A: a.Key(), B: b.Key()}.Canonical()
+		if seen[pr] {
+			continue
+		}
+		seen[pr] = true
+		out = append(out, pr)
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package baselines
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"leapme/internal/dataset"
+	"leapme/internal/text"
+)
+
+// LSH reimplements the instance-based matcher of Duan et al. ("Instance-
+// based matching of large ontologies using locality-sensitive hashing"):
+// each property is represented by the token set of its instance values,
+// summarised as a MinHash signature; banding groups properties whose
+// bands collide into candidate pairs; candidates are accepted when their
+// estimated Jaccard similarity clears a threshold. The paper runs it
+// "using minhash with a band size of 1" — every single signature row is
+// its own band, the most recall-friendly banding.
+type LSH struct {
+	// Hashes is the MinHash signature length (default 64).
+	Hashes int
+	// BandSize is the number of rows per band (the paper uses 1).
+	BandSize int
+	// Threshold on the estimated Jaccard similarity (default 0.5).
+	Threshold float64
+	// MaxTokens caps the value-token set per property (0 = unlimited).
+	MaxTokens int
+	// Seed salts the hash family.
+	Seed uint64
+}
+
+// NewLSH returns LSH configured as in the paper's evaluation.
+func NewLSH() *LSH {
+	return &LSH{Hashes: 64, BandSize: 1, Threshold: 0.5, MaxTokens: 4096, Seed: 1}
+}
+
+// Name implements Matcher.
+func (l *LSH) Name() string { return "LSH" }
+
+// Match implements Matcher.
+func (l *LSH) Match(in Input) ([]Match, error) {
+	h := l.Hashes
+	if h <= 0 {
+		h = 64
+	}
+	band := l.BandSize
+	if band <= 0 {
+		band = 1
+	}
+	th := l.Threshold
+	if th <= 0 {
+		th = 0.5
+	}
+
+	// MinHash signatures over instance-value token sets.
+	sigs := make([][]uint64, len(in.Props))
+	empty := make([]bool, len(in.Props))
+	for i, p := range in.Props {
+		tokens := valueTokens(in.Values[p.Key()], l.MaxTokens)
+		if len(tokens) == 0 {
+			empty[i] = true
+			continue
+		}
+		sigs[i] = minhash(tokens, h, l.Seed)
+	}
+
+	// Banding: group properties by each band's hashed rows.
+	candidates := map[[2]int]bool{}
+	numBands := h / band
+	for bi := 0; bi < numBands; bi++ {
+		buckets := map[uint64][]int{}
+		for i := range in.Props {
+			if empty[i] {
+				continue
+			}
+			key := bandKey(sigs[i][bi*band : (bi+1)*band])
+			buckets[key] = append(buckets[key], i)
+		}
+		for _, members := range buckets {
+			if len(members) < 2 {
+				continue
+			}
+			for x := 0; x < len(members); x++ {
+				for y := x + 1; y < len(members); y++ {
+					i, j := members[x], members[y]
+					if in.Props[i].Source == in.Props[j].Source {
+						continue
+					}
+					if i > j {
+						i, j = j, i
+					}
+					candidates[[2]int{i, j}] = true
+				}
+			}
+		}
+	}
+
+	// Verify candidates by estimated Jaccard (signature agreement rate).
+	var out []Match
+	for c := range candidates {
+		i, j := c[0], c[1]
+		agree := 0
+		for k := 0; k < h; k++ {
+			if sigs[i][k] == sigs[j][k] {
+				agree++
+			}
+		}
+		est := float64(agree) / float64(h)
+		if est >= th {
+			out = append(out, Match{
+				Pair:  dataset.Pair{A: in.Props[i].Key(), B: in.Props[j].Key()}.Canonical(),
+				Score: est,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := out[a].Pair, out[b].Pair
+		if pa.A != pb.A {
+			if pa.A.Source != pb.A.Source {
+				return pa.A.Source < pb.A.Source
+			}
+			return pa.A.Name < pb.A.Name
+		}
+		if pa.B.Source != pb.B.Source {
+			return pa.B.Source < pb.B.Source
+		}
+		return pa.B.Name < pb.B.Name
+	})
+	return out, nil
+}
+
+// valueTokens builds the token set of a property's values.
+func valueTokens(values []string, cap int) map[string]bool {
+	set := map[string]bool{}
+	for _, v := range values {
+		for _, tok := range text.Tokenize(v) {
+			set[tok] = true
+			if cap > 0 && len(set) >= cap {
+				return set
+			}
+		}
+	}
+	return set
+}
+
+// minhash computes an h-row MinHash signature using salted FNV hashes.
+func minhash(tokens map[string]bool, h int, seed uint64) []uint64 {
+	sig := make([]uint64, h)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	// Sorted iteration for determinism.
+	sorted := make([]string, 0, len(tokens))
+	for t := range tokens {
+		sorted = append(sorted, t)
+	}
+	sort.Strings(sorted)
+	for _, t := range sorted {
+		base := fnvHash(t)
+		for i := 0; i < h; i++ {
+			// A cheap but well-mixed hash family: multiply-shift over the
+			// base hash with per-row odd constants.
+			a := 2*uint64(i)*0x9E3779B97F4A7C15 + 1 + seed
+			v := (base ^ a) * 0xBF58476D1CE4E5B9
+			v ^= v >> 31
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+func fnvHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	return f.Sum64()
+}
+
+func bandKey(rows []uint64) uint64 {
+	var k uint64 = 1469598103934665603
+	for _, r := range rows {
+		k ^= r
+		k *= 1099511628211
+	}
+	return k
+}

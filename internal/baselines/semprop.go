@@ -1,0 +1,105 @@
+package baselines
+
+import (
+	"errors"
+
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+	"leapme/internal/text"
+)
+
+// SemProp reimplements the matching logic of "Seeping Semantics"
+// (Fernandez et al., ICDE 2018) as used in the paper: a syntactic matcher
+// SynM over attribute names plus semantic matchers over word embeddings,
+// where SeMa(+) accepts semantically close names and SeMa(−) vetoes
+// candidates whose semantic coherence is too low. The paper's thresholds
+// are 0.2 for SynM, 0.2 for SeMa(−) and 0.4 for SeMa(+).
+type SemProp struct {
+	// Store provides the word embeddings for the semantic matchers.
+	Store *embedding.Store
+	// SynMThreshold accepts name pairs whose syntactic similarity clears
+	// it (default 0.2).
+	SynMThreshold float64
+	// SeMaNegThreshold vetoes syntactic candidates whose embedding
+	// similarity falls below it (default 0.2).
+	SeMaNegThreshold float64
+	// SeMaPosThreshold accepts pairs on embedding similarity alone
+	// (default 0.4).
+	SeMaPosThreshold float64
+}
+
+// NewSemProp returns SemProp with thresholds calibrated to this
+// repository's embedding substrate. The paper configures SemProp with
+// 0.2 / 0.2 / 0.4 against pre-trained Common Crawl GloVe, whose cosine
+// distribution is much cooler (unrelated terms ≈ 0.1–0.3) than vectors
+// trained on a compact domain corpus (unrelated ≈ 0.3–0.5, synonyms
+// ≈ 0.9). The defaults below occupy the same *quantiles* of our cosine
+// distribution that the paper's thresholds occupy in GloVe's, preserving
+// SemProp's accept/veto behaviour; set the fields explicitly to use the
+// raw paper values.
+func NewSemProp(store *embedding.Store) *SemProp {
+	return &SemProp{
+		Store:            store,
+		SynMThreshold:    0.6,
+		SeMaNegThreshold: 0.6,
+		SeMaPosThreshold: 0.85,
+	}
+}
+
+// Name implements Matcher.
+func (s *SemProp) Name() string { return "SemProp" }
+
+// Match implements Matcher.
+func (s *SemProp) Match(in Input) ([]Match, error) {
+	if s.Store == nil {
+		return nil, errors.New("baselines: SemProp needs an embedding store")
+	}
+	emb := make(map[dataset.Key][]float64, len(in.Props))
+	norm := make(map[dataset.Key]string, len(in.Props))
+	toks := make(map[dataset.Key][]string, len(in.Props))
+	for _, p := range in.Props {
+		k := p.Key()
+		emb[k] = s.Store.EncodePhrase(p.Name)
+		norm[k] = text.NormalizeName(p.Name)
+		toks[k] = text.Tokenize(p.Name)
+	}
+	var out []Match
+	dataset.CrossSourcePairs(in.Props, func(a, b dataset.Property) bool {
+		ka, kb := a.Key(), b.Key()
+		syn := synM(norm[ka], norm[kb], toks[ka], toks[kb])
+		sem := mathx.CosineSimilarity(emb[ka], emb[kb])
+		accept := false
+		switch {
+		case sem >= s.SeMaPosThreshold:
+			// SeMa(+): semantically coherent on its own.
+			accept = true
+		case syn >= s.SynMThreshold && sem >= s.SeMaNegThreshold:
+			// SynM candidate that SeMa(−) does not veto.
+			accept = true
+		}
+		if accept {
+			score := sem
+			if syn > score {
+				score = syn
+			}
+			out = append(out, Match{
+				Pair:  dataset.Pair{A: ka, B: kb}.Canonical(),
+				Score: score,
+			})
+		}
+		return true
+	})
+	return out, nil
+}
+
+// synM is SemProp's syntactic matcher: the maximum of normalised-name
+// Jaro–Winkler and token overlap.
+func synM(na, nb string, ta, tb []string) float64 {
+	jw := text.JaroWinkler(na, nb)
+	jac := tokenJaccard(ta, tb)
+	if jac > jw {
+		return jac
+	}
+	return jw
+}

@@ -1,0 +1,231 @@
+// Package blocking provides candidate generation for property matching at
+// scale. Classifying every cross-source pair is quadratic in the property
+// count — acceptable for the paper's datasets, prohibitive beyond them. A
+// Blocker proposes a candidate subset that (ideally) contains all true
+// matches; the matcher then scores only candidates.
+//
+// Two complementary blockers are provided, mirroring standard entity-
+// resolution practice:
+//
+//   - TokenBlocker: candidates share at least one name token, with very
+//     frequent tokens (stop-tokens) ignored so "the"-like tokens do not
+//     make everything a candidate of everything;
+//   - EmbeddingBlocker: for each property, the k nearest properties of
+//     other sources by name-embedding cosine — catching synonym matches
+//     that share no token, exactly the pairs LEAPME's embeddings exist
+//     for.
+//
+// Union the two for high pair-completeness at a large reduction ratio;
+// Quality quantifies both.
+package blocking
+
+import (
+	"sort"
+
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+	"leapme/internal/text"
+)
+
+// Blocker proposes candidate cross-source pairs.
+type Blocker interface {
+	// Candidates returns the proposed pairs (canonicalised, unique).
+	Candidates(props []dataset.Property) []dataset.Pair
+	// Name identifies the blocker.
+	Name() string
+}
+
+// TokenBlocker proposes pairs sharing at least one informative name token.
+type TokenBlocker struct {
+	// MaxTokenFreq drops tokens carried by more than this fraction of
+	// properties (default 0.1): such tokens are schema stop-words
+	// ("product", "item") whose blocks would be quadratic anyway.
+	MaxTokenFreq float64
+}
+
+// NewTokenBlocker returns a TokenBlocker with default settings.
+func NewTokenBlocker() *TokenBlocker { return &TokenBlocker{MaxTokenFreq: 0.1} }
+
+// Name implements Blocker.
+func (b *TokenBlocker) Name() string { return "token" }
+
+// Candidates implements Blocker.
+func (b *TokenBlocker) Candidates(props []dataset.Property) []dataset.Pair {
+	maxFreq := b.MaxTokenFreq
+	if maxFreq <= 0 {
+		maxFreq = 0.1
+	}
+	limit := int(maxFreq * float64(len(props)))
+	if limit < 2 {
+		limit = 2
+	}
+	blocks := map[string][]int{}
+	for i, p := range props {
+		seen := map[string]bool{}
+		for _, tok := range text.Tokenize(p.Name) {
+			if !seen[tok] {
+				seen[tok] = true
+				blocks[tok] = append(blocks[tok], i)
+			}
+		}
+	}
+	pairSet := map[dataset.Pair]bool{}
+	for _, members := range blocks {
+		if len(members) > limit {
+			continue // stop-token
+		}
+		for x := 0; x < len(members); x++ {
+			for y := x + 1; y < len(members); y++ {
+				a, b := props[members[x]], props[members[y]]
+				if a.Source == b.Source {
+					continue
+				}
+				pairSet[dataset.Pair{A: a.Key(), B: b.Key()}.Canonical()] = true
+			}
+		}
+	}
+	return sortedPairs(pairSet)
+}
+
+// EmbeddingBlocker proposes, for each property, its K nearest
+// other-source properties by name-embedding cosine similarity.
+type EmbeddingBlocker struct {
+	Store *embedding.Store
+	// K nearest neighbours per property (default 10).
+	K int
+	// MinSim drops neighbours below this cosine similarity (default 0.3).
+	MinSim float64
+}
+
+// NewEmbeddingBlocker returns an EmbeddingBlocker with default settings.
+func NewEmbeddingBlocker(store *embedding.Store) *EmbeddingBlocker {
+	return &EmbeddingBlocker{Store: store, K: 10, MinSim: 0.3}
+}
+
+// Name implements Blocker.
+func (b *EmbeddingBlocker) Name() string { return "embedding" }
+
+// Candidates implements Blocker.
+func (b *EmbeddingBlocker) Candidates(props []dataset.Property) []dataset.Pair {
+	k := b.K
+	if k <= 0 {
+		k = 10
+	}
+	vecs := make([][]float64, len(props))
+	for i, p := range props {
+		vecs[i] = b.Store.EncodePhrase(p.Name)
+	}
+	type cand struct {
+		idx int
+		sim float64
+	}
+	pairSet := map[dataset.Pair]bool{}
+	for i := range props {
+		cands := make([]cand, 0, len(props))
+		for j := range props {
+			if i == j || props[i].Source == props[j].Source {
+				continue
+			}
+			sim := mathx.CosineSimilarity(vecs[i], vecs[j])
+			if sim >= b.MinSim {
+				cands = append(cands, cand{idx: j, sim: sim})
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool { return cands[x].sim > cands[y].sim })
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		for _, c := range cands {
+			pairSet[dataset.Pair{A: props[i].Key(), B: props[c.idx].Key()}.Canonical()] = true
+		}
+	}
+	return sortedPairs(pairSet)
+}
+
+// Union combines blockers; a pair is a candidate if any blocker proposes
+// it.
+type Union []Blocker
+
+// Name implements Blocker.
+func (u Union) Name() string {
+	n := "union("
+	for i, b := range u {
+		if i > 0 {
+			n += "+"
+		}
+		n += b.Name()
+	}
+	return n + ")"
+}
+
+// Candidates implements Blocker.
+func (u Union) Candidates(props []dataset.Property) []dataset.Pair {
+	pairSet := map[dataset.Pair]bool{}
+	for _, b := range u {
+		for _, p := range b.Candidates(props) {
+			pairSet[p] = true
+		}
+	}
+	return sortedPairs(pairSet)
+}
+
+// Quality measures a candidate set: pair completeness (the recall of
+// ground-truth matches among candidates — the blocker's ceiling on any
+// downstream matcher's recall) and reduction ratio (the fraction of
+// cross-source pairs pruned).
+type Quality struct {
+	PairCompleteness float64
+	ReductionRatio   float64
+	Candidates       int
+	TotalPairs       int
+}
+
+// Measure computes blocking quality against the ground truth of props.
+func Measure(cands []dataset.Pair, props []dataset.Property) Quality {
+	truth := dataset.MatchingPairs(props)
+	truthSet := map[dataset.Pair]bool{}
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+	found := 0
+	for _, c := range cands {
+		if truthSet[c.Canonical()] {
+			found++
+		}
+	}
+	total := 0
+	dataset.CrossSourcePairs(props, func(a, b dataset.Property) bool {
+		total++
+		return true
+	})
+	q := Quality{Candidates: len(cands), TotalPairs: total}
+	if len(truth) > 0 {
+		q.PairCompleteness = float64(found) / float64(len(truth))
+	}
+	if total > 0 {
+		q.ReductionRatio = 1 - float64(len(cands))/float64(total)
+	}
+	return q
+}
+
+func sortedPairs(set map[dataset.Pair]bool) []dataset.Pair {
+	out := make([]dataset.Pair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.A.Source != b.A.Source {
+			return a.A.Source < b.A.Source
+		}
+		if a.A.Name != b.A.Name {
+			return a.A.Name < b.A.Name
+		}
+		if a.B.Source != b.B.Source {
+			return a.B.Source < b.B.Source
+		}
+		return a.B.Name < b.B.Name
+	})
+	return out
+}

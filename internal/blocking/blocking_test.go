@@ -1,0 +1,172 @@
+package blocking
+
+import (
+	"testing"
+
+	"leapme/internal/core"
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+)
+
+var cachedStore *embedding.Store
+
+func getStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	if cachedStore == nil {
+		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
+			domain.CorpusConfig{SentencesPerProp: 50, Seed: 1})
+		cfg := embedding.DefaultGloVeConfig()
+		cfg.Dim = 24
+		cfg.Epochs = 20
+		s, err := embedding.TrainGloVe(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedStore = s
+	}
+	return cachedStore
+}
+
+func genProps(t *testing.T, seed int64) (*dataset.Dataset, []dataset.Property) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name:           "blk-test",
+		Category:       domain.Cameras(),
+		NumSources:     5,
+		SharedPresence: 0.8,
+		CanonicalBias:  0.5,
+		NoiseProps:     10,
+		MinEntities:    5,
+		MaxEntities:    8,
+		MissingRate:    0.3,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, d.Props
+}
+
+func TestTokenBlocker(t *testing.T) {
+	_, props := genProps(t, 1)
+	cands := NewTokenBlocker().Candidates(props)
+	q := Measure(cands, props)
+	t.Logf("token blocker: %+v", q)
+	if q.PairCompleteness < 0.5 {
+		t.Errorf("token pair completeness = %.3f, want ≥ 0.5", q.PairCompleteness)
+	}
+	if q.ReductionRatio < 0.5 {
+		t.Errorf("token reduction ratio = %.3f, want ≥ 0.5", q.ReductionRatio)
+	}
+	for _, c := range cands {
+		if c.A.Source == c.B.Source {
+			t.Fatal("same-source candidate")
+		}
+	}
+}
+
+func TestEmbeddingBlocker(t *testing.T) {
+	_, props := genProps(t, 2)
+	b := NewEmbeddingBlocker(getStore(t))
+	cands := b.Candidates(props)
+	q := Measure(cands, props)
+	t.Logf("embedding blocker: %+v", q)
+	if q.PairCompleteness < 0.6 {
+		t.Errorf("embedding pair completeness = %.3f, want ≥ 0.6", q.PairCompleteness)
+	}
+	if q.ReductionRatio < 0.5 {
+		t.Errorf("embedding reduction ratio = %.3f, want ≥ 0.5", q.ReductionRatio)
+	}
+}
+
+func TestUnionDominatesMembers(t *testing.T) {
+	_, props := genProps(t, 3)
+	tok := NewTokenBlocker()
+	emb := NewEmbeddingBlocker(getStore(t))
+	u := Union{tok, emb}
+	qt := Measure(tok.Candidates(props), props)
+	qe := Measure(emb.Candidates(props), props)
+	qu := Measure(u.Candidates(props), props)
+	t.Logf("token=%.3f embedding=%.3f union=%.3f completeness", qt.PairCompleteness, qe.PairCompleteness, qu.PairCompleteness)
+	if qu.PairCompleteness < qt.PairCompleteness || qu.PairCompleteness < qe.PairCompleteness {
+		t.Error("union completeness below a member's")
+	}
+	if qu.PairCompleteness < 0.9 {
+		t.Errorf("union completeness = %.3f, want ≥ 0.9", qu.PairCompleteness)
+	}
+	if qu.ReductionRatio < 0.3 {
+		t.Errorf("union reduction = %.3f, want ≥ 0.3", qu.ReductionRatio)
+	}
+	if u.Name() != "union(token+embedding)" {
+		t.Errorf("union name = %q", u.Name())
+	}
+}
+
+func TestTokenBlockerStopTokens(t *testing.T) {
+	// All names share "item": with the stop-token limit the shared token
+	// must not create the full cross product.
+	props := []dataset.Property{}
+	for i := 0; i < 30; i++ {
+		src := "s0"
+		if i%2 == 1 {
+			src = "s1"
+		}
+		props = append(props, dataset.Property{Source: src, Name: "item " + string(rune('a'+i))})
+	}
+	cands := NewTokenBlocker().Candidates(props)
+	if len(cands) != 0 {
+		t.Errorf("stop-token produced %d candidates, want 0", len(cands))
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	q := Measure(nil, nil)
+	if q.PairCompleteness != 0 || q.ReductionRatio != 0 {
+		t.Errorf("empty measure = %+v", q)
+	}
+}
+
+// TestMatchCandidatesAgreesWithMatchWhere verifies that scoring blocked
+// candidates gives identical scores to the full enumeration, restricted
+// to the candidate set.
+func TestMatchCandidatesAgreesWithMatchWhere(t *testing.T) {
+	d, props := genProps(t, 4)
+	store := getStore(t)
+	m, err := core.NewMatcher(store, core.DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputeFeatures(d)
+	pairs := core.TrainingPairs(props, 2, mathx.NewRand(1))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	cands := Union{NewTokenBlocker(), NewEmbeddingBlocker(store)}.Candidates(props)
+
+	blocked := map[dataset.Pair]float64{}
+	if err := m.MatchCandidates(cands, func(sp core.ScoredPair) {
+		blocked[dataset.Pair{A: sp.A, B: sp.B}.Canonical()] = sp.Score
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(blocked) != len(cands) {
+		t.Fatalf("scored %d of %d candidates", len(blocked), len(cands))
+	}
+	checked := 0
+	if err := m.MatchAll(props, func(sp core.ScoredPair) {
+		p := dataset.Pair{A: sp.A, B: sp.B}.Canonical()
+		if s, ok := blocked[p]; ok {
+			if s != sp.Score {
+				t.Fatalf("score mismatch on %v: %v vs %v", p, s, sp.Score)
+			}
+			checked++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if checked != len(cands) {
+		t.Fatalf("cross-checked %d of %d candidates", checked, len(cands))
+	}
+}

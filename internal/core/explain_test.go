@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"leapme/internal/dataset"
+	"leapme/internal/mathx"
+)
+
+func trainedMatcherFor(t *testing.T, seed int64) (*Matcher, *dataset.Dataset) {
+	t.Helper()
+	d := smallDataset(t, seed)
+	m, err := NewMatcher(getStore(t), DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputeFeatures(d)
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestExplain(t *testing.T) {
+	m, d := trainedMatcherFor(t, 8)
+
+	// Pick a ground-truth matching pair and a non-matching pair.
+	var match, nonMatch dataset.Pair
+	dataset.CrossSourcePairs(d.Props, func(a, b dataset.Property) bool {
+		if dataset.Matching(a, b) && match.A.Source == "" {
+			match = dataset.Pair{A: a.Key(), B: b.Key()}
+		}
+		if !dataset.Matching(a, b) && a.Ref == "" && b.Ref == "" && nonMatch.A.Source == "" {
+			nonMatch = dataset.Pair{A: a.Key(), B: b.Key()}
+		}
+		return match.A.Source == "" || nonMatch.A.Source == ""
+	})
+
+	ex, err := m.Explain(match.A, match.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four feature groups under the full config.
+	if len(ex.Contributions) != 4 {
+		t.Fatalf("contributions = %d, want 4", len(ex.Contributions))
+	}
+	names := map[string]bool{}
+	for _, c := range ex.Contributions {
+		names[c.Block] = true
+	}
+	for _, want := range []string{"instance-meta", "instance-embedding", "name-embedding", "name-distances"} {
+		if !names[want] {
+			t.Errorf("missing block %q", want)
+		}
+	}
+	// Contributions sorted by descending magnitude.
+	for i := 1; i < len(ex.Contributions); i++ {
+		a, b := ex.Contributions[i-1].Delta, ex.Contributions[i].Delta
+		if abs(a) < abs(b) {
+			t.Errorf("contributions not sorted: %v before %v", a, b)
+		}
+	}
+	if s := ex.String(); !strings.Contains(s, "name-embedding") || !strings.Contains(s, "score") {
+		t.Errorf("String = %q", s)
+	}
+
+	// The explanation score equals the Score API.
+	sp, err := m.Score(match.A, match.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Score != ex.Score {
+		t.Errorf("Explain score %v != Score %v", ex.Score, sp.Score)
+	}
+}
+
+func TestExplainRequiresTraining(t *testing.T) {
+	d := smallDataset(t, 9)
+	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
+	m.ComputeFeatures(d)
+	if _, err := m.Explain(d.Props[0].Key(), d.Props[1].Key()); err == nil {
+		t.Error("untrained Explain accepted")
+	}
+}
+
+func TestExplainUnknownProperty(t *testing.T) {
+	m, d := trainedMatcherFor(t, 10)
+	if _, err := m.Explain(dataset.Key{Source: "x", Name: "y"}, d.Props[0].Key()); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

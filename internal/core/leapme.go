@@ -1,0 +1,430 @@
+// Package core implements LEAPME itself (Algorithm 1 of the paper):
+// LEArning-based Property Matching with Embeddings.
+//
+// The pipeline is exactly the paper's five steps:
+//
+//  1. initialise the feature stores;
+//  2. compute instance features for every property instance (iFeatures);
+//  3. aggregate them per property and add name features (pFeatures);
+//  4. compute features for property pairs (ppFeatures);
+//  5. train a dense neural network on the labeled pairs and classify the
+//     unlabeled ones, emitting a similarity score per pair (the network's
+//     positive-class probability), which forms a similarity graph.
+//
+// The Matcher retains the trained network, so it can score previously
+// unseen property pairs and be transferred across datasets (the paper's
+// transfer-learning experiment).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+	"leapme/internal/features"
+	"math"
+
+	"leapme/internal/nn"
+)
+
+// Options configures a Matcher.
+type Options struct {
+	// Features selects the feature configuration (default: all features).
+	Features features.Config
+	// Hidden are the hidden-layer widths (default: the paper's {128, 64}).
+	Hidden []int
+	// Schedule is the LR schedule (default: the paper's staged schedule).
+	Schedule []nn.Phase
+	// BatchSize for training (default 32, as in the paper).
+	BatchSize int
+	// MaxValues caps instance values aggregated per property (0 = all).
+	MaxValues int
+	// Threshold converts scores to match decisions (default 0.5).
+	Threshold float64
+	// WeightDecay applies AdamW-style decoupled weight decay during
+	// training (0, the paper's configuration, disables it). Non-zero
+	// values regularise the network's overconfidence on small training
+	// sets; see the ablation bench.
+	WeightDecay float64
+	// NoStandardize disables z-score standardisation of pair features
+	// (fitted on the training pairs, applied everywhere). Standardisation
+	// is on by default: the meta-feature counts live on a ~30× larger
+	// scale than embedding differences and would otherwise dominate the
+	// early epochs of the paper's fixed LR schedule.
+	NoStandardize bool
+	// Seed drives weight init, shuffling, and negative sampling.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		Features:  features.FullConfig(),
+		Hidden:    []int{128, 64},
+		Schedule:  nn.PaperSchedule(),
+		BatchSize: 32,
+		Threshold: 0.5,
+		Seed:      seed,
+	}
+}
+
+// LabeledPair is a training example: a property pair and whether it is a
+// true match.
+type LabeledPair struct {
+	A, B  dataset.Key
+	Match bool
+}
+
+// ScoredPair is a classified property pair: the similarity score is the
+// network's positive-class probability; Match applies the threshold.
+type ScoredPair struct {
+	A, B  dataset.Key
+	Score float64
+	Match bool
+}
+
+// Matcher is a trained (or trainable) LEAPME property matcher.
+type Matcher struct {
+	opts   Options
+	ex     *features.Extractor
+	pairer *features.Pairer
+	props  map[dataset.Key]*features.Prop
+	net    *nn.Network
+
+	// Standardisation parameters fitted on the training pairs.
+	featMean, featInvStd []float64
+}
+
+// NewMatcher builds a matcher over the given embedding store.
+func NewMatcher(store *embedding.Store, opts Options) (*Matcher, error) {
+	if store == nil {
+		return nil, errors.New("core: nil embedding store")
+	}
+	if !opts.Features.Valid() {
+		opts.Features = features.FullConfig()
+	}
+	if len(opts.Hidden) == 0 {
+		opts.Hidden = []int{128, 64}
+	}
+	if len(opts.Schedule) == 0 {
+		opts.Schedule = nn.PaperSchedule()
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 32
+	}
+	if opts.Threshold <= 0 || opts.Threshold >= 1 {
+		opts.Threshold = 0.5
+	}
+	ex := features.NewExtractor(store)
+	ex.MaxValues = opts.MaxValues
+	pairer, err := features.NewPairer(ex, opts.Features)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Matcher{
+		opts:   opts,
+		ex:     ex,
+		pairer: pairer,
+		props:  map[dataset.Key]*features.Prop{},
+	}, nil
+}
+
+// Options returns the matcher's effective options.
+func (m *Matcher) Options() Options { return m.opts }
+
+// PairDim returns the classifier input dimension under the configured
+// features.
+func (m *Matcher) PairDim() int { return m.pairer.Dim() }
+
+// ComputeFeatures runs steps 1–3 of Algorithm 1 for every property of d:
+// instance features, aggregated into property features. It may be called
+// for several datasets; properties accumulate in the matcher.
+func (m *Matcher) ComputeFeatures(d *dataset.Dataset) {
+	values := d.InstancesByProperty()
+	for _, p := range d.Props {
+		k := p.Key()
+		m.props[k] = m.ex.PropertyFeatures(p.Name, values[k])
+	}
+}
+
+// NumProperties returns how many properties have computed features.
+func (m *Matcher) NumProperties() int { return len(m.props) }
+
+// AdoptFeatures shares src's computed property features instead of
+// recomputing them. Property feature vectors are config-independent (the
+// Pairer selects blocks at pair time), so matchers with different feature
+// configurations can share them as long as both use the same embedding
+// dimension. The feature map is shared, not copied: ComputeFeatures on
+// either matcher afterwards is visible to both.
+func (m *Matcher) AdoptFeatures(src *Matcher) error {
+	if src == nil {
+		return errors.New("core: AdoptFeatures from nil matcher")
+	}
+	if m.ex.PropertyDim() != src.ex.PropertyDim() {
+		return fmt.Errorf("core: AdoptFeatures dimension mismatch: %d vs %d",
+			m.ex.PropertyDim(), src.ex.PropertyDim())
+	}
+	m.props = src.props
+	return nil
+}
+
+// prop fetches a property's features, failing loudly on unknown keys —
+// scoring a property whose features were never computed is a programming
+// error at the call site.
+func (m *Matcher) prop(k dataset.Key) (*features.Prop, error) {
+	p, ok := m.props[k]
+	if !ok {
+		return nil, fmt.Errorf("core: no features computed for property %s (call ComputeFeatures first)", k)
+	}
+	return p, nil
+}
+
+// Train runs step 5a: it builds pair feature vectors for the labeled pairs
+// and fits the network. It returns the final-epoch mean loss.
+func (m *Matcher) Train(pairs []LabeledPair) (float64, error) {
+	if len(pairs) == 0 {
+		return 0, errors.New("core: no training pairs")
+	}
+	xs := make([][]float64, 0, len(pairs))
+	ys := make([]int, 0, len(pairs))
+	for _, lp := range pairs {
+		a, err := m.prop(lp.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := m.prop(lp.B)
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, m.pairer.NewPairVector(a, b))
+		y := 0
+		if lp.Match {
+			y = 1
+		}
+		ys = append(ys, y)
+	}
+	m.fitStandardizer(xs)
+	for _, x := range xs {
+		m.standardize(x)
+	}
+	net, err := nn.New(nn.Config{
+		InDim:      m.pairer.Dim(),
+		Hidden:     m.opts.Hidden,
+		Out:        2,
+		Activation: nn.ActReLU,
+		Seed:       m.opts.Seed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	cfg := nn.TrainConfig{
+		Schedule:    m.opts.Schedule,
+		BatchSize:   m.opts.BatchSize,
+		Optimizer:   nn.NewAdam(),
+		WeightDecay: m.opts.WeightDecay,
+		Seed:        m.opts.Seed,
+	}
+	loss, err := net.Fit(xs, ys, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("core: training: %w", err)
+	}
+	m.net = net
+	return loss, nil
+}
+
+// Trained reports whether the matcher has a fitted network.
+func (m *Matcher) Trained() bool { return m.net != nil }
+
+// Score classifies a single property pair (step 5b for one pair).
+func (m *Matcher) Score(a, b dataset.Key) (ScoredPair, error) {
+	if m.net == nil {
+		return ScoredPair{}, errors.New("core: matcher is not trained")
+	}
+	pa, err := m.prop(a)
+	if err != nil {
+		return ScoredPair{}, err
+	}
+	pb, err := m.prop(b)
+	if err != nil {
+		return ScoredPair{}, err
+	}
+	vec := make([]float64, m.pairer.Dim())
+	m.pairer.PairVector(vec, pa, pb)
+	m.standardize(vec)
+	s, err := m.net.PositiveScore(vec)
+	if err != nil {
+		return ScoredPair{}, fmt.Errorf("core: %w", err)
+	}
+	return ScoredPair{A: a, B: b, Score: s, Match: s >= m.opts.Threshold}, nil
+}
+
+// MatchAll runs step 5b over every cross-source pair of props, streaming
+// each scored pair to fn. Pair vectors are computed into a reused buffer,
+// so memory stays constant regardless of the quadratic pair count.
+func (m *Matcher) MatchAll(props []dataset.Property, fn func(ScoredPair)) error {
+	return m.MatchWhere(props, nil, fn)
+}
+
+// MatchWhere is MatchAll restricted to cross-source pairs for which
+// include returns true (nil includes everything). The evaluation protocol
+// uses it to classify exactly the pairs not wholly inside the training
+// sources, as the paper prescribes.
+func (m *Matcher) MatchWhere(props []dataset.Property, include func(a, b dataset.Property) bool, fn func(ScoredPair)) error {
+	if m.net == nil {
+		return errors.New("core: matcher is not trained")
+	}
+	vec := make([]float64, m.pairer.Dim())
+	var err error
+	dataset.CrossSourcePairs(props, func(a, b dataset.Property) bool {
+		if include != nil && !include(a, b) {
+			return true
+		}
+		var pa, pb *features.Prop
+		if pa, err = m.prop(a.Key()); err != nil {
+			return false
+		}
+		if pb, err = m.prop(b.Key()); err != nil {
+			return false
+		}
+		m.pairer.PairVector(vec, pa, pb)
+		m.standardize(vec)
+		var s float64
+		if s, err = m.net.PositiveScore(vec); err != nil {
+			return false
+		}
+		fn(ScoredPair{A: a.Key(), B: b.Key(), Score: s, Match: s >= m.opts.Threshold})
+		return true
+	})
+	return err
+}
+
+// MatchCandidates scores exactly the given candidate pairs (e.g. from a
+// blocker) instead of the full cross product, streaming each scored pair
+// to fn. Features for both endpoints must have been computed.
+func (m *Matcher) MatchCandidates(cands []dataset.Pair, fn func(ScoredPair)) error {
+	if m.net == nil {
+		return errors.New("core: matcher is not trained")
+	}
+	vec := make([]float64, m.pairer.Dim())
+	for _, c := range cands {
+		pa, err := m.prop(c.A)
+		if err != nil {
+			return err
+		}
+		pb, err := m.prop(c.B)
+		if err != nil {
+			return err
+		}
+		m.pairer.PairVector(vec, pa, pb)
+		m.standardize(vec)
+		s, err := m.net.PositiveScore(vec)
+		if err != nil {
+			return err
+		}
+		fn(ScoredPair{A: c.A, B: c.B, Score: s, Match: s >= m.opts.Threshold})
+	}
+	return nil
+}
+
+// Matches collects the pairs MatchAll classifies as matches — the
+// similarity graph Sim of Algorithm 1, keeping only positive edges.
+func (m *Matcher) Matches(props []dataset.Property) ([]ScoredPair, error) {
+	var out []ScoredPair
+	err := m.MatchAll(props, func(sp ScoredPair) {
+		if sp.Match {
+			out = append(out, sp)
+		}
+	})
+	return out, err
+}
+
+// fitStandardizer computes per-dimension mean and inverse standard
+// deviation from the training pair vectors.
+func (m *Matcher) fitStandardizer(xs [][]float64) {
+	if m.opts.NoStandardize {
+		m.featMean, m.featInvStd = nil, nil
+		return
+	}
+	dim := m.pairer.Dim()
+	mean := make([]float64, dim)
+	for _, x := range xs {
+		for i, v := range x {
+			mean[i] += v
+		}
+	}
+	n := float64(len(xs))
+	for i := range mean {
+		mean[i] /= n
+	}
+	invStd := make([]float64, dim)
+	for _, x := range xs {
+		for i, v := range x {
+			d := v - mean[i]
+			invStd[i] += d * d
+		}
+	}
+	for i := range invStd {
+		sd := math.Sqrt(invStd[i] / n)
+		if sd < 1e-9 {
+			invStd[i] = 0 // constant feature: standardises to 0
+		} else {
+			invStd[i] = 1 / sd
+		}
+	}
+	m.featMean, m.featInvStd = mean, invStd
+}
+
+// standardize applies the fitted z-score transform in place (no-op when
+// standardisation is disabled or not yet fitted).
+func (m *Matcher) standardize(x []float64) {
+	if m.featMean == nil {
+		return
+	}
+	for i := range x {
+		x[i] = (x[i] - m.featMean[i]) * m.featInvStd[i]
+	}
+}
+
+// TrainingPairs builds a labeled training set from ground-truth properties
+// in the paper's regime: every cross-source matching pair is a positive;
+// negRatio random non-matching cross-source pairs are sampled per positive
+// (the paper uses negRatio = 2).
+func TrainingPairs(props []dataset.Property, negRatio int, rng *rand.Rand) []LabeledPair {
+	if negRatio < 0 {
+		negRatio = 2
+	}
+	var out []LabeledPair
+	pos := dataset.MatchingPairs(props)
+	for _, p := range pos {
+		out = append(out, LabeledPair{A: p.A, B: p.B, Match: true})
+	}
+	want := len(pos) * negRatio
+	seen := map[dataset.Pair]bool{}
+	for _, p := range pos {
+		seen[p] = true
+	}
+	// Rejection-sample negatives; bail out if the space is too small.
+	maxAttempts := want*20 + 100
+	for n, attempts := 0, 0; n < want && attempts < maxAttempts; attempts++ {
+		i, j := rng.Intn(len(props)), rng.Intn(len(props))
+		a, b := props[i], props[j]
+		if i == j || a.Source == b.Source || dataset.Matching(a, b) {
+			continue
+		}
+		pair := dataset.Pair{A: a.Key(), B: b.Key()}.Canonical()
+		if seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		out = append(out, LabeledPair{A: pair.A, B: pair.B, Match: false})
+		n++
+	}
+	return out
+}
+
+// Shuffle randomises training pair order in place (deterministic in rng).
+func Shuffle(pairs []LabeledPair, rng *rand.Rand) {
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"leapme/internal/nn"
+)
+
+// Model persistence: the trained network plus the fitted feature
+// standardiser, so a matcher can be trained once and reused (including
+// across datasets — the transfer-learning deployment). Format: magic,
+// standardiser flag + vectors, then the nn serialisation.
+
+const matcherMagic = "LEAPMEMD"
+
+// WriteModel serialises the trained network and standardiser. Property
+// features are not serialised — recompute them with ComputeFeatures on
+// whatever dataset the model is applied to.
+func (m *Matcher) WriteModel(w io.Writer) error {
+	if m.net == nil {
+		return errors.New("core: WriteModel on untrained matcher")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(matcherMagic); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	writeF64 := func(x float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		_, err := bw.Write(buf)
+		return err
+	}
+	n := 0
+	if m.featMean != nil {
+		n = len(m.featMean)
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(n))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := writeF64(m.featMean[i]); err != nil {
+			return err
+		}
+		if err := writeF64(m.featInvStd[i]); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := m.net.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadModel loads a model saved by WriteModel into the matcher. The
+// matcher must have been constructed with the same embedding store
+// dimension and feature configuration as the saved model; the network
+// input dimension is checked against the matcher's pair dimension.
+func (m *Matcher) ReadModel(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(matcherMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("core: reading model magic: %w", err)
+	}
+	if string(magic) != matcherMagic {
+		return fmt.Errorf("core: bad model magic %q", magic)
+	}
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return fmt.Errorf("core: reading standardiser length: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	if n < 0 || n > 1<<24 {
+		return fmt.Errorf("core: implausible standardiser length %d", n)
+	}
+	readF64 := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
+	}
+	var mean, invStd []float64
+	if n > 0 {
+		if n != m.pairer.Dim() {
+			return fmt.Errorf("core: model standardiser dim %d does not match pair dim %d", n, m.pairer.Dim())
+		}
+		mean = make([]float64, n)
+		invStd = make([]float64, n)
+		for i := 0; i < n; i++ {
+			var err error
+			if mean[i], err = readF64(); err != nil {
+				return fmt.Errorf("core: reading standardiser: %w", err)
+			}
+			if invStd[i], err = readF64(); err != nil {
+				return fmt.Errorf("core: reading standardiser: %w", err)
+			}
+		}
+	}
+	net, err := nn.Read(br)
+	if err != nil {
+		return fmt.Errorf("core: reading network: %w", err)
+	}
+	if net.InDim() != m.pairer.Dim() {
+		return fmt.Errorf("core: model input dim %d does not match pair dim %d", net.InDim(), m.pairer.Dim())
+	}
+	m.featMean, m.featInvStd = mean, invStd
+	m.net = net
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"leapme/internal/mathx"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	d := smallDataset(t, 21)
+	store := getStore(t)
+	m, err := NewMatcher(store, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputeFeatures(d)
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(3))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh matcher, same geometry, loaded model.
+	m2, err := NewMatcher(store, DefaultOptions(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.ComputeFeatures(d)
+	if err := m2.ReadModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Trained() {
+		t.Fatal("loaded matcher not trained")
+	}
+
+	// Identical scores on every pair we probe.
+	a, b := d.Props[0].Key(), d.Props[len(d.Props)-1].Key()
+	s1, err := m.Score(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m2.Score(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Score != s2.Score {
+		t.Errorf("scores differ after round trip: %v vs %v", s1.Score, s2.Score)
+	}
+}
+
+func TestWriteModelUntrained(t *testing.T) {
+	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err == nil {
+		t.Error("untrained WriteModel accepted")
+	}
+}
+
+func TestReadModelGarbage(t *testing.T) {
+	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
+	if err := m.ReadModel(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage model accepted")
+	}
+}
+
+func TestReadModelDimMismatch(t *testing.T) {
+	d := smallDataset(t, 22)
+	store := getStore(t)
+	m, _ := NewMatcher(store, DefaultOptions(1))
+	m.ComputeFeatures(d)
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Matcher with a different feature configuration → different pair dim.
+	opts := DefaultOptions(1)
+	opts.Features.Instances = false
+	m2, _ := NewMatcher(store, opts)
+	if err := m2.ReadModel(&buf); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}

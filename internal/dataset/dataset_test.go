@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func toy() *Dataset {
+	return &Dataset{
+		Name:     "toy",
+		Category: "cameras",
+		Sources:  []string{"s1", "s2", "s3"},
+		Props: []Property{
+			{Source: "s1", Name: "resolution", Ref: "resolution"},
+			{Source: "s1", Name: "weight", Ref: "weight"},
+			{Source: "s2", Name: "megapixels", Ref: "resolution"},
+			{Source: "s2", Name: "mass", Ref: "weight"},
+			{Source: "s3", Name: "mp", Ref: "resolution"},
+			{Source: "s3", Name: "sku", Ref: ""},
+		},
+		Instances: []Instance{
+			{Source: "s1", Entity: "e1", Property: "resolution", Value: "24 MP"},
+			{Source: "s1", Entity: "e1", Property: "weight", Value: "500 g"},
+			{Source: "s2", Entity: "e2", Property: "megapixels", Value: "45.7"},
+			{Source: "s3", Entity: "e3", Property: "mp", Value: "20 megapixels"},
+			{Source: "s3", Entity: "e3", Property: "sku", Value: "B0012345"},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := toy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	d := toy()
+	d.Name = ""
+	if d.Validate() == nil {
+		t.Error("empty name accepted")
+	}
+
+	d = toy()
+	d.Sources = append(d.Sources, "s1")
+	if d.Validate() == nil {
+		t.Error("duplicate source accepted")
+	}
+
+	d = toy()
+	d.Props = append(d.Props, Property{Source: "s1", Name: "resolution"})
+	if d.Validate() == nil {
+		t.Error("duplicate property accepted")
+	}
+
+	d = toy()
+	d.Props = append(d.Props, Property{Source: "ghost", Name: "x"})
+	if d.Validate() == nil {
+		t.Error("property with unknown source accepted")
+	}
+
+	d = toy()
+	d.Instances = append(d.Instances, Instance{Source: "s1", Entity: "e9", Property: "ghost", Value: "v"})
+	if d.Validate() == nil {
+		t.Error("instance with unknown property accepted")
+	}
+}
+
+func TestMatching(t *testing.T) {
+	a := Property{Source: "s1", Name: "resolution", Ref: "resolution"}
+	b := Property{Source: "s2", Name: "megapixels", Ref: "resolution"}
+	c := Property{Source: "s2", Name: "mass", Ref: "weight"}
+	n := Property{Source: "s2", Name: "sku", Ref: ""}
+	sameSrc := Property{Source: "s1", Name: "mp", Ref: "resolution"}
+	if !Matching(a, b) {
+		t.Error("same ref, different source should match")
+	}
+	if Matching(a, c) {
+		t.Error("different refs should not match")
+	}
+	if Matching(n, n) || Matching(a, n) {
+		t.Error("empty ref should never match")
+	}
+	if Matching(a, sameSrc) {
+		t.Error("same-source properties should not match")
+	}
+}
+
+func TestMatchingPairs(t *testing.T) {
+	pairs := MatchingPairs(toy().Props)
+	// resolution: s1-s2, s1-s3, s2-s3 = 3; weight: s1-s2 = 1.
+	if len(pairs) != 4 {
+		t.Fatalf("got %d pairs, want 4: %v", len(pairs), pairs)
+	}
+	// Canonical ordering inside each pair.
+	for _, p := range pairs {
+		if p.B.Source < p.A.Source {
+			t.Errorf("pair %v not canonical", p)
+		}
+	}
+}
+
+func TestPairCanonical(t *testing.T) {
+	p := Pair{A: Key{"s2", "x"}, B: Key{"s1", "y"}}
+	c := p.Canonical()
+	if c.A.Source != "s1" || c.B.Source != "s2" {
+		t.Errorf("Canonical = %v", c)
+	}
+	if c != (Pair{A: Key{"s1", "y"}, B: Key{"s2", "x"}}).Canonical() {
+		t.Error("canonical forms of {a,b} and {b,a} must be equal")
+	}
+}
+
+func TestCrossSourcePairs(t *testing.T) {
+	var n int
+	CrossSourcePairs(toy().Props, func(a, b Property) bool {
+		if a.Source == b.Source {
+			t.Fatal("same-source pair emitted")
+		}
+		n++
+		return true
+	})
+	// 6 props: C(6,2)=15 total, minus same-source pairs: s1 has 2 (1 pair),
+	// s2 has 2 (1 pair), s3 has 2 (1 pair) → 12.
+	if n != 12 {
+		t.Errorf("enumerated %d pairs, want 12", n)
+	}
+	// Early stop.
+	n = 0
+	CrossSourcePairs(toy().Props, func(a, b Property) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop failed, saw %d", n)
+	}
+}
+
+func TestInstancesByProperty(t *testing.T) {
+	m := toy().InstancesByProperty()
+	vals := m[Key{Source: "s1", Name: "resolution"}]
+	if len(vals) != 1 || vals[0] != "24 MP" {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := toy().Summary()
+	if s.Sources != 3 || s.Properties != 6 || s.Instances != 5 || s.MatchingPairs != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.Entities != 3 {
+		t.Errorf("Entities = %d, want 3", s.Entities)
+	}
+}
+
+func TestPropsOfSources(t *testing.T) {
+	got := toy().PropsOfSources(map[string]bool{"s1": true, "s3": true})
+	if len(got) != 4 {
+		t.Errorf("got %d props, want 4", len(got))
+	}
+	for _, p := range got {
+		if p.Source == "s2" {
+			t.Error("s2 property included")
+		}
+	}
+}

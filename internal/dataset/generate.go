@@ -1,0 +1,235 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leapme/internal/domain"
+)
+
+// GenConfig parameterises the synthetic multi-source generator.
+type GenConfig struct {
+	Name     string
+	Category *domain.Category
+
+	NumSources int
+	// SharedPresence is the probability that a given reference property is
+	// represented in a given source. Lower presence → fewer matching pairs
+	// relative to property count.
+	SharedPresence float64
+	// SplitProb is the probability that a source represents a present
+	// reference property with *two* differently-named properties, yielding
+	// the 1:n correspondences the paper highlights ("shutter speed").
+	SplitProb float64
+	// CanonicalBias is the probability that a source names a property by
+	// its canonical reference name rather than a random synonym. Real
+	// multi-source data (DI2KG) contains many exact-name matches across
+	// sources; 0 means every source draws a uniform synonym (maximum
+	// heterogeneity). Default 0.5 when unset (exactly 0 is respected only
+	// through UniformNames).
+	CanonicalBias float64
+	// UniformNames forces CanonicalBias = 0.
+	UniformNames bool
+	// NoiseProps is the number of unmatched source-specific properties per
+	// source.
+	NoiseProps int
+
+	// MinEntities/MaxEntities bound the per-source entity count, drawn
+	// uniformly. Equal values give the balanced setting of the camera
+	// dataset; spread values give the imbalanced "low-quality" setting of
+	// the WDC datasets.
+	MinEntities, MaxEntities int
+	// UniverseEntities is the size of the shared product universe the
+	// sources draw their entities from. The DI2KG/WDC datasets describe
+	// overlapping product catalogs, so the same underlying value appears
+	// (differently formatted) in several sources — the signal
+	// instance-based matching feeds on. Default: 2 × MaxEntities.
+	UniverseEntities int
+
+	// MissingRate is the probability an entity lacks a value for a
+	// property of its source.
+	MissingRate float64
+
+	Seed int64
+}
+
+// Generate samples a dataset according to cfg.
+func Generate(cfg GenConfig) (*Dataset, error) {
+	if cfg.Category == nil {
+		return nil, fmt.Errorf("dataset: nil category in config %q", cfg.Name)
+	}
+	if cfg.NumSources < 2 {
+		return nil, fmt.Errorf("dataset %q: need at least 2 sources, got %d", cfg.Name, cfg.NumSources)
+	}
+	if cfg.MinEntities <= 0 || cfg.MaxEntities < cfg.MinEntities {
+		return nil, fmt.Errorf("dataset %q: bad entity bounds [%d, %d]", cfg.Name, cfg.MinEntities, cfg.MaxEntities)
+	}
+	if cfg.SharedPresence <= 0 || cfg.SharedPresence > 1 {
+		return nil, fmt.Errorf("dataset %q: SharedPresence %v outside (0, 1]", cfg.Name, cfg.SharedPresence)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.UniformNames {
+		cfg.CanonicalBias = 0
+	} else if cfg.CanonicalBias <= 0 {
+		cfg.CanonicalBias = 0.5
+	}
+
+	d := &Dataset{Name: cfg.Name, Category: cfg.Category.Name}
+
+	type srcProp struct {
+		prop   Property
+		spec   *domain.PropertySpec
+		refIdx int // index into Category.Props, -1 for noise
+	}
+
+	// Noise properties are dealt from one globally-deduplicated pool so
+	// two sources never carry the *identical* unmatched property — such
+	// pairs would be semantic matches mislabeled as negatives, which caps
+	// achievable precision for reasons no matcher can see. Sources still
+	// share individual words ("box weight" vs "box width"), keeping the
+	// realistic near-miss noise.
+	noisePool := domain.GenerateNoiseProperties(cfg.NoiseProps*cfg.NumSources, rng)
+
+	// Each reference property uses a small *active pool* of synonyms for
+	// the whole dataset rather than every synonym it could have: in the
+	// real DI2KG data a reference property surfaces under only a handful
+	// of distinct labels across all 24 sources. Index 0 stays the
+	// canonical name; CanonicalBias draws favour it.
+	activeSyns := make([][]int, len(cfg.Category.Props))
+	for pi := range cfg.Category.Props {
+		n := len(cfg.Category.Props[pi].Synonyms)
+		poolSize := 2 + rng.Intn(2) // 2–3 active synonyms
+		if poolSize > n {
+			poolSize = n
+		}
+		pool := []int{0}
+		perm := rng.Perm(n - 1)
+		for _, p := range perm {
+			if len(pool) == poolSize {
+				break
+			}
+			pool = append(pool, p+1)
+		}
+		activeSyns[pi] = pool
+	}
+
+	// The shared product universe: each universe entity has one
+	// underlying value per reference property. Sources sample entities
+	// from the universe and render the shared values in their own style.
+	universeSize := cfg.UniverseEntities
+	if universeSize <= 0 {
+		universeSize = 2 * cfg.MaxEntities
+	}
+	universe := make([][]domain.Value, universeSize)
+	for e := range universe {
+		universe[e] = make([]domain.Value, len(cfg.Category.Props))
+		for pi := range cfg.Category.Props {
+			universe[e][pi] = cfg.Category.Props[pi].Sample(rng)
+		}
+	}
+
+	for s := 0; s < cfg.NumSources; s++ {
+		srcName := fmt.Sprintf("source%02d", s)
+		d.Sources = append(d.Sources, srcName)
+		style := domain.RandomStyle(rng)
+		// Naming conventions are a source-level trait with occasional
+		// per-property deviation, like real sites.
+		srcConvention := rng.Intn(domain.NumNamingConventions)
+
+		var props []srcProp
+		usedNames := map[string]bool{}
+		addProp := func(name, ref string, spec *domain.PropertySpec, refIdx int) {
+			if usedNames[name] {
+				return // identical surface name collision within source; skip
+			}
+			usedNames[name] = true
+			props = append(props, srcProp{
+				prop:   Property{Source: srcName, Name: name, Ref: ref},
+				spec:   spec,
+				refIdx: refIdx,
+			})
+		}
+
+		// Shared (matchable) properties.
+		for pi := range cfg.Category.Props {
+			spec := &cfg.Category.Props[pi]
+			if rng.Float64() >= cfg.SharedPresence {
+				continue
+			}
+			pool := activeSyns[pi]
+			variant := pool[rng.Intn(len(pool))]
+			if rng.Float64() < cfg.CanonicalBias {
+				variant = 0 // synonym lists lead with the canonical name
+			}
+			convention := srcConvention
+			if rng.Float64() < 0.15 {
+				convention = rng.Intn(domain.NumNamingConventions)
+			}
+			addProp(spec.SurfaceName(variant, convention), spec.Canonical, spec, pi)
+			if rng.Float64() < cfg.SplitProb && len(pool) > 1 {
+				// Second differently-named representation of the same
+				// reference property within this source.
+				v2 := pool[rng.Intn(len(pool))]
+				if v2 != variant {
+					addProp(spec.SurfaceName(v2, convention), spec.Canonical, spec, pi)
+				}
+			}
+		}
+
+		// Noise properties: this source's share of the global pool.
+		noise := noisePool[s*cfg.NoiseProps : (s+1)*cfg.NoiseProps]
+		for i := range noise {
+			spec := noise[i].Spec
+			name := domainSurface(noise[i].Name, srcConvention)
+			addProp(name, "", &spec, -1)
+		}
+
+		// Entities: a random subset of the shared universe; instance
+		// values of matchable properties render the entity's shared
+		// underlying value in this source's style, while noise properties
+		// draw independent values.
+		nEnt := cfg.MinEntities
+		if cfg.MaxEntities > cfg.MinEntities {
+			nEnt += rng.Intn(cfg.MaxEntities - cfg.MinEntities + 1)
+		}
+		if nEnt > universeSize {
+			nEnt = universeSize
+		}
+		for _, sp := range props {
+			d.Props = append(d.Props, sp.prop)
+		}
+		entityIdx := rng.Perm(universeSize)[:nEnt]
+		for _, ei := range entityIdx {
+			entity := fmt.Sprintf("%s-p%04d", srcName, ei)
+			for _, sp := range props {
+				if rng.Float64() < cfg.MissingRate {
+					continue
+				}
+				var value string
+				if sp.refIdx >= 0 {
+					value = sp.spec.Render(universe[ei][sp.refIdx], style, rng)
+				} else {
+					value = sp.spec.Value(rng, style)
+				}
+				d.Instances = append(d.Instances, Instance{
+					Source:   srcName,
+					Entity:   entity,
+					Property: sp.prop.Name,
+					Value:    value,
+				})
+			}
+		}
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset %q: generator produced invalid data: %w", cfg.Name, err)
+	}
+	return d, nil
+}
+
+// domainSurface applies a naming convention to a noise-property name.
+func domainSurface(name string, convention int) string {
+	// Reuse the synonym decoration through a one-synonym spec.
+	p := domain.PropertySpec{Canonical: name, Synonyms: []string{name}}
+	return p.SurfaceName(0, convention)
+}

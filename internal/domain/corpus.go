@@ -1,0 +1,167 @@
+package domain
+
+import (
+	"math/rand"
+
+	"leapme/internal/text"
+)
+
+// CorpusConfig controls synthetic corpus generation for embedding training.
+type CorpusConfig struct {
+	// SentencesPerProp is how many sentences to emit per reference
+	// property. More sentences → tighter synonym clusters.
+	SentencesPerProp int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// DefaultCorpusConfig returns a corpus size that trains useful embeddings
+// in a few seconds.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{SentencesPerProp: 120, Seed: 1}
+}
+
+// Corpus generates a tokenized training corpus for the given categories.
+//
+// The generator's one job is to reproduce the co-occurrence structure that
+// makes pre-trained GloVe useful to LEAPME: all synonyms of a reference
+// property must share context. Each sentence therefore mentions one
+// synonym of one property together with that property's context words, a
+// rendered instance value, and generic spec-sheet filler, e.g.
+//
+//	"the camera resolution of this model is 24 mp great sensor detail"
+//	"effective pixels rated at 45 megapixels sharp image sensor"
+//
+// Because "camera resolution", "effective pixels" and "mp" all co-occur
+// with {sensor, image, pixels, ...}, their trained vectors converge, while
+// unrelated properties (driven by disjoint context sets) stay apart.
+func Corpus(categories []*Category, cfg CorpusConfig) [][]string {
+	if cfg.SentencesPerProp <= 0 {
+		cfg.SentencesPerProp = DefaultCorpusConfig().SentencesPerProp
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out [][]string
+	out = append(out, noiseSentences(cfg.SentencesPerProp*4, rng)...)
+	for _, cat := range categories {
+		for pi := range cat.Props {
+			p := &cat.Props[pi]
+			for s := 0; s < cfg.SentencesPerProp; s++ {
+				style := RandomStyle(rng)
+				sent := make([]string, 0, 16)
+				// Context words bracket the synonym tokens so they land
+				// inside the co-occurrence window on both sides. Constant
+				// filler ("the", "is", category name) is deliberately
+				// absent: tokens shared by every sentence give all vectors
+				// a common component that washes out cosine contrasts on
+				// a corpus this small.
+				if len(p.Context) > 0 {
+					sent = append(sent, p.Context[rng.Intn(len(p.Context))])
+				}
+				// One synonym per sentence, cycling so all synonyms appear.
+				syn := p.Synonyms[s%max(1, len(p.Synonyms))]
+				sent = append(sent, text.Tokenize(syn)...)
+				for k := 0; k < 2 && len(p.Context) > 0; k++ {
+					sent = append(sent, p.Context[rng.Intn(len(p.Context))])
+				}
+				// Boolean values are omitted: "yes"/"no" co-occurring with
+				// every flag property would pull all flag names into one
+				// embedding cluster, which pre-trained prose embeddings
+				// do not exhibit. Other kinds contribute their value
+				// tokens (units, enum values) to the vocabulary — the
+				// instance features need vectors for them.
+				if p.Kind != KindBoolean {
+					sent = append(sent, text.Tokenize(p.Value(rng, style))...)
+				}
+				if len(p.Context) > 0 {
+					sent = append(sent, p.Context[rng.Intn(len(p.Context))])
+				}
+				out = append(out, sent)
+			}
+		}
+	}
+	return out
+}
+
+// noiseSentences gives the noise-property vocabulary (package, box, sku,
+// width, ...) embedding coverage. Without it every noise word would be
+// out-of-vocabulary and map to the zero vector, making the names
+// "box width" and "kit width" embed identically — false positives no
+// classifier could avoid. Each sentence pairs a qualifier with an
+// attribute and attribute-flavoured context so qualifiers and attributes
+// get distinct, structured vectors.
+func noiseSentences(n int, rng *rand.Rand) [][]string {
+	attrContext := map[string][]string{
+		"width": {"size", "measure", "cm"}, "height": {"size", "measure", "cm"},
+		"depth": {"size", "measure", "cm"}, "length": {"size", "measure", "cm"},
+		"weight": {"mass", "measure", "kg"}, "volume": {"size", "capacity", "liters"},
+		"id": {"identifier", "number", "lookup"}, "code": {"identifier", "number", "lookup"},
+		"sku": {"identifier", "inventory", "lookup"}, "upc": {"identifier", "barcode", "lookup"},
+		"ean": {"identifier", "barcode", "lookup"}, "asin": {"identifier", "amazon", "lookup"},
+		"number": {"identifier", "lookup", "digits"}, "reference": {"identifier", "lookup", "digits"},
+		"count": {"quantity", "units", "total"}, "quantity": {"quantity", "units", "total"},
+		"date": {"time", "day", "calendar"}, "origin": {"country", "made", "from"},
+		"category": {"type", "section", "department"}, "condition": {"state", "quality", "used"},
+		"notes": {"comment", "remark", "text"}, "rating": {"stars", "score", "review"},
+		"reviews": {"stars", "score", "customer"}, "availability": {"stock", "supply", "order"},
+		"material": {"build", "made", "surface"}, "contents": {"items", "included", "inside"},
+		"series": {"line", "family", "generation"}, "edition": {"line", "release", "variant"},
+		"version": {"release", "revision", "variant"}, "group": {"set", "collection", "class"},
+		"tier": {"level", "rank", "class"}, "region": {"area", "territory", "market"},
+		"locale": {"language", "territory", "market"}, "zone": {"area", "territory", "district"},
+		"batch": {"production", "run", "lot"}, "lot": {"production", "run", "batch"},
+		"grade": {"quality", "level", "rank"}, "status": {"state", "active", "current"},
+		"priority": {"urgency", "level", "rank"}, "channel": {"sales", "distribution", "market"},
+		"fee": {"charge", "cost", "payment"}, "tax": {"charge", "duty", "payment"},
+		"deposit": {"charge", "payment", "refund"}, "surcharge": {"charge", "extra", "payment"},
+	}
+	// Long-tail attributes without a curated context get a deterministic
+	// pair of generic words, so distinct attributes develop distinct
+	// vectors instead of collapsing into one "logistics" direction.
+	genericCtx := []string{
+		"detail", "record", "entry", "field", "value", "spec", "sheet",
+		"page", "section", "form", "document", "file", "report", "table",
+		"system", "process", "step", "stage", "policy", "rule", "term",
+		"option", "setting", "mode", "flag", "note", "tag", "mark",
+		"source", "target", "input", "output", "start", "end", "limit",
+		"scope", "range", "level", "unit", "measure",
+	}
+	var out [][]string
+	for i := 0; i < n; i++ {
+		q := noiseQualifiers[rng.Intn(len(noiseQualifiers))]
+		a := noiseAttributes[rng.Intn(len(noiseAttributes))]
+		sent := append([]string{}, text.Tokenize(q)...)
+		sent = append(sent, text.Tokenize(a)...)
+		if ctx, ok := attrContext[a]; ok {
+			sent = append(sent, ctx[rng.Intn(len(ctx))], ctx[rng.Intn(len(ctx))])
+		} else {
+			h := nameHash(a)
+			sent = append(sent, genericCtx[h%len(genericCtx)], genericCtx[h/7%len(genericCtx)])
+		}
+		// A second qualifier mention keeps qualifier vectors anchored to
+		// the logistics cluster without collapsing them together.
+		sent = append(sent, "item", noiseQualifiers[rng.Intn(len(noiseQualifiers))])
+		out = append(out, sent)
+	}
+	return out
+}
+
+// SynonymGroups returns each reference property's synonym list across the
+// given categories — the probe set for embedding.Store.MeasureQuality.
+func SynonymGroups(categories []*Category) [][]string {
+	var out [][]string
+	for _, cat := range categories {
+		for _, p := range cat.Props {
+			if len(p.Synonyms) > 1 {
+				out = append(out, p.Synonyms)
+			}
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,17 @@
+// Package domain models the e-commerce product domain the paper evaluates
+// on: four product categories (cameras, headphones, phones, TVs), each with
+// a reference ontology of properties. Every reference property carries a
+// set of synonymous surface names (the heterogeneity LEAPME must bridge —
+// "camera resolution" vs "effective pixels" vs "megapixel"), a value
+// grammar that renders realistic instance values in per-source formats, and
+// context words used to generate a training corpus for the embedding
+// substrate.
+//
+// The package replaces two unavailable externals at once:
+//
+//   - the DI2KG/WDC product datasets: package dataset samples multi-source
+//     data from these ontologies with the same heterogeneity statistics;
+//   - the pre-trained GloVe vectors: Corpus emits a domain corpus whose
+//     co-occurrence structure makes synonym groups embed close together,
+//     which is the property the paper's features rely on.
+package domain

@@ -1,0 +1,198 @@
+package domain
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"leapme/internal/embedding"
+)
+
+func TestCatalogWellFormed(t *testing.T) {
+	for name, cat := range Categories() {
+		if cat.Name != name {
+			t.Errorf("category %q has Name %q", name, cat.Name)
+		}
+		if len(cat.Props) < 20 {
+			t.Errorf("category %q has only %d properties", name, len(cat.Props))
+		}
+		seen := map[string]bool{}
+		for _, p := range cat.Props {
+			if p.Canonical == "" {
+				t.Errorf("%s: property with empty canonical name", name)
+			}
+			if seen[p.Canonical] {
+				t.Errorf("%s: duplicate canonical property %q", name, p.Canonical)
+			}
+			seen[p.Canonical] = true
+			if len(p.Synonyms) < 2 {
+				t.Errorf("%s/%s: needs at least 2 synonyms, has %d", name, p.Canonical, len(p.Synonyms))
+			}
+			switch p.Kind {
+			case KindEnum, KindEnumSet:
+				if len(p.Values) == 0 {
+					t.Errorf("%s/%s: enum kind with no values", name, p.Canonical)
+				}
+			case KindNumericUnit, KindRange:
+				if p.Hi <= p.Lo {
+					t.Errorf("%s/%s: bad numeric range [%v, %v]", name, p.Canonical, p.Lo, p.Hi)
+				}
+			case KindModel, KindText:
+				if len(p.Words) == 0 {
+					t.Errorf("%s/%s: word kind with no words", name, p.Canonical)
+				}
+			}
+		}
+	}
+}
+
+func TestPropByCanonical(t *testing.T) {
+	cat := Cameras()
+	if p := cat.PropByCanonical("resolution"); p == nil || p.Canonical != "resolution" {
+		t.Error("PropByCanonical failed for existing property")
+	}
+	if p := cat.PropByCanonical("nonexistent"); p != nil {
+		t.Error("PropByCanonical should return nil for unknown")
+	}
+}
+
+func TestValueGenerationNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, cat := range Categories() {
+		for _, p := range cat.Props {
+			for trial := 0; trial < 20; trial++ {
+				style := RandomStyle(rng)
+				v := p.Value(rng, style)
+				if strings.TrimSpace(v) == "" {
+					t.Fatalf("%s/%s: empty value (style %+v)", name, p.Canonical, style)
+				}
+			}
+		}
+	}
+}
+
+func TestValueStylesDiffer(t *testing.T) {
+	// Two sources with different styles should usually render the same
+	// property differently: that heterogeneity is the point of the
+	// instance features.
+	p := Cameras().PropByCanonical("weight")
+	a := FormatStyle{UnitIndex: 0, UnitSpace: true}
+	b := FormatStyle{UnitIndex: 1, UnitSpace: false}
+	rng := rand.New(rand.NewSource(2))
+	va := p.Value(rng, a)
+	vb := p.Value(rng, b)
+	if strings.Contains(va, "grams") || !strings.Contains(vb, "grams") {
+		t.Errorf("unit styles not applied: %q vs %q", va, vb)
+	}
+}
+
+func TestSurfaceNameConventions(t *testing.T) {
+	p := Cameras().PropByCanonical("shutter speed")
+	got := map[string]bool{}
+	for v := 0; v < len(p.Synonyms); v++ {
+		for c := 0; c < NumNamingConventions; c++ {
+			got[p.SurfaceName(v, c)] = true
+		}
+	}
+	// 5 synonyms × 5 conventions with some collisions; expect plenty of
+	// distinct surface forms.
+	if len(got) < 10 {
+		t.Errorf("only %d distinct surface names", len(got))
+	}
+	if !got["shutter_speed"] {
+		t.Error("snake_case convention missing")
+	}
+	if !got["shutterSpeed"] {
+		t.Error("camelCase convention missing")
+	}
+	if !got["SHUTTER SPEED"] {
+		t.Error("upper-case convention missing")
+	}
+}
+
+func TestDecorateNameStable(t *testing.T) {
+	if decorateName("a b", 1) != "A B" {
+		t.Errorf("title case = %q", decorateName("a b", 1))
+	}
+	if decorateName("a b", 7) != decorateName("a b", 7%NumNamingConventions) {
+		t.Error("convention should wrap modulo NumNamingConventions")
+	}
+}
+
+func TestGenerateNoiseProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	props := GenerateNoiseProperties(300, rng)
+	if len(props) != 300 {
+		t.Fatalf("generated %d, want 300", len(props))
+	}
+	seen := map[string]bool{}
+	for _, np := range props {
+		if np.Name == "" {
+			t.Fatal("empty noise property name")
+		}
+		if seen[np.Name] {
+			t.Fatalf("duplicate noise property %q", np.Name)
+		}
+		seen[np.Name] = true
+		v := np.Spec.Value(rng, RandomStyle(rng))
+		if strings.TrimSpace(v) == "" {
+			t.Fatalf("noise property %q produced empty value", np.Name)
+		}
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	cfg := CorpusConfig{SentencesPerProp: 10, Seed: 1}
+	corpus := Corpus([]*Category{Cameras()}, cfg)
+	wantLen := 10*len(Cameras().Props) + 10*4 // property + noise-vocabulary sentences
+	if len(corpus) != wantLen {
+		t.Fatalf("corpus has %d sentences, want %d", len(corpus), wantLen)
+	}
+	for _, sent := range corpus {
+		if len(sent) < 4 {
+			t.Fatalf("sentence too short: %v", sent)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := CorpusConfig{SentencesPerProp: 5, Seed: 42}
+	a := Corpus([]*Category{Headphones()}, cfg)
+	b := Corpus([]*Category{Headphones()}, cfg)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic corpus size")
+	}
+	for i := range a {
+		if strings.Join(a[i], " ") != strings.Join(b[i], " ") {
+			t.Fatalf("sentence %d differs between runs", i)
+		}
+	}
+}
+
+// TestCorpusTrainsSynonymGeometry is the end-to-end check of the GloVe
+// substitution: embeddings trained on the generated corpus must place
+// synonyms of the same property closer together than unrelated properties.
+func TestCorpusTrainsSynonymGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training in -short mode")
+	}
+	corpus := Corpus([]*Category{Cameras()}, CorpusConfig{SentencesPerProp: 60, Seed: 1})
+	cfg := embedding.DefaultGloVeConfig()
+	cfg.Dim = 32
+	cfg.Epochs = 25
+	store, err := embedding.TrainGloVe(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synonyms of "resolution" vs an unrelated property word.
+	within := store.Similarity("megapixels", "mp")
+	cross := store.Similarity("megapixels", "shutter")
+	if within <= cross {
+		t.Errorf("megapixels~mp (%.3f) should beat megapixels~shutter (%.3f)", within, cross)
+	}
+	within2 := store.Similarity("weight", "mass")
+	cross2 := store.Similarity("weight", "wifi")
+	if within2 <= cross2 {
+		t.Errorf("weight~mass (%.3f) should beat weight~wifi (%.3f)", within2, cross2)
+	}
+}

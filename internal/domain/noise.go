@@ -1,0 +1,187 @@
+package domain
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Noise properties model the long tail of source-specific attributes real
+// product pages carry (packaging, logistics, marketing fields) that match
+// nothing in any other source. The DI2KG camera data is dominated by such
+// properties: >3200 properties but only ~9200 matching pairs.
+
+var noiseQualifiers = []string{
+	"package", "box", "kit", "shipping", "item", "product", "listing",
+	"seller", "store", "catalog", "bundle", "accessory", "order",
+	"warranty", "included", "retail", "outer", "inner", "carton",
+	"pallet", "vendor", "supplier", "import", "export", "customs",
+	"label", "insert", "manual", "invoice", "promo", "gift", "sample",
+	"return", "service", "support", "dealer", "outlet", "clearance",
+}
+
+var noiseAttributes = []string{
+	"width", "height", "depth", "length", "weight", "volume", "id",
+	"code", "sku", "upc", "ean", "asin", "number", "reference", "count",
+	"quantity", "date", "origin", "category", "condition", "notes",
+	"rating", "reviews", "availability", "handling time", "material",
+	"contents", "series", "edition", "version", "group", "tier",
+	"region", "locale", "zone", "batch", "lot", "grade", "status",
+	"priority", "channel", "fee", "tax", "deposit", "surcharge",
+	// The long tail below keeps cross-source attribute collisions rare:
+	// real sites' unmatched properties are idiosyncratic, not
+	// combinations of a handful of measure words.
+	"barcode", "packaging type", "assembly", "instructions",
+	"certification", "compliance", "adapter", "cable type",
+	"mount thread", "tripod socket", "strap", "case", "cleaning kit",
+	"firmware", "driver version", "app support", "menu languages",
+	"registration", "support url", "hotline", "returns window",
+	"restocking", "shipping class", "delivery estimate", "carrier",
+	"tracking", "insurance", "signature", "gift wrap", "bundle items",
+	"promotion", "discount", "coupon", "loyalty points", "financing",
+	"installments", "trade in", "care plan", "serial", "factory",
+	"inspection", "quality check", "temperature range",
+	"storage conditions", "shelf life", "recyclable", "rohs",
+	"energy star", "units per carton", "pallet layers", "container",
+	"customs code", "hs code", "duty rate", "vat class", "msds",
+	"country of assembly", "import license", "export permit",
+	"fragility", "stacking limit", "tare", "gross measure",
+	"net measure", "seal type", "closure", "label language",
+	"manual pages", "box art", "window display", "demo unit",
+	"floor model", "refurb grade", "return reason", "disposition",
+	"claim window", "processing days", "cutoff time", "pick location",
+	"bin", "aisle", "warehouse", "dock", "route", "wave", "cycle count",
+}
+
+// NoiseProperty is a generated source-specific property with no match in
+// the reference ontology.
+type NoiseProperty struct {
+	Name string
+	Spec PropertySpec // value grammar for generating instance values
+}
+
+// GenerateNoiseProperties produces n distinct noise properties. Names are
+// qualifier+attribute pairs, escalating to qualifier+qualifier+attribute
+// triples once the pair space thins out (~19·30 = 570 pairs; the triple
+// space adds ~10k more). Different sources thus share individual surface
+// words — realistic near-miss noise — but never near-identical full names,
+// which would be semantic matches mislabeled as negatives.
+func GenerateNoiseProperties(n int, rng *rand.Rand) []NoiseProperty {
+	maxNames := len(noiseQualifiers) * len(noiseAttributes) * len(noiseQualifiers)
+	if n > maxNames/2 {
+		panic(fmt.Sprintf("domain: %d noise properties exceeds the distinct-name budget %d", n, maxNames/2))
+	}
+	seen := map[string]bool{}
+	out := make([]NoiseProperty, 0, n)
+	for len(out) < n {
+		q := noiseQualifiers[rng.Intn(len(noiseQualifiers))]
+		a := noiseAttributes[rng.Intn(len(noiseAttributes))]
+		name := q + " " + a
+		if seen[name] {
+			q2 := noiseQualifiers[rng.Intn(len(noiseQualifiers))]
+			if q2 == q {
+				continue
+			}
+			name = q2 + " " + name
+			if seen[name] {
+				continue
+			}
+		}
+		seen[name] = true
+		out = append(out, NoiseProperty{Name: name, Spec: noiseValueSpec(name, a, rng)})
+	}
+	return out
+}
+
+// nameHash mixes a property name into a small deterministic integer used
+// to diversify value grammars between noise properties that share an
+// attribute word.
+func nameHash(name string) int {
+	h := 2166136261
+	for i := 0; i < len(name); i++ {
+		h = (h ^ int(name[i])) * 16777619 & 0x7fffffff
+	}
+	return h
+}
+
+// noiseTextPool is the vocabulary free-text noise values draw from. Each
+// noise property receives its own random subset (see noiseValueSpec) so
+// two unmatched properties that happen to share an attribute word do not
+// also share a value distribution — real sites phrase such fields
+// differently.
+var noiseTextPool = []string{
+	"standard", "premium", "basic", "extended", "limited", "special",
+	"default", "regular", "classic", "deluxe", "economy", "express",
+	"priority", "domestic", "international", "seasonal", "exclusive",
+	"certified", "generic", "custom",
+}
+
+// noiseValueSpec picks a value grammar plausible for the attribute word.
+// The grammar is *keyed to the full property name*: two noise properties
+// sharing an attribute ("pallet weight" vs "insert weight") measure
+// different things at different magnitudes in different units, exactly as
+// on real sites — which is what lets a matcher separate them.
+func noiseValueSpec(name, attribute string, rng *rand.Rand) PropertySpec {
+	h := nameHash(name)
+	scale := []float64{0.1, 1, 10, 100}[h%4]
+	switch attribute {
+	case "width", "height", "depth", "length":
+		units := [][]string{{"cm", "centimeters"}, {"mm"}, {"in", "inches"}, {"m", "meters"}}[h/4%4]
+		return PropertySpec{Kind: KindNumericUnit, Lo: 1 * scale, Hi: 100 * scale, Decimals: 1,
+			Units: units}
+	case "weight", "volume":
+		units := [][]string{{"kg", "kilograms"}, {"g", "grams"}, {"lbs"}, {"l", "liters"}}[h/4%4]
+		return PropertySpec{Kind: KindNumericUnit, Lo: 0.1 * scale, Hi: 10 * scale, Decimals: 2,
+			Units: units}
+	case "id", "code", "sku", "upc", "ean", "asin", "number", "reference":
+		// Identifier widths differ per field (SKU vs EAN vs internal id).
+		lo := []float64{1e4, 1e6, 1e8, 1e11}[h/16%4]
+		return PropertySpec{Kind: KindNumeric, Lo: lo, Hi: lo * 90, Decimals: 0}
+	case "count", "quantity", "reviews":
+		hi := []float64{9, 99, 999, 9999}[h/16%4]
+		return PropertySpec{Kind: KindNumeric, Lo: 1, Hi: hi, Decimals: 0}
+	case "rating":
+		switch h / 16 % 3 {
+		case 0:
+			return PropertySpec{Kind: KindNumericUnit, Lo: 1, Hi: 5, Decimals: 1, Units: []string{"stars", "/5"}}
+		case 1:
+			return PropertySpec{Kind: KindNumericUnit, Lo: 1, Hi: 10, Decimals: 1, Units: []string{"/10", "points"}}
+		default:
+			return PropertySpec{Kind: KindNumericUnit, Lo: 10, Hi: 100, Decimals: 0, Units: []string{"%"}}
+		}
+	case "condition":
+		return PropertySpec{Kind: KindEnum, Values: []string{"new", "used", "refurbished", "open box"}}
+	case "availability":
+		return PropertySpec{Kind: KindEnum, Values: []string{"in stock", "out of stock", "preorder", "backordered"}}
+	case "origin":
+		return PropertySpec{Kind: KindEnum, Values: []string{"China", "Japan", "Germany", "Vietnam", "Thailand", "USA"}}
+	case "material":
+		return PropertySpec{Kind: KindEnum, Values: []string{"plastic", "aluminum", "magnesium alloy", "polycarbonate"}}
+	case "fee", "tax", "deposit", "surcharge":
+		return PropertySpec{Kind: KindPrice, Lo: 1 * scale, Hi: 80 * scale, Decimals: 2}
+	case "date":
+		return PropertySpec{Kind: KindNumeric, Lo: 2015, Hi: 2021, Decimals: 0}
+	default:
+		// Long-tail attributes: the grammar kind itself is keyed to the
+		// name, so same-attribute collisions across sources still often
+		// differ in value shape.
+		switch h / 64 % 4 {
+		case 0:
+			return PropertySpec{Kind: KindNumeric, Lo: 1 * scale, Hi: 500 * scale, Decimals: h % 3}
+		case 1:
+			return PropertySpec{Kind: KindBoolean, Context: []string{"supported", "included"}}
+		case 2:
+			vals := make([]string, 4)
+			for i := range vals {
+				vals[i] = noiseTextPool[(h/256+i*7)%len(noiseTextPool)]
+			}
+			return PropertySpec{Kind: KindEnum, Values: vals}
+		default:
+			idx := rng.Perm(len(noiseTextPool))[:6]
+			words := make([]string, len(idx))
+			for i, j := range idx {
+				words[i] = noiseTextPool[j]
+			}
+			return PropertySpec{Kind: KindText, Words: words}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package domain
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"leapme/internal/text"
+)
+
+// TestSharedValueRendersConsistently is the property the dataset
+// generator's entity universe depends on: the same underlying value
+// rendered under two styles must express the same fact (equal numeric
+// content), even though the surface strings differ.
+func TestSharedValueRendersConsistently(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Cameras().PropByCanonical("weight") // KindNumericUnit
+	v := p.Sample(rng)
+	s1 := p.Render(v, FormatStyle{UnitIndex: 0, UnitSpace: true}, rng)
+	s2 := p.Render(v, FormatStyle{UnitIndex: 1, UnitSpace: false, DecimalComma: true}, rng)
+	if s1 == s2 {
+		t.Logf("styles coincided: %q", s1)
+	}
+	n1 := leadingNumber(s1)
+	n2 := leadingNumber(s2)
+	if n1 != n2 {
+		t.Errorf("same value rendered different numbers: %q vs %q", s1, s2)
+	}
+}
+
+func leadingNumber(s string) string {
+	s = strings.ReplaceAll(s, ",", ".")
+	end := 0
+	for end < len(s) && (s[end] >= '0' && s[end] <= '9' || s[end] == '.') {
+		end++
+	}
+	return s[:end]
+}
+
+func TestEnumRenderStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Cameras().PropByCanonical("sensor type")
+	v := p.Sample(rng)
+	s1 := p.Render(v, FormatStyle{CaseStyle: 0}, rng)
+	s2 := p.Render(v, FormatStyle{CaseStyle: 1}, rng)
+	if !strings.EqualFold(s1, s2) {
+		t.Errorf("same enum value rendered different members: %q vs %q", s1, s2)
+	}
+}
+
+func TestBooleanRenderRespectsValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Cameras().PropByCanonical("wifi")
+	yes := Value{Bool: true}
+	no := Value{Bool: false}
+	for style := 0; style < 4; style++ {
+		sYes := p.Render(yes, FormatStyle{BoolStyle: style}, rng)
+		sNo := p.Render(no, FormatStyle{BoolStyle: style}, rng)
+		if sYes == sNo {
+			t.Errorf("style %d: yes and no render identically: %q", style, sYes)
+		}
+	}
+}
+
+func TestRangeValuesAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Cameras().PropByCanonical("iso range")
+	for i := 0; i < 50; i++ {
+		v := p.Sample(rng)
+		if v.Num2 < v.Num {
+			t.Fatalf("range sampled descending: %v > %v", v.Num, v.Num2)
+		}
+	}
+}
+
+func TestRenderNumberNoDigitLoss(t *testing.T) {
+	// Regression: integer "5410" must not lose its trailing zero.
+	p := &PropertySpec{Kind: KindNumeric, Lo: 5410, Hi: 5410, Decimals: 0}
+	rng := rand.New(rand.NewSource(5))
+	got := p.Render(p.Sample(rng), FormatStyle{}, rng)
+	if got != "5410" {
+		t.Errorf("renderNumber(5410) = %q", got)
+	}
+	// And fraction trimming still works.
+	p2 := &PropertySpec{Kind: KindNumeric, Lo: 2.5, Hi: 2.5, Decimals: 2}
+	got = p2.Render(p2.Sample(rng), FormatStyle{}, rng)
+	if got != "2.5" {
+		t.Errorf("renderNumber(2.50) = %q", got)
+	}
+}
+
+func TestTokenizeRoundTripVocabulary(t *testing.T) {
+	// Every synonym token of every category must survive tokenisation as
+	// a non-empty word list; otherwise its embedding lookup silently
+	// degrades to the zero vector.
+	for name, cat := range Categories() {
+		for _, p := range cat.Props {
+			for _, syn := range p.Synonyms {
+				if len(text.Tokenize(syn)) == 0 {
+					t.Errorf("%s/%s: synonym %q tokenises to nothing", name, p.Canonical, syn)
+				}
+			}
+		}
+	}
+}

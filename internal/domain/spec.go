@@ -1,0 +1,331 @@
+package domain
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ValueKind describes how instance values of a reference property are
+// rendered.
+type ValueKind int
+
+// The value grammars.
+const (
+	KindNumericUnit ValueKind = iota // number + unit, e.g. "24.2 MP"
+	KindNumeric                      // bare number, e.g. "4000"
+	KindDimensions                   // WxH(xD), e.g. "6000 x 4000"
+	KindRange                        // lo–hi + unit, e.g. "30-1/4000 s"
+	KindEnum                         // one of a closed list, e.g. "CMOS"
+	KindEnumSet                      // comma list drawn from a closed list
+	KindModel                        // brand + alphanumeric model code
+	KindText                         // short free text from a word pool
+	KindBoolean                      // yes/no style flags
+	KindPrice                        // currency-formatted number
+)
+
+// PropertySpec is one property of a category's reference ontology.
+type PropertySpec struct {
+	Canonical string   // reference name (ground-truth cluster id)
+	Synonyms  []string // surface names sources may use, incl. the canonical
+	Kind      ValueKind
+	Lo, Hi    float64  // numeric range for the numeric kinds
+	Decimals  int      // max decimal places for numeric rendering
+	Units     []string // synonymous unit spellings (KindNumericUnit/KindRange)
+	Values    []string // closed value list (KindEnum/KindEnumSet)
+	Words     []string // word pool (KindText) and brands (KindModel)
+	Context   []string // corpus context words tying synonyms together
+}
+
+// Category is a product category with its reference ontology.
+type Category struct {
+	Name  string
+	Props []PropertySpec
+}
+
+// PropByCanonical returns the spec with the given canonical name, or nil.
+func (c *Category) PropByCanonical(name string) *PropertySpec {
+	for i := range c.Props {
+		if c.Props[i].Canonical == name {
+			return &c.Props[i]
+		}
+	}
+	return nil
+}
+
+// FormatStyle captures a source's formatting conventions. Two sources
+// rendering the same reference property typically produce lexically
+// different values, which is exactly the signal the instance meta-features
+// must survive.
+type FormatStyle struct {
+	UnitIndex    int    // which unit spelling the source prefers
+	UnitSpace    bool   // "24MP" vs "24 MP"
+	DecimalComma bool   // "24,2" vs "24.2"
+	DimSep       string // "x", "×", " x "
+	BoolStyle    int    // yes/no, Yes/No, true/false, ✓/–
+	PriceStyle   int    // $499.00, 499 USD, €499
+	CaseStyle    int    // value casing for enums/text
+}
+
+// RandomStyle draws a source-level style.
+func RandomStyle(rng *rand.Rand) FormatStyle {
+	dimSeps := []string{"x", " x ", "×"}
+	return FormatStyle{
+		UnitIndex:    rng.Intn(8),
+		UnitSpace:    rng.Intn(2) == 0,
+		DecimalComma: rng.Intn(5) == 0,
+		DimSep:       dimSeps[rng.Intn(len(dimSeps))],
+		BoolStyle:    rng.Intn(4),
+		PriceStyle:   rng.Intn(3),
+		CaseStyle:    rng.Intn(3),
+	}
+}
+
+// Value is an underlying (style-free) property value: the real-world fact
+// a spec sheet expresses. Sampling a Value and rendering it are separate
+// so that the dataset generator can give the *same* entity the same
+// underlying value in every source while each source renders it in its
+// own format — exactly the situation in the DI2KG/WDC data, where the
+// same products appear on many sites.
+type Value struct {
+	Num, Num2 float64 // primary and secondary numbers (dims, ranges)
+	Enum      []int   // indices into Values (enum and enum-set kinds)
+	Bool      bool
+	Text      string // canonical text (model codes, free text)
+}
+
+// Sample draws an underlying value for the property.
+func (p *PropertySpec) Sample(rng *rand.Rand) Value {
+	switch p.Kind {
+	case KindNumericUnit, KindNumeric, KindPrice:
+		return Value{Num: p.sample(rng)}
+	case KindDimensions:
+		w := p.sample(rng)
+		return Value{Num: w, Num2: w * (0.5 + rng.Float64()*0.5)}
+	case KindRange:
+		lo := p.sample(rng)
+		return Value{Num: lo, Num2: lo + (p.Hi-lo)*rng.Float64()}
+	case KindEnum:
+		if len(p.Values) == 0 {
+			return Value{}
+		}
+		return Value{Enum: []int{rng.Intn(len(p.Values))}}
+	case KindEnumSet:
+		k := 1 + rng.Intn(min(3, len(p.Values)))
+		return Value{Enum: rng.Perm(len(p.Values))[:k]}
+	case KindModel:
+		brand := pick(p.Words, rng)
+		return Value{Text: fmt.Sprintf("%s %s%d", brand, string(rune('A'+rng.Intn(26))), 100+rng.Intn(900))}
+	case KindText:
+		k := 2 + rng.Intn(4)
+		parts := make([]string, k)
+		for i := range parts {
+			parts[i] = pick(p.Words, rng)
+		}
+		return Value{Text: strings.Join(parts, " ")}
+	case KindBoolean:
+		return Value{Bool: rng.Intn(2) == 0}
+	default:
+		panic(fmt.Sprintf("domain: unknown value kind %d", p.Kind))
+	}
+}
+
+// Render expresses an underlying value under a source's format style.
+// rng drives rendering-level noise only (e.g. whether a positive flag is
+// elaborated), never the value itself.
+func (p *PropertySpec) Render(v Value, style FormatStyle, rng *rand.Rand) string {
+	switch p.Kind {
+	case KindNumericUnit:
+		n := p.renderNumber(v.Num, style)
+		u := p.unit(style)
+		if u == "" {
+			return n
+		}
+		if style.UnitSpace {
+			return n + " " + u
+		}
+		return n + u
+	case KindNumeric:
+		return p.renderNumber(v.Num, style)
+	case KindDimensions:
+		return fmt.Sprintf("%s%s%s", p.renderNumber(v.Num, style), style.DimSep, p.renderNumber(v.Num2, style))
+	case KindRange:
+		u := p.unit(style)
+		sep := ""
+		if style.UnitSpace && u != "" {
+			sep = " "
+		}
+		return fmt.Sprintf("%s-%s%s%s", p.renderNumber(v.Num, style), p.renderNumber(v.Num2, style), sep, u)
+	case KindEnum:
+		if len(v.Enum) == 0 || len(p.Values) == 0 {
+			return ""
+		}
+		return applyCase(p.Values[v.Enum[0]%len(p.Values)], style.CaseStyle)
+	case KindEnumSet:
+		parts := make([]string, 0, len(v.Enum))
+		for _, idx := range v.Enum {
+			if len(p.Values) > 0 {
+				parts = append(parts, applyCase(p.Values[idx%len(p.Values)], style.CaseStyle))
+			}
+		}
+		return strings.Join(parts, ", ")
+	case KindModel:
+		return v.Text
+	case KindText:
+		return applyCase(v.Text, style.CaseStyle)
+	case KindBoolean:
+		s := renderBool(v.Bool, style.BoolStyle)
+		// Product pages often elaborate positive flags ("Yes (optical
+		// stabilization)"); the elaboration reuses the property's own
+		// vocabulary, like real spec sheets.
+		if v.Bool && len(p.Context) > 0 && rng.Float64() < 0.5 {
+			s += " (" + p.Context[rng.Intn(len(p.Context))] + ")"
+		}
+		return s
+	case KindPrice:
+		switch style.PriceStyle {
+		case 0:
+			return fmt.Sprintf("$%.2f", v.Num)
+		case 1:
+			return fmt.Sprintf("%.0f USD", v.Num)
+		default:
+			return fmt.Sprintf("€%.0f", v.Num)
+		}
+	default:
+		panic(fmt.Sprintf("domain: unknown value kind %d", p.Kind))
+	}
+}
+
+// Value samples and renders in one step — the independent-values path
+// used for noise properties and corpus generation.
+func (p *PropertySpec) Value(rng *rand.Rand, style FormatStyle) string {
+	return p.Render(p.Sample(rng), style, rng)
+}
+
+// sample draws a value in [Lo, Hi].
+func (p *PropertySpec) sample(rng *rand.Rand) float64 {
+	if p.Hi <= p.Lo {
+		return p.Lo
+	}
+	return p.Lo + (p.Hi-p.Lo)*rng.Float64()
+}
+
+func (p *PropertySpec) unit(style FormatStyle) string {
+	if len(p.Units) == 0 {
+		return ""
+	}
+	return p.Units[style.UnitIndex%len(p.Units)]
+}
+
+func (p *PropertySpec) renderNumber(x float64, style FormatStyle) string {
+	s := fmt.Sprintf("%.*f", p.Decimals, x)
+	if strings.Contains(s, ".") {
+		// Trim insignificant fraction digits only — never digits of the
+		// integer part ("5410" must stay "5410").
+		s = strings.TrimRight(strings.TrimRight(s, "0"), ".")
+	}
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	if style.DecimalComma {
+		s = strings.ReplaceAll(s, ".", ",")
+	}
+	return s
+}
+
+func renderBool(v bool, style int) string {
+	switch style {
+	case 0:
+		if v {
+			return "yes"
+		}
+		return "no"
+	case 1:
+		if v {
+			return "Yes"
+		}
+		return "No"
+	case 2:
+		if v {
+			return "true"
+		}
+		return "false"
+	default:
+		if v {
+			return "✓"
+		}
+		return "–"
+	}
+}
+
+func applyCase(s string, style int) string {
+	switch style {
+	case 0:
+		return s
+	case 1:
+		return strings.ToLower(s)
+	default:
+		return titleCase(s)
+	}
+}
+
+func titleCase(s string) string {
+	parts := strings.Fields(s)
+	for i, p := range parts {
+		r := []rune(p)
+		if len(r) > 0 {
+			parts[i] = strings.ToUpper(string(r[0])) + string(r[1:])
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func pick(xs []string, rng *rand.Rand) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[rng.Intn(len(xs))]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SurfaceName returns the surface name a source uses for this property:
+// one of the synonyms, decorated with a source-specific naming convention.
+// variant selects among the synonyms, convention among naming styles; both
+// are chosen per (source, property) by the dataset generator.
+func (p *PropertySpec) SurfaceName(variant, convention int) string {
+	if len(p.Synonyms) == 0 {
+		return decorateName(p.Canonical, convention)
+	}
+	return decorateName(p.Synonyms[variant%len(p.Synonyms)], convention)
+}
+
+// NumNamingConventions is the number of naming conventions decorateName
+// supports.
+const NumNamingConventions = 5
+
+// decorateName applies a source naming convention to a space-separated
+// lowercase surface name.
+func decorateName(name string, convention int) string {
+	words := strings.Fields(name)
+	switch convention % NumNamingConventions {
+	case 0: // as-is lowercase, space separated
+		return strings.Join(words, " ")
+	case 1: // Title Case
+		return titleCase(strings.Join(words, " "))
+	case 2: // snake_case
+		return strings.Join(words, "_")
+	case 3: // camelCase
+		for i := 1; i < len(words); i++ {
+			words[i] = titleCase(words[i])
+		}
+		return strings.Join(words, "")
+	default: // UPPER CASE
+		return strings.ToUpper(strings.Join(words, " "))
+	}
+}

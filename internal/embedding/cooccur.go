@@ -1,0 +1,81 @@
+package embedding
+
+import "sort"
+
+// Cooccurrence holds the sparse, symmetric word-word co-occurrence counts
+// GloVe trains on. Counts are weighted by 1/d for a pair of words at
+// distance d inside the context window, as in the reference implementation.
+type Cooccurrence struct {
+	vocab *Vocab
+	cells map[[2]int]float64
+}
+
+// CountCooccurrences scans sentences with a symmetric window of the given
+// size and accumulates distance-weighted counts for in-vocabulary pairs.
+func CountCooccurrences(sentences [][]string, vocab *Vocab, window int) *Cooccurrence {
+	if window < 1 {
+		window = 1
+	}
+	co := &Cooccurrence{vocab: vocab, cells: map[[2]int]float64{}}
+	for _, sent := range sentences {
+		ids := make([]int, 0, len(sent))
+		for _, w := range sent {
+			if id, ok := vocab.ID(w); ok {
+				ids = append(ids, id)
+			}
+		}
+		for i, wi := range ids {
+			hi := i + window
+			if hi >= len(ids) {
+				hi = len(ids) - 1
+			}
+			for j := i + 1; j <= hi; j++ {
+				weight := 1 / float64(j-i)
+				co.add(wi, ids[j], weight)
+			}
+		}
+	}
+	return co
+}
+
+// add accumulates weight symmetrically for the unordered pair {a, b}.
+func (co *Cooccurrence) add(a, b int, weight float64) {
+	if a > b {
+		a, b = b, a
+	}
+	co.cells[[2]int{a, b}] += weight
+}
+
+// NumPairs returns the number of distinct unordered co-occurring pairs.
+func (co *Cooccurrence) NumPairs() int { return len(co.cells) }
+
+// Get returns the accumulated count for the unordered pair {a, b}.
+func (co *Cooccurrence) Get(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return co.cells[[2]int{a, b}]
+}
+
+// pair is one training example for the GloVe objective.
+type pair struct {
+	i, j int
+	x    float64
+}
+
+// pairs materialises the cell map as a slice in a deterministic order so
+// that training with a fixed seed is fully reproducible (map iteration
+// order is randomised in Go).
+func (co *Cooccurrence) pairs() []pair {
+	out := make([]pair, 0, len(co.cells))
+	for k, x := range co.cells {
+		out = append(out, pair{k[0], k[1], x})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].i != out[b].i {
+			return out[a].i < out[b].i
+		}
+		return out[a].j < out[b].j
+	})
+	return out
+}

@@ -1,0 +1,172 @@
+package embedding
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"leapme/internal/mathx"
+)
+
+// GloVeConfig parameterises the GloVe trainer. The defaults mirror the
+// reference implementation of Pennington et al. (2014).
+type GloVeConfig struct {
+	Dim      int     // embedding dimension (the paper uses 300)
+	Window   int     // co-occurrence window size
+	MinCount int     // vocabulary frequency cut-off
+	Epochs   int     // passes over the co-occurrence pairs
+	LR       float64 // initial AdaGrad learning rate
+	XMax     float64 // weighting-function saturation point
+	Alpha    float64 // weighting-function exponent
+	Seed     int64   // RNG seed for init and shuffling
+	// NoNormalize serves raw w+w̃ vectors instead of unit-norm ones.
+	// Kept for the ablation benches; see the comment at the end of
+	// TrainGloVe for why normalisation is the default.
+	NoNormalize bool
+}
+
+// DefaultGloVeConfig returns the configuration used throughout the
+// reproduction: a compact 50-dimensional space (large enough for the
+// synthetic domain vocabulary, small enough to train in tests) with the
+// reference hyper-parameters.
+func DefaultGloVeConfig() GloVeConfig {
+	return GloVeConfig{
+		Dim:      50,
+		Window:   5,
+		MinCount: 1,
+		Epochs:   30,
+		LR:       0.05,
+		XMax:     100,
+		Alpha:    0.75,
+		Seed:     1,
+	}
+}
+
+// TrainGloVe builds a vocabulary from sentences and fits GloVe vectors by
+// AdaGrad on the weighted least-squares objective
+//
+//	J = Σ f(x_ij) (wᵢ·w̃ⱼ + bᵢ + b̃ⱼ − log x_ij)²
+//
+// over the distance-weighted co-occurrence counts. The returned Store
+// serves wᵢ + w̃ᵢ, the sum of word and context vectors, as the reference
+// implementation does.
+func TrainGloVe(sentences [][]string, cfg GloVeConfig) (*Store, error) {
+	if cfg.Dim <= 0 {
+		return nil, errors.New("embedding: GloVe dimension must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		return nil, errors.New("embedding: GloVe epochs must be positive")
+	}
+	vocab := BuildVocab(sentences, cfg.MinCount)
+	if vocab.Size() == 0 {
+		return nil, errors.New("embedding: empty vocabulary")
+	}
+	co := CountCooccurrences(sentences, vocab, cfg.Window)
+	if co.NumPairs() == 0 {
+		return nil, errors.New("embedding: no co-occurring pairs; corpus too small for window")
+	}
+
+	rng := mathx.NewRand(cfg.Seed)
+	n, d := vocab.Size(), cfg.Dim
+	// Main and context parameter blocks, each with AdaGrad accumulators.
+	w := randMatrix(n, d, rng)  // word vectors
+	wc := randMatrix(n, d, rng) // context vectors
+	b := randVec(n, rng)        // word biases
+	bc := randVec(n, rng)       // context biases
+	gw := onesMatrix(n, d)      // AdaGrad history for w
+	gwc := onesMatrix(n, d)     // AdaGrad history for wc
+	gb := onesVec(n)            // AdaGrad history for b
+	gbc := onesVec(n)           // AdaGrad history for bc
+
+	examples := co.pairs()
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		mathx.Shuffle(order, rng)
+		for _, idx := range order {
+			ex := examples[idx]
+			// Each unordered pair is trained in both directions, matching
+			// the symmetric counts of the reference implementation.
+			gloveStep(w.Row(ex.i), wc.Row(ex.j), &b[ex.i], &bc[ex.j],
+				gw.Row(ex.i), gwc.Row(ex.j), &gb[ex.i], &gbc[ex.j], ex.x, cfg)
+			if ex.i != ex.j {
+				gloveStep(w.Row(ex.j), wc.Row(ex.i), &b[ex.j], &bc[ex.i],
+					gw.Row(ex.j), gwc.Row(ex.i), &gb[ex.j], &gbc[ex.i], ex.x, cfg)
+			}
+		}
+	}
+
+	// Serve w + w̃, L2-normalised. GloVe norms grow with corpus frequency,
+	// so on a small corpus raw vectors make *rare* unrelated words look
+	// close (both tiny) and frequent synonyms look far (both huge); unit
+	// norms give the difference-based pair features the same cosine-like
+	// geometry the paper's web-scale vectors exhibit for its vocabulary.
+	vectors := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := mathx.Add(w.Row(i), wc.Row(i))
+		if !cfg.NoNormalize {
+			if norm := mathx.Norm2(v); norm > 0 {
+				mathx.ScaleTo(v, v, 1/norm)
+			}
+		}
+		vectors[i] = v
+	}
+	return NewStore(vocab.Words(), vectors)
+}
+
+// gloveStep applies one AdaGrad update for a single (word, context) pair.
+func gloveStep(wi, wj []float64, bi, bj *float64, gwi, gwj []float64, gbi, gbj *float64, x float64, cfg GloVeConfig) {
+	f := weightFn(x, cfg.XMax, cfg.Alpha)
+	diff := mathx.Dot(wi, wj) + *bi + *bj - math.Log(x)
+	g := f * diff // dJ/d(prediction), up to the factor 2 folded into LR
+	for k := range wi {
+		gradI := g * wj[k]
+		gradJ := g * wi[k]
+		wi[k] -= cfg.LR * gradI / math.Sqrt(gwi[k])
+		wj[k] -= cfg.LR * gradJ / math.Sqrt(gwj[k])
+		gwi[k] += gradI * gradI
+		gwj[k] += gradJ * gradJ
+	}
+	*bi -= cfg.LR * g / math.Sqrt(*gbi)
+	*bj -= cfg.LR * g / math.Sqrt(*gbj)
+	*gbi += g * g
+	*gbj += g * g
+}
+
+// weightFn is GloVe's f(x) = (x/xmax)^alpha capped at 1.
+func weightFn(x, xmax, alpha float64) float64 {
+	if x >= xmax {
+		return 1
+	}
+	return math.Pow(x/xmax, alpha)
+}
+
+// randMatrix allocates a rows×cols matrix initialised U(-0.5/cols, 0.5/cols),
+// the init range of the reference GloVe implementation.
+func randMatrix(rows, cols int, rng *rand.Rand) *mathx.Matrix {
+	m := mathx.NewMatrix(rows, cols)
+	span := 1 / float64(cols)
+	mathx.FillUniform(m.Data, -span/2, span/2, rng)
+	return m
+}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	mathx.FillUniform(v, -0.5, 0.5, rng)
+	return v
+}
+
+func onesMatrix(rows, cols int) *mathx.Matrix {
+	m := mathx.NewMatrix(rows, cols)
+	mathx.Fill(m.Data, 1)
+	return m
+}
+
+func onesVec(n int) []float64 {
+	v := make([]float64, n)
+	mathx.Fill(v, 1)
+	return v
+}

@@ -1,0 +1,103 @@
+package embedding
+
+import (
+	"fmt"
+	"sort"
+
+	"leapme/internal/mathx"
+	"leapme/internal/text"
+)
+
+// QualityReport measures whether a store exhibits the geometry LEAPME's
+// features rely on: phrases naming the same concept embed closer together
+// than phrases naming different concepts.
+type QualityReport struct {
+	// WithinMean is the mean cosine similarity between phrases of the
+	// same synonym group.
+	WithinMean float64
+	// CrossMean is the mean cosine similarity between phrases of
+	// different groups.
+	CrossMean float64
+	// Separation is WithinMean − CrossMean; higher is better. Values
+	// above ~0.3 give the pair features a usable margin.
+	Separation float64
+	// Overlap is the fraction of cross-group pairs whose similarity
+	// exceeds the median within-group similarity — the confusable tail.
+	Overlap float64
+	// OOVRate is the fraction of probe tokens missing from the store.
+	OOVRate float64
+	Groups  int
+}
+
+// String renders the report for CLI output.
+func (q QualityReport) String() string {
+	return fmt.Sprintf("within=%.3f cross=%.3f separation=%.3f overlap=%.3f oov=%.1f%% (%d groups)",
+		q.WithinMean, q.CrossMean, q.Separation, q.Overlap, q.OOVRate*100, q.Groups)
+}
+
+// MeasureQuality evaluates the store against synonym groups: each group
+// is a set of phrases that should embed close together (e.g. all surface
+// names of one reference property).
+func (s *Store) MeasureQuality(groups [][]string) QualityReport {
+	var rep QualityReport
+	rep.Groups = len(groups)
+	var within, cross []float64
+	var probeTokens, oov int
+	vecs := make([][][]float64, len(groups))
+	for gi, group := range groups {
+		vecs[gi] = make([][]float64, len(group))
+		for pi, phrase := range group {
+			for _, tok := range text.Tokenize(phrase) {
+				probeTokens++
+				if !s.Contains(tok) {
+					oov++
+				}
+			}
+			vecs[gi][pi] = s.EncodePhrase(phrase)
+		}
+	}
+	for gi := range vecs {
+		for i := 0; i < len(vecs[gi]); i++ {
+			for j := i + 1; j < len(vecs[gi]); j++ {
+				within = append(within, mathx.CosineSimilarity(vecs[gi][i], vecs[gi][j]))
+			}
+		}
+		for gj := gi + 1; gj < len(vecs); gj++ {
+			for i := range vecs[gi] {
+				for j := range vecs[gj] {
+					cross = append(cross, mathx.CosineSimilarity(vecs[gi][i], vecs[gj][j]))
+				}
+			}
+		}
+	}
+	rep.WithinMean = mathx.Mean(within)
+	rep.CrossMean = mathx.Mean(cross)
+	rep.Separation = rep.WithinMean - rep.CrossMean
+	if len(within) > 0 && len(cross) > 0 {
+		med := median(within)
+		over := 0
+		for _, c := range cross {
+			if c > med {
+				over++
+			}
+		}
+		rep.Overlap = float64(over) / float64(len(cross))
+	}
+	if probeTokens > 0 {
+		rep.OOVRate = float64(oov) / float64(probeTokens)
+	}
+	return rep
+}
+
+func median(xs []float64) float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}

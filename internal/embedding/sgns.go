@@ -1,0 +1,184 @@
+package embedding
+
+import (
+	"errors"
+	"math"
+
+	"leapme/internal/mathx"
+)
+
+// SGNSConfig parameterises the skip-gram-with-negative-sampling trainer
+// (Mikolov et al. 2013), provided as an alternative embedding backend so
+// the reproduction can ablate the choice of embedding algorithm.
+type SGNSConfig struct {
+	Dim       int     // embedding dimension
+	Window    int     // maximum skip-gram window
+	MinCount  int     // vocabulary cut-off
+	Epochs    int     // passes over the corpus
+	LR        float64 // initial SGD learning rate, decayed linearly
+	Negatives int     // negative samples per positive
+	Seed      int64
+}
+
+// DefaultSGNSConfig returns sensible small-corpus defaults.
+func DefaultSGNSConfig() SGNSConfig {
+	return SGNSConfig{
+		Dim:       50,
+		Window:    5,
+		MinCount:  1,
+		Epochs:    15,
+		LR:        0.025,
+		Negatives: 5,
+		Seed:      1,
+	}
+}
+
+// TrainSGNS fits word2vec skip-gram embeddings with negative sampling.
+// Negative words are drawn from the unigram distribution raised to 3/4,
+// as in the original implementation.
+func TrainSGNS(sentences [][]string, cfg SGNSConfig) (*Store, error) {
+	if cfg.Dim <= 0 || cfg.Epochs <= 0 {
+		return nil, errors.New("embedding: SGNS dim and epochs must be positive")
+	}
+	if cfg.Negatives < 1 {
+		cfg.Negatives = 1
+	}
+	vocab := BuildVocab(sentences, cfg.MinCount)
+	if vocab.Size() == 0 {
+		return nil, errors.New("embedding: empty vocabulary")
+	}
+
+	rng := mathx.NewRand(cfg.Seed)
+	n, d := vocab.Size(), cfg.Dim
+	w := randMatrix(n, d, rng)  // input vectors (served)
+	wc := mathx.NewMatrix(n, d) // output vectors, zero-initialised as in word2vec
+
+	sampler := newUnigramSampler(vocab)
+
+	// Pre-encode the corpus as id sequences.
+	var corpus [][]int
+	totalTokens := 0
+	for _, sent := range sentences {
+		ids := make([]int, 0, len(sent))
+		for _, word := range sent {
+			if id, ok := vocab.ID(word); ok {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 1 {
+			corpus = append(corpus, ids)
+			totalTokens += len(ids)
+		}
+	}
+	if totalTokens == 0 {
+		return nil, errors.New("embedding: corpus has no in-vocabulary tokens")
+	}
+
+	grad := make([]float64, d)
+	steps, totalSteps := 0, cfg.Epochs*totalTokens
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, ids := range corpus {
+			for i, center := range ids {
+				// Linear learning-rate decay with a floor, as in word2vec.
+				lr := cfg.LR * (1 - float64(steps)/float64(totalSteps+1))
+				if lr < cfg.LR*1e-4 {
+					lr = cfg.LR * 1e-4
+				}
+				steps++
+				// Randomly shrunk window, as in word2vec.
+				win := 1 + rng.Intn(cfg.Window)
+				lo, hi := i-win, i+win
+				if lo < 0 {
+					lo = 0
+				}
+				if hi >= len(ids) {
+					hi = len(ids) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					ctx := ids[j]
+					mathx.Zero(grad)
+					vIn := w.Row(center)
+					// Positive example.
+					sgnsUpdate(vIn, wc.Row(ctx), 1, lr, grad)
+					// Negative examples.
+					for k := 0; k < cfg.Negatives; k++ {
+						neg := sampler.sample(rng)
+						if neg == ctx {
+							continue
+						}
+						sgnsUpdate(vIn, wc.Row(neg), 0, lr, grad)
+					}
+					mathx.AddTo(vIn, vIn, grad)
+				}
+			}
+		}
+	}
+
+	// Serve unit-norm vectors for the same reason as the GloVe trainer:
+	// frequency-dependent norms distort difference-based features.
+	vectors := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := mathx.Clone(w.Row(i))
+		if norm := mathx.Norm2(v); norm > 0 {
+			mathx.ScaleTo(v, v, 1/norm)
+		}
+		vectors[i] = v
+	}
+	return NewStore(vocab.Words(), vectors)
+}
+
+// sgnsUpdate applies one logistic-loss step for (input, output) with the
+// given label, updating the output vector in place and accumulating the
+// input-vector gradient into grad.
+func sgnsUpdate(vIn, vOut []float64, label float64, lr float64, grad []float64) {
+	score := sigmoid(mathx.Dot(vIn, vOut))
+	g := lr * (label - score)
+	mathx.AxpyTo(grad, g, vOut)
+	mathx.AxpyTo(vOut, g, vIn)
+}
+
+func sigmoid(x float64) float64 {
+	if x > 30 {
+		return 1
+	}
+	if x < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// unigramSampler draws word ids proportionally to count^(3/4) using a
+// cumulative table and binary search.
+type unigramSampler struct {
+	cum []float64
+}
+
+func newUnigramSampler(v *Vocab) *unigramSampler {
+	cum := make([]float64, v.Size())
+	var total float64
+	for i := 0; i < v.Size(); i++ {
+		total += math.Pow(float64(v.Count(i)), 0.75)
+		cum[i] = total
+	}
+	return &unigramSampler{cum: cum}
+}
+
+func (s *unigramSampler) sample(rng interface{ Float64() float64 }) int {
+	if len(s.cum) == 0 {
+		return 0
+	}
+	x := rng.Float64() * s.cum[len(s.cum)-1]
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

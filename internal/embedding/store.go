@@ -1,0 +1,234 @@
+package embedding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"leapme/internal/mathx"
+	"leapme/internal/text"
+)
+
+// Store serves trained word vectors. It is immutable after construction
+// and safe for concurrent readers.
+type Store struct {
+	dim     int
+	ids     map[string]int
+	words   []string
+	vectors [][]float64
+	zero    []float64 // returned for unknown words, never mutated
+}
+
+// NewStore builds a Store from parallel word/vector slices. All vectors
+// must share the same non-zero dimension and words must be unique.
+func NewStore(words []string, vectors [][]float64) (*Store, error) {
+	if len(words) != len(vectors) {
+		return nil, fmt.Errorf("embedding: %d words but %d vectors", len(words), len(vectors))
+	}
+	if len(words) == 0 {
+		return nil, errors.New("embedding: empty store")
+	}
+	dim := len(vectors[0])
+	if dim == 0 {
+		return nil, errors.New("embedding: zero-dimensional vectors")
+	}
+	s := &Store{
+		dim:     dim,
+		ids:     make(map[string]int, len(words)),
+		words:   make([]string, len(words)),
+		vectors: make([][]float64, len(vectors)),
+		zero:    make([]float64, dim),
+	}
+	for i, w := range words {
+		if _, dup := s.ids[w]; dup {
+			return nil, fmt.Errorf("embedding: duplicate word %q", w)
+		}
+		if len(vectors[i]) != dim {
+			return nil, fmt.Errorf("embedding: vector %d has dim %d, want %d", i, len(vectors[i]), dim)
+		}
+		s.ids[w] = i
+		s.words[i] = w
+		s.vectors[i] = mathx.Clone(vectors[i])
+	}
+	return s, nil
+}
+
+// Dim returns the embedding dimension.
+func (s *Store) Dim() int { return s.dim }
+
+// Size returns the number of words in the store.
+func (s *Store) Size() int { return len(s.words) }
+
+// Contains reports whether w has a vector.
+func (s *Store) Contains(w string) bool {
+	_, ok := s.ids[w]
+	return ok
+}
+
+// Vector returns the vector for w, or the zero vector if w is unknown —
+// the paper's convention for out-of-vocabulary words. The returned slice
+// must not be modified.
+func (s *Store) Vector(w string) []float64 {
+	if id, ok := s.ids[w]; ok {
+		return s.vectors[id]
+	}
+	return s.zero
+}
+
+// Average returns the mean vector of the given words. Unknown words
+// contribute zero vectors but still count in the denominator, matching the
+// paper's "unknown words are mapped to a vector filled with zeroes". An
+// empty word list yields the zero vector.
+func (s *Store) Average(words []string) []float64 {
+	out := make([]float64, s.dim)
+	if len(words) == 0 {
+		return out
+	}
+	for _, w := range words {
+		mathx.AddTo(out, out, s.Vector(w))
+	}
+	mathx.ScaleTo(out, out, 1/float64(len(words)))
+	return out
+}
+
+// EncodePhrase tokenizes a free-text phrase and returns the average vector
+// of its tokens. This is the operation LEAPME applies to both property
+// names and property values.
+func (s *Store) EncodePhrase(phrase string) []float64 {
+	return s.Average(text.Tokenize(phrase))
+}
+
+// Similarity returns the cosine similarity between the vectors of two
+// words (0 if either is unknown or zero).
+func (s *Store) Similarity(a, b string) float64 {
+	return mathx.CosineSimilarity(s.Vector(a), s.Vector(b))
+}
+
+// Neighbor is a nearest-neighbour query result.
+type Neighbor struct {
+	Word string
+	Sim  float64
+}
+
+// Nearest returns the k words most cosine-similar to w, excluding w
+// itself. It returns nil if w is unknown.
+func (s *Store) Nearest(w string, k int) []Neighbor {
+	id, ok := s.ids[w]
+	if !ok || k <= 0 {
+		return nil
+	}
+	q := s.vectors[id]
+	out := make([]Neighbor, 0, len(s.words)-1)
+	for i, v := range s.vectors {
+		if i == id {
+			continue
+		}
+		out = append(out, Neighbor{Word: s.words[i], Sim: mathx.CosineSimilarity(q, v)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Sim != out[b].Sim {
+			return out[a].Sim > out[b].Sim
+		}
+		return out[a].Word < out[b].Word
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Words returns all words in the store in id order. The slice must not be
+// modified.
+func (s *Store) Words() []string { return s.words }
+
+// storeMagic identifies the binary serialisation format.
+const storeMagic = "LEAPMEv1"
+
+// WriteTo serialises the store in a compact binary format:
+// magic, dim, count, then length-prefixed words each followed by dim
+// float64s in little-endian order.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(storeMagic)); err != nil {
+		return n, err
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(s.dim))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(s.words)))
+	if err := count(bw.Write(hdr)); err != nil {
+		return n, err
+	}
+	buf := make([]byte, 8)
+	for i, word := range s.words {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(word)))
+		if err := count(bw.Write(buf[:4])); err != nil {
+			return n, err
+		}
+		if err := count(bw.WriteString(word)); err != nil {
+			return n, err
+		}
+		for _, x := range s.vectors[i] {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+			if err := count(bw.Write(buf)); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadStore deserialises a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("embedding: reading magic: %w", err)
+	}
+	if string(magic) != storeMagic {
+		return nil, fmt.Errorf("embedding: bad magic %q", magic)
+	}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("embedding: reading header: %w", err)
+	}
+	dim := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if dim <= 0 || n <= 0 || dim > 1<<20 || n > 1<<28 {
+		return nil, fmt.Errorf("embedding: implausible header dim=%d n=%d", dim, n)
+	}
+	words := make([]string, n)
+	vectors := make([][]float64, n)
+	buf := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("embedding: reading word %d length: %w", i, err)
+		}
+		wlen := int(binary.LittleEndian.Uint32(buf[:4]))
+		if wlen < 0 || wlen > 1<<16 {
+			return nil, fmt.Errorf("embedding: implausible word length %d", wlen)
+		}
+		wb := make([]byte, wlen)
+		if _, err := io.ReadFull(br, wb); err != nil {
+			return nil, fmt.Errorf("embedding: reading word %d: %w", i, err)
+		}
+		words[i] = string(wb)
+		vec := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("embedding: reading vector %d[%d]: %w", i, j, err)
+			}
+			vec[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		vectors[i] = vec
+	}
+	return NewStore(words, vectors)
+}

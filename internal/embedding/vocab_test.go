@@ -1,0 +1,87 @@
+package embedding
+
+import "testing"
+
+func sentences() [][]string {
+	return [][]string{
+		{"camera", "resolution", "megapixels"},
+		{"camera", "sensor", "resolution"},
+		{"camera", "lens"},
+	}
+}
+
+func TestBuildVocabOrdering(t *testing.T) {
+	v := BuildVocab(sentences(), 1)
+	if v.Size() != 5 {
+		t.Fatalf("size = %d, want 5", v.Size())
+	}
+	// "camera" occurs 3 times → id 0.
+	if v.Word(0) != "camera" {
+		t.Errorf("most frequent word = %q", v.Word(0))
+	}
+	if c := v.Count(0); c != 3 {
+		t.Errorf("count(camera) = %d", c)
+	}
+	// Frequency ties break lexicographically.
+	id1, _ := v.ID("resolution")
+	if id1 != 1 {
+		t.Errorf("resolution id = %d, want 1 (freq 2)", id1)
+	}
+	if _, ok := v.ID("absent"); ok {
+		t.Error("ID reported absent word present")
+	}
+}
+
+func TestBuildVocabMinCount(t *testing.T) {
+	v := BuildVocab(sentences(), 2)
+	if v.Size() != 2 { // camera (3), resolution (2)
+		t.Fatalf("size with minCount=2: %d, want 2", v.Size())
+	}
+	if _, ok := v.ID("lens"); ok {
+		t.Error("lens should be cut by minCount")
+	}
+}
+
+func TestVocabWordPanics(t *testing.T) {
+	v := BuildVocab(sentences(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Word(-1) did not panic")
+		}
+	}()
+	v.Word(-1)
+}
+
+func TestCooccurrenceCounts(t *testing.T) {
+	v := BuildVocab(sentences(), 1)
+	co := CountCooccurrences(sentences(), v, 2)
+	cam, _ := v.ID("camera")
+	res, _ := v.ID("resolution")
+	mp, _ := v.ID("megapixels")
+	// camera–resolution: distance 1 in sent 1 (weight 1), distance 2 in
+	// sent 2 (weight 0.5) → 1.5.
+	if got := co.Get(cam, res); got != 1.5 {
+		t.Errorf("camera-resolution = %v, want 1.5", got)
+	}
+	// Symmetric access.
+	if co.Get(res, cam) != co.Get(cam, res) {
+		t.Error("co-occurrence should be symmetric")
+	}
+	// resolution–megapixels adjacent once → 1.
+	if got := co.Get(res, mp); got != 1 {
+		t.Errorf("resolution-megapixels = %v, want 1", got)
+	}
+	if co.NumPairs() == 0 {
+		t.Error("no pairs counted")
+	}
+}
+
+func TestCooccurrenceWindowLimit(t *testing.T) {
+	v := BuildVocab(sentences(), 1)
+	co := CountCooccurrences(sentences(), v, 1)
+	cam, _ := v.ID("camera")
+	mp, _ := v.ID("megapixels")
+	if got := co.Get(cam, mp); got != 0 {
+		t.Errorf("window 1 should not pair camera-megapixels, got %v", got)
+	}
+}

@@ -1,0 +1,399 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/features"
+	"leapme/internal/mathx"
+	"leapme/internal/nn"
+)
+
+var cachedStore *embedding.Store
+
+func getStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	if cachedStore == nil {
+		corpus := domain.Corpus(
+			[]*domain.Category{domain.Cameras(), domain.Headphones()},
+			domain.CorpusConfig{SentencesPerProp: 40, Seed: 1})
+		cfg := embedding.DefaultGloVeConfig()
+		cfg.Dim = 24
+		cfg.Epochs = 15
+		s, err := embedding.TrainGloVe(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedStore = s
+	}
+	return cachedStore
+}
+
+func tinyDataset(t *testing.T, cat *domain.Category, seed int64) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name:           cat.Name + "-tiny",
+		Category:       cat,
+		NumSources:     4,
+		SharedPresence: 0.8,
+		CanonicalBias:  0.55,
+		SplitProb:      0.05,
+		NoiseProps:     5,
+		MinEntities:    6,
+		MaxEntities:    10,
+		MissingRate:    0.3,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// fastHarness keeps unit-test runtime low: 2 runs, short schedule.
+func fastHarness(t *testing.T) *Harness {
+	h := NewHarness(getStore(t), 1)
+	h.Runs = 2
+	h.Options.Schedule = []nn.Phase{{Epochs: 8, LR: 1e-3}}
+	return h
+}
+
+func TestPRF(t *testing.T) {
+	m := prfFrom(8, 2, 2)
+	if m.P != 0.8 || m.R != 0.8 || m.F1 < 0.8-1e-12 || m.F1 > 0.8+1e-12 {
+		t.Errorf("prfFrom = %+v", m)
+	}
+	z := prfFrom(0, 0, 0)
+	if z.P != 0 || z.R != 0 || z.F1 != 0 {
+		t.Errorf("zero counts = %+v", z)
+	}
+	if s := m.String(); !strings.Contains(s, "F1=0.80") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := mean([]PRF{{P: 1, R: 0, F1: 0.5}, {P: 0, R: 1, F1: 0.5}})
+	if got.P != 0.5 || got.R != 0.5 || got.F1 != 0.5 {
+		t.Errorf("mean = %+v", got)
+	}
+	if (mean(nil) != PRF{}) {
+		t.Error("mean of nothing should be zero")
+	}
+}
+
+func TestSplitSources(t *testing.T) {
+	sources := []string{"a", "b", "c", "d", "e"}
+	rng := mathx.NewRand(1)
+	sp, err := SplitSources(sources, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 2 || len(sp.Test) != 3 {
+		t.Errorf("split = %d/%d", len(sp.Train), len(sp.Test))
+	}
+	for s := range sp.Train {
+		if sp.Test[s] {
+			t.Errorf("source %q on both sides", s)
+		}
+	}
+}
+
+func TestSplitSourcesExtremes(t *testing.T) {
+	rng := mathx.NewRand(2)
+	// Tiny fraction still trains on at least two sources (training needs
+	// cross-source pairs).
+	sp, err := SplitSources([]string{"a", "b", "c"}, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 2 {
+		t.Errorf("train = %d, want 2", len(sp.Train))
+	}
+	// Two sources: the floor drops to one so a test source remains.
+	sp, err = SplitSources([]string{"a", "b"}, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 1 || len(sp.Test) != 1 {
+		t.Errorf("two-source split = %d/%d", len(sp.Train), len(sp.Test))
+	}
+	// Huge fraction still tests on at least one source.
+	sp, err = SplitSources([]string{"a", "b", "c"}, 0.99, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Test) != 1 {
+		t.Errorf("test = %d", len(sp.Test))
+	}
+	if _, err := SplitSources([]string{"a"}, 0.5, rng); err == nil {
+		t.Error("single source accepted")
+	}
+	if _, err := SplitSources([]string{"a", "b"}, 0, rng); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if _, err := SplitSources([]string{"a", "b"}, 1, rng); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+}
+
+func TestScorePairs(t *testing.T) {
+	k := func(s, n string) dataset.Key { return dataset.Key{Source: s, Name: n} }
+	truth := map[dataset.Pair]bool{
+		{A: k("s1", "a"), B: k("s2", "b")}: true,
+		{A: k("s1", "a"), B: k("s3", "c")}: true,
+	}
+	pred := []dataset.Pair{
+		{A: k("s1", "a"), B: k("s2", "b")}, // tp
+		{A: k("s1", "x"), B: k("s2", "y")}, // fp
+	}
+	m := scorePairs(pred, truth)
+	if m.P != 0.5 || m.R != 0.5 {
+		t.Errorf("scorePairs = %+v", m)
+	}
+}
+
+func TestEvalLEAPMESmoke(t *testing.T) {
+	h := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 10)
+	m, err := h.EvalLEAPME(d, features.FullConfig(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F1 <= 0 {
+		t.Errorf("LEAPME F1 = %v, want > 0", m.F1)
+	}
+	t.Logf("LEAPME tiny: %v", m)
+}
+
+func TestEvalLEAPMEDeterministic(t *testing.T) {
+	h1 := fastHarness(t)
+	h2 := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 11)
+	a, err := h1.EvalLEAPME(d, features.FullConfig(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h2.EvalLEAPME(d, features.FullConfig(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic eval: %v vs %v", a, b)
+	}
+}
+
+func TestOnRunCallback(t *testing.T) {
+	h := fastHarness(t)
+	var runs int
+	h.OnRun = func(run int, m PRF) { runs++ }
+	d := tinyDataset(t, domain.Cameras(), 12)
+	if _, err := h.EvalLEAPME(d, features.FullConfig(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("OnRun fired %d times, want 2", runs)
+	}
+}
+
+func TestTable2SmallSlice(t *testing.T) {
+	h := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 13)
+	rows, err := h.Table2(Table2Config{
+		Datasets:   []*dataset.Dataset{d},
+		TrainFracs: []float64{0.5},
+		Levels:     []string{"Names"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 LEAPME variants + 5 baselines.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	bySystem := map[string]Row{}
+	for _, r := range rows {
+		bySystem[r.System] = r
+	}
+	if !bySystem["LEAPME"].Applicable || bySystem["LEAPME"].Metrics.F1 <= 0 {
+		t.Error("LEAPME row missing or empty")
+	}
+	// LSH is instance-based: inapplicable in the Names level (the "-").
+	if bySystem["LSH"].Applicable {
+		t.Error("LSH should be inapplicable at Names level")
+	}
+	if !bySystem["AML"].Applicable {
+		t.Error("AML should be applicable at Names level")
+	}
+
+	text := RenderTable2(rows)
+	for _, want := range []string{"LEAPME", "AML", "FCA-Map", "SemProp", "LSH", "Names", "50%"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTable2InstancesLevelSkipsNameBaselines(t *testing.T) {
+	h := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 14)
+	rows, err := h.Table2(Table2Config{
+		Datasets:   []*dataset.Dataset{d},
+		TrainFracs: []float64{0.5},
+		Levels:     []string{"Instances"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "AML", "FCA-Map", "SemProp", "Nezhadi":
+			if r.Applicable {
+				t.Errorf("%s should be inapplicable at Instances level", r.System)
+			}
+		case "LSH":
+			if !r.Applicable {
+				t.Error("LSH should be applicable at Instances level")
+			}
+		}
+	}
+}
+
+func TestFractionSweep(t *testing.T) {
+	h := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 15)
+	// 0.5 → 2 of 4 sources train (the 0.25 point would train on a single
+	// source and have no cross-source pairs).
+	pts, err := h.FractionSweep(d, []float64{0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].TrainFrac != 0.5 || pts[1].TrainFrac != 0.75 {
+		t.Errorf("fractions = %v, %v", pts[0].TrainFrac, pts[1].TrainFrac)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	h := fastHarness(t)
+	h.Runs = 1
+	cams := tinyDataset(t, domain.Cameras(), 16)
+	phones := tinyDataset(t, domain.Headphones(), 17)
+	res, err := h.Transfer([]*dataset.Dataset{cams, phones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results = %d, want 4 (2x2)", len(res))
+	}
+	found := map[string]bool{}
+	for _, r := range res {
+		found[r.TrainDataset+"→"+r.TestDataset] = true
+	}
+	for _, want := range []string{
+		"cameras-tiny→cameras-tiny", "cameras-tiny→headphones-tiny",
+		"headphones-tiny→cameras-tiny", "headphones-tiny→headphones-tiny",
+	} {
+		if !found[want] {
+			t.Errorf("missing transfer cell %s", want)
+		}
+	}
+}
+
+func TestClusterings(t *testing.T) {
+	h := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 18)
+	res, err := h.Clusterings(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("schemes = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Metrics.F1 < 0 || r.Metrics.F1 > 1 {
+			t.Errorf("%s F1 = %v", r.Scheme, r.Metrics.F1)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := statsOf([]PRF{{F1: 0.4}, {F1: 0.6}})
+	if s.Mean.F1 != 0.5 || s.Runs != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.F1Std < 0.099 || s.F1Std > 0.101 {
+		t.Errorf("F1Std = %v, want 0.1", s.F1Std)
+	}
+	if got := s.String(); !strings.Contains(got, "±0.10") {
+		t.Errorf("String = %q", got)
+	}
+	if st := statsOf(nil); st.Runs != 0 || st.F1Std != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestEvalLEAPMEStats(t *testing.T) {
+	h := fastHarness(t)
+	d := tinyDataset(t, domain.Cameras(), 30)
+	s, err := h.EvalLEAPMEStats(d, features.FullConfig(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs != 2 {
+		t.Errorf("runs = %d", s.Runs)
+	}
+	if s.Mean.F1 <= 0 {
+		t.Errorf("mean F1 = %v", s.Mean.F1)
+	}
+}
+
+func TestHeterogeneitySweep(t *testing.T) {
+	h := fastHarness(t)
+	h.Runs = 1
+	cfg := dataset.GenConfig{
+		Name:           "het",
+		Category:       domain.Cameras(),
+		NumSources:     4,
+		SharedPresence: 0.8,
+		SplitProb:      0.05,
+		NoiseProps:     4,
+		MinEntities:    5,
+		MaxEntities:    8,
+		MissingRate:    0.3,
+		Seed:           31,
+	}
+	pts, err := h.HeterogeneitySweep(cfg, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.LEAPME.F1 <= 0 {
+			t.Errorf("bias %v: LEAPME F1 = %v", pt.CanonicalBias, pt.LEAPME.F1)
+		}
+		if pt.AML.F1 < 0 || pt.FCAMap.F1 < 0 {
+			t.Errorf("bias %v: negative baseline F1", pt.CanonicalBias)
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	h := fastHarness(t)
+	h.Runs = 1
+	d := tinyDataset(t, domain.Cameras(), 19)
+	rows, err := h.Ablation(d, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("ablation rows = %d, want 9", len(rows))
+	}
+}

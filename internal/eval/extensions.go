@@ -1,0 +1,212 @@
+package eval
+
+import (
+	"fmt"
+
+	"leapme/internal/core"
+	"leapme/internal/dataset"
+	"leapme/internal/features"
+	"leapme/internal/graph"
+	"leapme/internal/mathx"
+)
+
+// FractionPoint is one point of the training-fraction sweep (experiment
+// A2): the paper studies "the impact of different amounts of training
+// data"; this sweep traces the full curve rather than just 20% and 80%.
+type FractionPoint struct {
+	Dataset   string
+	TrainFrac float64
+	Metrics   PRF
+}
+
+// FractionSweep evaluates LEAPME (full features) at each training
+// fraction.
+func (h *Harness) FractionSweep(d *dataset.Dataset, fracs []float64) ([]FractionPoint, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	var out []FractionPoint
+	for _, f := range fracs {
+		m, err := h.EvalLEAPME(d, features.FullConfig(), f)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fraction %.2f: %w", f, err)
+		}
+		out = append(out, FractionPoint{Dataset: d.Name, TrainFrac: f, Metrics: m})
+	}
+	return out, nil
+}
+
+// TransferResult is one cell of the transfer-learning experiment (A3):
+// train on all sources of one dataset, test on all sources of another —
+// the paper's "use of transfer learning" study. Train == Test gives the
+// in-domain reference diagonal (trained and tested on disjoint source
+// splits of the same dataset).
+type TransferResult struct {
+	TrainDataset, TestDataset string
+	Metrics                   PRF
+}
+
+// Transfer evaluates every ordered (train, test) dataset pair. For the
+// diagonal it defers to the standard protocol at 80% training; off the
+// diagonal the matcher trains on *all* pairs of the training dataset and
+// classifies *all* pairs of the test dataset.
+func (h *Harness) Transfer(ds []*dataset.Dataset) ([]TransferResult, error) {
+	var out []TransferResult
+	for _, dtrain := range ds {
+		for _, dtest := range ds {
+			if dtrain == dtest {
+				m, err := h.EvalLEAPME(dtest, features.FullConfig(), 0.8)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, TransferResult{dtrain.Name, dtest.Name, m})
+				continue
+			}
+			m, err := h.transferOne(dtrain, dtest)
+			if err != nil {
+				return nil, fmt.Errorf("eval: transfer %s→%s: %w", dtrain.Name, dtest.Name, err)
+			}
+			out = append(out, TransferResult{dtrain.Name, dtest.Name, m})
+		}
+	}
+	return out, nil
+}
+
+func (h *Harness) transferOne(dtrain, dtest *dataset.Dataset) (PRF, error) {
+	runs := h.Runs
+	if runs <= 0 {
+		runs = 25
+	}
+	// Transfer runs vary only in sampling/init seeds, not splits; a few
+	// repetitions suffice, bounded by the harness run count.
+	if runs > 5 {
+		runs = 5
+	}
+	opts := h.Options
+	opts.Features = features.FullConfig()
+	var ms []PRF
+	for run := 0; run < runs; run++ {
+		rng := mathx.NewRand(h.Seed + int64(run)*104729)
+		opts.Seed = h.Seed + int64(run)
+		m, err := core.NewMatcher(h.Store, opts)
+		if err != nil {
+			return PRF{}, err
+		}
+		m.ComputeFeatures(dtrain)
+		m.ComputeFeatures(dtest)
+		pairs := core.TrainingPairs(dtrain.Props, h.negRatio(), rng)
+		if countPositives(pairs) == 0 {
+			continue
+		}
+		if _, err := m.Train(pairs); err != nil {
+			return PRF{}, err
+		}
+		truth := truthIn(dtest.Props)
+		var pred []dataset.Pair
+		if err := m.MatchAll(dtest.Props, func(sp core.ScoredPair) {
+			if sp.Match {
+				pred = append(pred, dataset.Pair{A: sp.A, B: sp.B}.Canonical())
+			}
+		}); err != nil {
+			return PRF{}, err
+		}
+		ms = append(ms, scorePairs(pred, truth))
+	}
+	if len(ms) == 0 {
+		return PRF{}, fmt.Errorf("eval: no valid transfer runs")
+	}
+	return mean(ms), nil
+}
+
+// ClusterResult is one row of the clustering extension (experiment A4,
+// the paper's future-work step): pairwise quality of clusters derived
+// from LEAPME's similarity graph by each clustering scheme.
+type ClusterResult struct {
+	Dataset string
+	Scheme  string
+	Metrics PRF
+}
+
+// Clusterings builds LEAPME's similarity graph on each dataset's test
+// split (80% training) and evaluates connected components, star
+// clustering and correlation clustering on it.
+func (h *Harness) Clusterings(d *dataset.Dataset) ([]ClusterResult, error) {
+	opts := h.Options
+	opts.Features = features.FullConfig()
+	rng := mathx.NewRand(h.Seed)
+	sp, err := SplitSources(d.Sources, 0.8, rng)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMatcher(h.Store, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.ComputeFeatures(d)
+	trainProps := d.PropsOfSources(sp.Train)
+	pairs := core.TrainingPairs(trainProps, h.negRatio(), rng)
+	if _, err := m.Train(pairs); err != nil {
+		return nil, err
+	}
+	// Similarity graph over the test pairs (the paper's protocol: pairs
+	// not wholly inside the training sources).
+	g := graph.New()
+	for _, p := range d.Props {
+		g.AddNode(p.Key())
+	}
+	if err := m.MatchWhere(d.Props, isTestPair(sp.Train), func(sp core.ScoredPair) {
+		if sp.Match {
+			g.AddEdge(sp.A, sp.B, sp.Score)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	truthSet := testTruth(d.Props, sp.Train)
+
+	schemes := []struct {
+		name string
+		fn   func() graph.Clustering
+	}{
+		{"connected-components", g.ConnectedComponents},
+		{"star", g.StarClustering},
+		{"correlation(0.7)", func() graph.Clustering { return g.CorrelationClustering(0.7) }},
+	}
+	var out []ClusterResult
+	for _, s := range schemes {
+		// Score only the cluster-implied pairs in the test set; clusters
+		// may also contain training properties linked via test edges,
+		// whose train–train pairs are outside the protocol.
+		var pred []dataset.Pair
+		for _, pr := range s.fn().Pairs() {
+			if sp.Train[pr.A.Source] && sp.Train[pr.B.Source] {
+				continue
+			}
+			pred = append(pred, pr)
+		}
+		prf := scorePairs(pred, truthSet)
+		out = append(out, ClusterResult{Dataset: d.Name, Scheme: s.name, Metrics: prf})
+	}
+	return out, nil
+}
+
+// AblationRow is one row of the 9-configuration feature ablation on a
+// single dataset (experiment A1 zooms into what Table II spreads over
+// levels).
+type AblationRow struct {
+	Config  features.Config
+	Metrics PRF
+}
+
+// Ablation evaluates all nine feature configurations on one dataset at
+// the given training fraction.
+func (h *Harness) Ablation(d *dataset.Dataset, trainFrac float64) ([]AblationRow, error) {
+	var out []AblationRow
+	for _, fc := range features.AllConfigs() {
+		m, err := h.EvalLEAPME(d, fc, trainFrac)
+		if err != nil {
+			return nil, fmt.Errorf("eval: ablation %v: %w", fc, err)
+		}
+		out = append(out, AblationRow{Config: fc, Metrics: m})
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"fmt"
+
+	"leapme/internal/baselines"
+	"leapme/internal/dataset"
+	"leapme/internal/features"
+)
+
+// HeterogeneityPoint is one point of the name-heterogeneity sweep
+// (experiment A5): the same dataset generated at decreasing canonical-name
+// bias, evaluated for LEAPME and the string-based unsupervised baselines.
+// The paper's core argument — embeddings bridge name heterogeneity that
+// string similarity cannot — predicts LEAPME's margin over AML/FCA-Map
+// must *grow* as names diverge.
+type HeterogeneityPoint struct {
+	// CanonicalBias of the generated dataset (lower = messier names).
+	CanonicalBias float64
+	LEAPME        PRF
+	AML           PRF
+	FCAMap        PRF
+}
+
+// HeterogeneitySweep regenerates cfg at each canonical bias and evaluates
+// at 80% training.
+func (h *Harness) HeterogeneitySweep(cfg dataset.GenConfig, biases []float64) ([]HeterogeneityPoint, error) {
+	if len(biases) == 0 {
+		biases = []float64{0.8, 0.6, 0.4, 0.2}
+	}
+	var out []HeterogeneityPoint
+	for _, bias := range biases {
+		c := cfg
+		c.CanonicalBias = bias
+		c.Name = fmt.Sprintf("%s-bias%02.0f", cfg.Name, bias*100)
+		d, err := dataset.Generate(c)
+		if err != nil {
+			return nil, err
+		}
+		pt := HeterogeneityPoint{CanonicalBias: bias}
+		if pt.LEAPME, err = h.EvalLEAPME(d, features.FullConfig(), 0.8); err != nil {
+			return nil, err
+		}
+		if pt.AML, err = h.EvalBaseline(d, func() baselines.Matcher { return baselines.NewAML() }, 0.8); err != nil {
+			return nil, err
+		}
+		if pt.FCAMap, err = h.EvalBaseline(d, func() baselines.Matcher { return baselines.NewFCAMap() }, 0.8); err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"leapme/internal/baselines"
+	"leapme/internal/dataset"
+	"leapme/internal/features"
+)
+
+// Row is one cell-group of Table II: a system evaluated on a dataset at a
+// training fraction within a feature level.
+type Row struct {
+	Level     string // "Instances", "Names", "Both"
+	Dataset   string
+	TrainFrac float64
+	System    string
+	Metrics   PRF
+	// Applicable is false where the paper prints "-": name-based
+	// baselines in the instances-only block and LSH in the names block.
+	Applicable bool
+}
+
+// Table2Config selects which slice of Table II to compute.
+type Table2Config struct {
+	// Datasets to evaluate.
+	Datasets []*dataset.Dataset
+	// TrainFracs, default {0.2, 0.8} as in the paper.
+	TrainFracs []float64
+	// Levels, default all three ("Instances", "Names", "Both").
+	Levels []string
+	// SkipBaselines computes only the LEAPME columns.
+	SkipBaselines bool
+}
+
+// LEAPME's three kind-variants per level, in the paper's column order.
+var kindVariants = []struct {
+	Suffix string
+	Emb    bool
+	NonEmb bool
+}{
+	{Suffix: "", Emb: true, NonEmb: true},        // LEAPME
+	{Suffix: "(emb)", Emb: true, NonEmb: false},  // LEAPME(emb)
+	{Suffix: "(-emb)", Emb: false, NonEmb: true}, // LEAPME(-emb)
+}
+
+// Table2 reproduces the paper's Table II on the given datasets: for each
+// feature level and training fraction it evaluates LEAPME, LEAPME(emb)
+// and LEAPME(−emb), plus the five baselines where applicable (name-based
+// baselines only for name-bearing levels, instance-based LSH only for
+// instance-bearing levels, exactly like the dashes in the paper's table).
+func (h *Harness) Table2(cfg Table2Config) ([]Row, error) {
+	fracs := cfg.TrainFracs
+	if len(fracs) == 0 {
+		fracs = []float64{0.2, 0.8}
+	}
+	levels := cfg.Levels
+	if len(levels) == 0 {
+		levels = []string{"Instances", "Names", "Both"}
+	}
+	var rows []Row
+	for _, lvl := range levels {
+		inst, names, err := levelFlags(lvl)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range cfg.Datasets {
+			for _, frac := range fracs {
+				for _, kv := range kindVariants {
+					fc := features.Config{
+						Instances:     inst,
+						Names:         names,
+						Embeddings:    kv.Emb,
+						NonEmbeddings: kv.NonEmb,
+					}
+					m, err := h.EvalLEAPME(d, fc, frac)
+					if err != nil {
+						return nil, fmt.Errorf("eval: LEAPME%s on %s@%.0f%%: %w", kv.Suffix, d.Name, frac*100, err)
+					}
+					rows = append(rows, Row{
+						Level: lvl, Dataset: d.Name, TrainFrac: frac,
+						System: "LEAPME" + kv.Suffix, Metrics: m, Applicable: true,
+					})
+				}
+				if cfg.SkipBaselines {
+					continue
+				}
+				brows, err := h.baselineRows(d, lvl, frac, inst, names)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, brows...)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// baselineRows evaluates the five baselines for one table cell-group.
+// Name-based baselines (Nezhadi, AML, FCA-Map, SemProp) apply when the
+// level includes names; instance-based LSH applies when it includes
+// instances — matching the "-" cells of the paper's table.
+func (h *Harness) baselineRows(d *dataset.Dataset, lvl string, frac float64, inst, names bool) ([]Row, error) {
+	type b struct {
+		name string
+		mk   func() baselines.Matcher
+		ok   bool
+	}
+	bs := []b{
+		{"Nezhadi", func() baselines.Matcher { return baselines.NewNezhadi() }, names},
+		{"AML", func() baselines.Matcher { return baselines.NewAML() }, names},
+		{"FCA-Map", func() baselines.Matcher { return baselines.NewFCAMap() }, names},
+		{"SemProp", func() baselines.Matcher { return baselines.NewSemProp(h.Store) }, names},
+		{"LSH", func() baselines.Matcher { return baselines.NewLSH() }, inst},
+	}
+	var rows []Row
+	for _, bb := range bs {
+		row := Row{Level: lvl, Dataset: d.Name, TrainFrac: frac, System: bb.name}
+		if bb.ok {
+			m, err := h.EvalBaseline(d, bb.mk, frac)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s on %s@%.0f%%: %w", bb.name, d.Name, frac*100, err)
+			}
+			row.Metrics = m
+			row.Applicable = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func levelFlags(level string) (instances, names bool, err error) {
+	switch strings.ToLower(level) {
+	case "instances":
+		return true, false, nil
+	case "names":
+		return false, true, nil
+	case "both":
+		return true, true, nil
+	default:
+		return false, false, fmt.Errorf("eval: unknown feature level %q", level)
+	}
+}
+
+// RenderTable2 formats rows in the layout of the paper's Table II: one
+// line per (level, dataset, fraction), systems as column groups.
+func RenderTable2(rows []Row) string {
+	systems := systemOrder(rows)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-12s %-6s", "Level", "Dataset", "Train")
+	for _, s := range systems {
+		fmt.Fprintf(&sb, " | %-20s", s)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-10s %-12s %-6s", "", "", "")
+	for range systems {
+		fmt.Fprintf(&sb, " | %-6s %-6s %-6s", "P", "R", "F1")
+	}
+	sb.WriteByte('\n')
+
+	type key struct {
+		level, ds string
+		frac      float64
+	}
+	groups := map[key]map[string]Row{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Level, r.Dataset, r.TrainFrac}
+		if groups[k] == nil {
+			groups[k] = map[string]Row{}
+			order = append(order, k)
+		}
+		groups[k][r.System] = r
+	}
+	for _, k := range order {
+		fmt.Fprintf(&sb, "%-10s %-12s %-6s", k.level, k.ds, fmt.Sprintf("%.0f%%", k.frac*100))
+		for _, s := range systems {
+			r, ok := groups[k][s]
+			if !ok || !r.Applicable {
+				fmt.Fprintf(&sb, " | %-6s %-6s %-6s", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&sb, " | %-6.2f %-6.2f %-6.2f", r.Metrics.P, r.Metrics.R, r.Metrics.F1)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// systemOrder lists systems in the paper's column order, restricted to
+// those present.
+func systemOrder(rows []Row) []string {
+	want := []string{"LEAPME", "LEAPME(emb)", "LEAPME(-emb)", "Nezhadi", "AML", "FCA-Map", "SemProp", "LSH"}
+	present := map[string]bool{}
+	for _, r := range rows {
+		present[r.System] = true
+	}
+	var out []string
+	for _, s := range want {
+		if present[s] {
+			out = append(out, s)
+			delete(present, s)
+		}
+	}
+	var rest []string
+	for s := range present {
+		rest = append(rest, s)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

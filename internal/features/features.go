@@ -1,0 +1,216 @@
+// Package features implements Table I of the paper: the instance,
+// property and property-pair features LEAPME feeds its classifier.
+//
+// Instance features (per property value, rows 1–4):
+//
+//	row 1: fraction and count of 9 character types (uppercase letters,
+//	       lowercase letters, letters of either case, marks, numbers,
+//	       punctuation, symbols, separators, other)        → 18 features
+//	row 2: fraction and count of 5 token types (words, lowercase-initial
+//	       words, capitalized words, uppercase words, numeric strings)
+//	                                                        → 10 features
+//	row 3: the numeric value of the instance, −1 if not a number → 1
+//	row 4: the average embedding vector of the instance's words → D
+//
+// yielding 29 + D per instance (29 + 300 = 329 with the paper's GloVe
+// dimension, matching the paper's count).
+//
+// Property features (rows 5–6): the element-wise average of the property's
+// instance features (29 + D) plus the average embedding of the property
+// *name*'s words (D), for 29 + 2D per property.
+//
+// Property-pair features (rows 7–15): the absolute element-wise difference
+// of the two property vectors (29 + 2D) followed by eight string distances
+// between the property names (optimal string alignment, Levenshtein, full
+// Damerau–Levenshtein, longest common substring, 3-gram, cosine over
+// 3-gram profiles, Jaccard over 3-gram profiles, Jaro–Winkler). The edit
+// distances are normalised by max string length so all features share the
+// [0, 1] scale regardless of name length.
+package features
+
+import (
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+	"leapme/internal/text"
+)
+
+// MetaDim is the number of non-embedding instance features (rows 1–3).
+const MetaDim = 18 + 10 + 1
+
+// NumPairDistances is the number of name string distances (rows 8–15).
+const NumPairDistances = 8
+
+// Extractor computes Table I feature vectors against an embedding store.
+type Extractor struct {
+	store *embedding.Store
+	// MaxValues caps how many instance values are aggregated per property
+	// (0 = no cap). The paper computes features for every instance; the
+	// cap exists for very large sources and is off by default.
+	MaxValues int
+}
+
+// NewExtractor returns an Extractor over the given embedding store.
+func NewExtractor(store *embedding.Store) *Extractor {
+	return &Extractor{store: store}
+}
+
+// EmbeddingDim returns D, the dimension of the embedding blocks.
+func (e *Extractor) EmbeddingDim() int { return e.store.Dim() }
+
+// InstanceDim returns the per-instance feature dimension (29 + D).
+func (e *Extractor) InstanceDim() int { return MetaDim + e.store.Dim() }
+
+// PropertyDim returns the per-property feature dimension (29 + 2D).
+func (e *Extractor) PropertyDim() int { return MetaDim + 2*e.store.Dim() }
+
+// InstanceFeatures computes the feature vector of a single property value
+// (Table I rows 1–4), the paper's iFeatures.
+func (e *Extractor) InstanceFeatures(value string) []float64 {
+	out := make([]float64, e.InstanceDim())
+	e.instanceFeaturesInto(out, value)
+	return out
+}
+
+func (e *Extractor) instanceFeaturesInto(dst []float64, value string) {
+	// Row 1: character classes. The paper's 9 types are upper, lower,
+	// letters of both cases, marks, numbers, punctuation, symbols,
+	// separators, other; "both cases" is the total letter count.
+	counts, total := text.CharClassCounts(value)
+	letters := counts[text.CharUpper] + counts[text.CharLower] + counts[text.CharOtherLet]
+	charCounts := [9]int{
+		counts[text.CharUpper], counts[text.CharLower], letters,
+		counts[text.CharMark], counts[text.CharNumber], counts[text.CharPunct],
+		counts[text.CharSymbol], counts[text.CharSeparator], counts[text.CharOther],
+	}
+	i := 0
+	for _, c := range charCounts {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(c) / float64(total)
+		}
+		dst[i] = frac
+		dst[i+1] = float64(c)
+		i += 2
+	}
+
+	// Row 2: token classes.
+	tokCounts, tokTotal := text.TokenClassCounts(value)
+	for _, c := range tokCounts {
+		frac := 0.0
+		if tokTotal > 0 {
+			frac = float64(c) / float64(tokTotal)
+		}
+		dst[i] = frac
+		dst[i+1] = float64(c)
+		i += 2
+	}
+
+	// Row 3: numeric value, −1 if not a number.
+	dst[i] = NumericValue(value)
+	i++
+
+	// Row 4: average embedding of the value's words.
+	copy(dst[i:], e.store.EncodePhrase(value))
+}
+
+// NumericValue parses value as a number, returning −1 when it is not one.
+// Thousands separators and a trailing/leading currency or unit word do not
+// count: the value must be a bare number (the paper's TAPON convention).
+func NumericValue(value string) float64 {
+	s := trimSpace(value)
+	if s == "" {
+		return -1
+	}
+	var intPart, fracPart float64
+	var fracScale float64 = 1
+	seenDigit, seenDot, neg := false, false, false
+	for i, r := range s {
+		switch {
+		case r == '-' && i == 0:
+			neg = true
+		case r == '+' && i == 0:
+		case r >= '0' && r <= '9':
+			seenDigit = true
+			if seenDot {
+				fracScale /= 10
+				fracPart += float64(r-'0') * fracScale
+			} else {
+				intPart = intPart*10 + float64(r-'0')
+			}
+		case r == '.' && !seenDot:
+			seenDot = true
+		case r == ',':
+			// thousands separator, ignored
+		default:
+			return -1
+		}
+	}
+	if !seenDigit {
+		return -1
+	}
+	v := intPart + fracPart
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t') {
+		end--
+	}
+	return s[start:end]
+}
+
+// Prop bundles everything pair featurisation needs about one property:
+// its aggregated feature vector and cached name artefacts.
+type Prop struct {
+	Name string
+	// Vec is the property feature vector (rows 5–6): mean instance
+	// features followed by the name embedding. Length 29 + 2D.
+	Vec []float64
+
+	norm string            // normalised name for string distances
+	tri  text.NGramProfile // cached 3-gram profile of the normalised name
+}
+
+// PropertyFeatures computes the property-level vector (rows 5–6), the
+// paper's pFeatures: the mean of the instance feature vectors of values,
+// concatenated with the average embedding of the property name's words.
+func (e *Extractor) PropertyFeatures(name string, values []string) *Prop {
+	if e.MaxValues > 0 && len(values) > e.MaxValues {
+		values = values[:e.MaxValues]
+	}
+	vec := make([]float64, e.PropertyDim())
+	instPart := vec[:e.InstanceDim()]
+	if len(values) > 0 {
+		tmp := make([]float64, e.InstanceDim())
+		for _, v := range values {
+			e.instanceFeaturesInto(tmp, v)
+			mathx.AddTo(instPart, instPart, tmp)
+		}
+		mathx.ScaleTo(instPart, instPart, 1/float64(len(values)))
+	}
+	copy(vec[e.InstanceDim():], e.store.EncodePhrase(name))
+	norm := text.NormalizeName(name)
+	return &Prop{Name: name, Vec: vec, norm: norm, tri: text.TriGrams(norm)}
+}
+
+// PairDistances computes the eight name string distances (rows 8–15) into
+// dst, which must have length NumPairDistances. Order: OSA, Levenshtein,
+// full Damerau–Levenshtein, longest common substring, 3-gram, 3-gram
+// cosine, 3-gram Jaccard, Jaro–Winkler; the first four are normalised.
+func PairDistances(dst []float64, a, b *Prop) {
+	dst[0] = text.NormalizedOSA(a.norm, b.norm)
+	dst[1] = text.NormalizedLevenshtein(a.norm, b.norm)
+	dst[2] = text.NormalizedDamerauLevenshtein(a.norm, b.norm)
+	dst[3] = text.NormalizedLCSubstring(a.norm, b.norm)
+	dst[4] = text.NormalizedQGramDistance(a.tri, b.tri)
+	dst[5] = a.tri.CosineDistance(b.tri)
+	dst[6] = a.tri.JaccardDistance(b.tri)
+	dst[7] = text.JaroWinklerDistance(a.norm, b.norm)
+}

@@ -1,0 +1,69 @@
+package features
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestNumericValueAgreesWithStrconv cross-checks the hand-rolled parser
+// against the standard library on plain decimal inputs.
+func TestNumericValueAgreesWithStrconv(t *testing.T) {
+	f := func(neg bool, intPart uint16, fracPart uint16) bool {
+		s := strconv.Itoa(int(intPart)) + "." + strconv.Itoa(int(fracPart))
+		if neg {
+			s = "-" + s
+		}
+		want, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return true
+		}
+		got := NumericValue(s)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9*(1+abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestNumericValueNeverPanics fuzzes arbitrary strings.
+func TestNumericValueNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		v := NumericValue(s)
+		// Any non-numeric string must map to exactly -1.
+		if v != -1 {
+			// If it parsed, stripping separators must parse with strconv too.
+			clean := strings.ReplaceAll(strings.TrimSpace(s), ",", "")
+			if _, err := strconv.ParseFloat(clean, 64); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericValueThousands(t *testing.T) {
+	if got := NumericValue("1,920,000"); got != 1920000 {
+		t.Errorf("NumericValue(1,920,000) = %v", got)
+	}
+	// A trailing comma is tolerated as a (degenerate) separator; the
+	// digits still parse.
+	if got := NumericValue("5,"); got != 5 {
+		t.Errorf("NumericValue(5,) = %v", got)
+	}
+}

@@ -1,0 +1,319 @@
+// Package fusion implements the step after property matching in the
+// paper's knowledge-graph vision (Section VI: a "comprehensive data
+// integration approach ... as well as data fusion"): given a cluster of
+// matched properties, reconcile their differently-formatted values into
+// one canonical profile — the fused KG property.
+//
+// Sources render the same fact in different conventions ("450 g",
+// "0.45 kg", "0,45 kilograms"); Parse canonicalises a single value
+// (kind, number, unit normalised to a base unit), and FuseCluster
+// aggregates a cluster's values into a profile with agreement statistics,
+// so downstream curation can see both the fused representation and how
+// much the sources actually concur.
+package fusion
+
+import (
+	"sort"
+	"strings"
+
+	"leapme/internal/features"
+	"leapme/internal/text"
+)
+
+// Kind classifies a parsed value.
+type Kind int
+
+// Value kinds, in order of parse priority.
+const (
+	KindNumber Kind = iota // bare number or number+unit
+	KindBool               // yes/no style flags
+	KindText               // anything else
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNumber:
+		return "number"
+	case KindBool:
+		return "bool"
+	default:
+		return "text"
+	}
+}
+
+// unitEntry normalises one unit spelling to a base unit and scale.
+type unitEntry struct {
+	base  string
+	scale float64
+}
+
+// unitTable maps unit spellings (lowercase) to a canonical base unit.
+// Base units: mm (length), g (mass), s (time), h (duration), hz
+// (frequency), b (bytes), px (pixels), in (inches), w (watts),
+// mah (charge), l (volume), plus pass-through domain units.
+var unitTable = map[string]unitEntry{
+	// length
+	"mm": {"mm", 1}, "millimeters": {"mm", 1}, "millimetres": {"mm", 1},
+	"cm": {"mm", 10}, "centimeters": {"mm", 10},
+	"m": {"mm", 1000}, "meters": {"mm", 1000}, "metres": {"mm", 1000},
+	"in": {"in", 1}, "inch": {"in", 1}, "inches": {"in", 1}, "\"": {"in", 1},
+	"ft": {"in", 12},
+	// mass
+	"g": {"g", 1}, "grams": {"g", 1}, "gr": {"g", 1}, "gram": {"g", 1},
+	"kg": {"g", 1000}, "kilograms": {"g", 1000},
+	"oz": {"g", 28.3495}, "lbs": {"g", 453.592}, "lb": {"g", 453.592},
+	// time
+	"s": {"s", 1}, "sec": {"s", 1}, "seconds": {"s", 1},
+	"ms":  {"s", 0.001},
+	"min": {"s", 60}, "minutes": {"s", 60},
+	"h": {"h", 1}, "hours": {"h", 1}, "hrs": {"h", 1}, "hr": {"h", 1},
+	// frequency
+	"hz": {"hz", 1}, "hertz": {"hz", 1},
+	"khz": {"hz", 1e3}, "mhz": {"hz", 1e6}, "ghz": {"hz", 1e9},
+	// storage
+	"b": {"b", 1}, "kb": {"b", 1e3}, "mb": {"b", 1e6},
+	"gb": {"b", 1e9}, "gigabytes": {"b", 1e9}, "tb": {"b", 1e12},
+	// imaging
+	"mp": {"mp", 1}, "megapixels": {"mp", 1}, "megapixel": {"mp", 1}, "mpix": {"mp", 1},
+	// power & electrical
+	"w": {"w", 1}, "watts": {"w", 1}, "kw": {"w", 1000},
+	"mah": {"mah", 1}, "v": {"v", 1}, "ohm": {"ohm", 1}, "ohms": {"ohm", 1}, "Ω": {"ohm", 1},
+	// volume
+	"l": {"l", 1}, "liters": {"l", 1}, "litres": {"l", 1}, "ml": {"l", 0.001},
+	// currency (not interconverted; kept distinct)
+	"$": {"usd", 1}, "usd": {"usd", 1}, "€": {"eur", 1}, "eur": {"eur", 1},
+	// misc domain units kept as themselves
+	"fps": {"fps", 1}, "db": {"db", 1}, "nits": {"nits", 1},
+	"shots": {"shots", 1}, "images": {"shots", 1}, "frames": {"shots", 1},
+	"x": {"x", 1}, "times": {"x", 1}, "p": {"p", 1}, "stars": {"stars", 1},
+	"%": {"%", 1}, "years": {"years", 1}, "yr": {"years", 1}, "year": {"years", 1},
+}
+
+var boolWords = map[string]bool{
+	"yes": true, "no": false, "true": true, "false": false,
+	"✓": true, "–": false, "y": true, "n": false,
+}
+
+// Canonical is a parsed, normalised value.
+type Canonical struct {
+	Kind Kind
+	// Num is the numeric value converted to the base unit (KindNumber).
+	Num float64
+	// Unit is the base unit, "" for bare numbers.
+	Unit string
+	// Bool is the flag value (KindBool).
+	Bool bool
+	// Text is the normalised text (KindText): lowercase, space-joined
+	// tokens.
+	Text string
+}
+
+// Parse canonicalises one raw value string.
+func Parse(value string) Canonical {
+	v := strings.TrimSpace(value)
+	if v == "" {
+		return Canonical{Kind: KindText, Text: ""}
+	}
+	// Currency prefix form: "$1,299.00", "€499".
+	for _, cur := range []string{"$", "€"} {
+		if strings.HasPrefix(v, cur) {
+			if n := features.NumericValue(v[len(cur):]); n != -1 {
+				return Canonical{Kind: KindNumber, Num: n, Unit: unitTable[cur].base}
+			}
+		}
+	}
+	// Bare number.
+	if n := features.NumericValue(v); n != -1 {
+		return Canonical{Kind: KindNumber, Num: n}
+	}
+	// Number + unit ("450 g", "0,45 kilograms", "24.2MP").
+	if c, ok := parseNumberUnit(v); ok {
+		return c
+	}
+	// Boolean, possibly elaborated ("Yes (optical stabilization)").
+	lower := strings.ToLower(v)
+	first := lower
+	if i := strings.IndexAny(lower, " (,"); i > 0 {
+		first = lower[:i]
+	}
+	if b, ok := boolWords[first]; ok {
+		return Canonical{Kind: KindBool, Bool: b}
+	}
+	if b, ok := boolWords[lower]; ok {
+		return Canonical{Kind: KindBool, Bool: b}
+	}
+	return Canonical{Kind: KindText, Text: strings.Join(text.Tokenize(v), " ")}
+}
+
+// parseNumberUnit matches "<number><sep?><unit>" forms, including comma
+// decimals.
+func parseNumberUnit(v string) (Canonical, bool) {
+	// Split into leading numeric run and trailing unit.
+	r := []rune(v)
+	i := 0
+	for i < len(r) && (r[i] >= '0' && r[i] <= '9' || r[i] == '.' || r[i] == ',' || r[i] == '-' && i == 0 || r[i] == '+' && i == 0) {
+		i++
+	}
+	if i == 0 {
+		return Canonical{}, false
+	}
+	numPart := strings.ReplaceAll(string(r[:i]), ",", ".")
+	// A thousands-separated integer like 1,299 would have become 1.299;
+	// fall back to the strict parser for the separated form.
+	n := features.NumericValue(numPart)
+	if n == -1 {
+		n = features.NumericValue(string(r[:i]))
+	}
+	if n == -1 {
+		return Canonical{}, false
+	}
+	unit := strings.TrimSpace(strings.ToLower(string(r[i:])))
+	if unit == "" {
+		return Canonical{Kind: KindNumber, Num: n}, true
+	}
+	if e, ok := unitTable[unit]; ok {
+		return Canonical{Kind: KindNumber, Num: n * e.scale, Unit: e.base}, true
+	}
+	// Unknown unit word: still numeric, keep the raw unit.
+	if len(strings.Fields(unit)) == 1 {
+		return Canonical{Kind: KindNumber, Num: n, Unit: unit}, true
+	}
+	return Canonical{}, false
+}
+
+// Profile is the fused representation of a cluster's values.
+type Profile struct {
+	// Kind is the majority kind among parsed values.
+	Kind Kind
+	// Unit is the majority base unit among numeric values.
+	Unit string
+	// Median of the numeric values converted to Unit.
+	Median float64
+	// TrueFraction of boolean values (KindBool).
+	TrueFraction float64
+	// TopText lists the most frequent normalised text values, most
+	// frequent first (up to 5).
+	TopText []string
+	// Agreement is the fraction of values conforming to the majority
+	// kind (and unit, for numbers) — the fusion confidence.
+	Agreement float64
+	// Values is the number of values fused.
+	Values int
+}
+
+// FuseCluster canonicalises and aggregates the values of one property
+// cluster.
+func FuseCluster(values []string) Profile {
+	var p Profile
+	p.Values = len(values)
+	if len(values) == 0 {
+		p.Kind = KindText
+		return p
+	}
+	parsed := make([]Canonical, len(values))
+	kindCount := map[Kind]int{}
+	for i, v := range values {
+		parsed[i] = Parse(v)
+		kindCount[parsed[i].Kind]++
+	}
+	p.Kind = majorityKind(kindCount)
+
+	switch p.Kind {
+	case KindNumber:
+		unitCount := map[string]int{}
+		for _, c := range parsed {
+			if c.Kind == KindNumber {
+				unitCount[c.Unit]++
+			}
+		}
+		p.Unit = majorityString(unitCount)
+		var nums []float64
+		conform := 0
+		for _, c := range parsed {
+			if c.Kind == KindNumber && c.Unit == p.Unit {
+				nums = append(nums, c.Num)
+				conform++
+			}
+		}
+		sort.Float64s(nums)
+		if len(nums) > 0 {
+			if len(nums)%2 == 1 {
+				p.Median = nums[len(nums)/2]
+			} else {
+				p.Median = (nums[len(nums)/2-1] + nums[len(nums)/2]) / 2
+			}
+		}
+		p.Agreement = float64(conform) / float64(len(values))
+	case KindBool:
+		trues, conform := 0, 0
+		for _, c := range parsed {
+			if c.Kind == KindBool {
+				conform++
+				if c.Bool {
+					trues++
+				}
+			}
+		}
+		if conform > 0 {
+			p.TrueFraction = float64(trues) / float64(conform)
+		}
+		p.Agreement = float64(conform) / float64(len(values))
+	default:
+		textCount := map[string]int{}
+		conform := 0
+		for _, c := range parsed {
+			if c.Kind == KindText {
+				conform++
+				textCount[c.Text]++
+			}
+		}
+		type tc struct {
+			t string
+			c int
+		}
+		var tcs []tc
+		for t, c := range textCount {
+			tcs = append(tcs, tc{t, c})
+		}
+		sort.Slice(tcs, func(i, j int) bool {
+			if tcs[i].c != tcs[j].c {
+				return tcs[i].c > tcs[j].c
+			}
+			return tcs[i].t < tcs[j].t
+		})
+		for i, x := range tcs {
+			if i >= 5 {
+				break
+			}
+			p.TopText = append(p.TopText, x.t)
+		}
+		p.Agreement = float64(conform) / float64(len(values))
+	}
+	return p
+}
+
+func majorityKind(counts map[Kind]int) Kind {
+	best, bestN := KindText, -1
+	for _, k := range []Kind{KindNumber, KindBool, KindText} {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	return best
+}
+
+func majorityString(counts map[string]int) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic tie-break
+	best, bestN := "", -1
+	for _, k := range keys {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	return best
+}

@@ -1,0 +1,148 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseBareNumber(t *testing.T) {
+	c := Parse("42.5")
+	if c.Kind != KindNumber || c.Num != 42.5 || c.Unit != "" {
+		t.Errorf("Parse(42.5) = %+v", c)
+	}
+}
+
+func TestParseNumberUnit(t *testing.T) {
+	cases := []struct {
+		in   string
+		num  float64
+		unit string
+	}{
+		{"450 g", 450, "g"},
+		{"0.45 kg", 450, "g"},
+		{"0,45 kg", 450, "g"},
+		{"1 lbs", 453.592, "g"},
+		{"24.2MP", 24.2, "mp"},
+		{"45 megapixels", 45, "mp"},
+		{"12 cm", 120, "mm"},
+		{"3 m", 3000, "mm"},
+		{"2 h", 2, "h"},
+		{"90 min", 5400, "s"},
+		{"16 GB", 16e9, "b"},
+		{"20 khz", 20000, "hz"},
+		{"$1,299.00", 1299, "usd"},
+		{"€499", 499, "eur"},
+		{"499 USD", 499, "usd"},
+		{"5 stars", 5, "stars"},
+	}
+	for _, tc := range cases {
+		c := Parse(tc.in)
+		if c.Kind != KindNumber {
+			t.Errorf("Parse(%q).Kind = %v", tc.in, c.Kind)
+			continue
+		}
+		if math.Abs(c.Num-tc.num) > 1e-9*(1+tc.num) || c.Unit != tc.unit {
+			t.Errorf("Parse(%q) = %v %q, want %v %q", tc.in, c.Num, c.Unit, tc.num, tc.unit)
+		}
+	}
+}
+
+func TestParseUnknownUnitKept(t *testing.T) {
+	c := Parse("12 widgets")
+	if c.Kind != KindNumber || c.Num != 12 || c.Unit != "widgets" {
+		t.Errorf("Parse(12 widgets) = %+v", c)
+	}
+}
+
+func TestParseBool(t *testing.T) {
+	cases := map[string]bool{
+		"yes": true, "Yes": true, "TRUE": true, "✓": true,
+		"no": false, "No": false, "false": false, "–": false,
+		"Yes (optical stabilization)": true,
+	}
+	for in, want := range cases {
+		c := Parse(in)
+		if c.Kind != KindBool || c.Bool != want {
+			t.Errorf("Parse(%q) = %+v, want bool %v", in, c, want)
+		}
+	}
+}
+
+func TestParseText(t *testing.T) {
+	c := Parse("Full Frame CMOS")
+	if c.Kind != KindText || c.Text != "full frame cmos" {
+		t.Errorf("Parse text = %+v", c)
+	}
+	if Parse("").Kind != KindText {
+		t.Error("empty should be text")
+	}
+}
+
+func TestFuseNumericCluster(t *testing.T) {
+	// The same underlying ~450g weight across sources in three formats.
+	p := FuseCluster([]string{"450 g", "0.45 kg", "455 grams", "1 lbs", "0,46 kg"})
+	if p.Kind != KindNumber || p.Unit != "g" {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Median < 440 || p.Median > 470 {
+		t.Errorf("median = %v, want ≈455", p.Median)
+	}
+	if p.Agreement != 1 {
+		t.Errorf("agreement = %v, want 1 (all convert to grams)", p.Agreement)
+	}
+}
+
+func TestFuseMixedJunk(t *testing.T) {
+	p := FuseCluster([]string{"450 g", "0.5 kg", "n/a", "contact seller"})
+	if p.Kind != KindNumber {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if p.Agreement != 0.5 {
+		t.Errorf("agreement = %v, want 0.5", p.Agreement)
+	}
+}
+
+func TestFuseBoolCluster(t *testing.T) {
+	p := FuseCluster([]string{"yes", "Yes (stabilization)", "no", "true"})
+	if p.Kind != KindBool {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if math.Abs(p.TrueFraction-0.75) > 1e-12 {
+		t.Errorf("TrueFraction = %v, want 0.75", p.TrueFraction)
+	}
+}
+
+func TestFuseTextCluster(t *testing.T) {
+	p := FuseCluster([]string{"CMOS", "cmos", "BSI-CMOS", "CCD", "CMOS"})
+	if p.Kind != KindText {
+		t.Fatalf("kind = %v", p.Kind)
+	}
+	if len(p.TopText) == 0 || p.TopText[0] != "cmos" {
+		t.Errorf("TopText = %v, want cmos first", p.TopText)
+	}
+}
+
+func TestFuseEmpty(t *testing.T) {
+	p := FuseCluster(nil)
+	if p.Values != 0 || p.Kind != KindText {
+		t.Errorf("empty profile = %+v", p)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNumber.String() != "number" || KindBool.String() != "bool" || KindText.String() != "text" {
+		t.Error("Kind.String broken")
+	}
+}
+
+func TestFuseCurrencyNotConverted(t *testing.T) {
+	// USD and EUR stay distinct; majority unit wins, agreement reflects
+	// the minority.
+	p := FuseCluster([]string{"$100", "$120", "€110"})
+	if p.Unit != "usd" {
+		t.Errorf("unit = %q, want usd", p.Unit)
+	}
+	if math.Abs(p.Agreement-2.0/3) > 1e-12 {
+		t.Errorf("agreement = %v, want 2/3", p.Agreement)
+	}
+}

@@ -1,0 +1,208 @@
+package integrate
+
+import (
+	"testing"
+
+	"leapme/internal/blocking"
+	"leapme/internal/core"
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+)
+
+var cachedStore *embedding.Store
+
+func getStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	if cachedStore == nil {
+		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
+			domain.CorpusConfig{SentencesPerProp: 50, Seed: 1})
+		cfg := embedding.DefaultGloVeConfig()
+		cfg.Dim = 24
+		cfg.Epochs = 20
+		s, err := embedding.TrainGloVe(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedStore = s
+	}
+	return cachedStore
+}
+
+// setup returns a trained matcher (trained on the first 3 sources) and a
+// 6-source dataset whose remaining sources can be integrated.
+func setup(t *testing.T) (*core.Matcher, *dataset.Dataset) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name:           "int-test",
+		Category:       domain.Cameras(),
+		NumSources:     6,
+		SharedPresence: 0.8,
+		CanonicalBias:  0.55,
+		NoiseProps:     6,
+		MinEntities:    10,
+		MaxEntities:    15,
+		MissingRate:    0.3,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMatcher(getStore(t), core.DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputeFeatures(d)
+	trainSrc := map[string]bool{"source00": true, "source01": true, "source02": true}
+	pairs := core.TrainingPairs(d.PropsOfSources(trainSrc), 2, mathx.NewRand(1))
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil matcher accepted")
+	}
+	m, err := core.NewMatcher(getStore(t), core.DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m); err == nil {
+		t.Error("untrained matcher accepted")
+	}
+}
+
+func TestIncrementalIntegration(t *testing.T) {
+	m, d := setup(t)
+	ig, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First source seeds the graph: no matches possible.
+	first, err := ig.AddSource(d, "source03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 0 {
+		t.Errorf("first source produced %d matches", len(first))
+	}
+	if ig.NumProperties() == 0 {
+		t.Fatal("no properties integrated")
+	}
+
+	// Second source must match against the first.
+	second, err := ig.AddSource(d, "source04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) == 0 {
+		t.Fatal("second source found no matches")
+	}
+	for _, sp := range second {
+		if (sp.A.Source == "source04") == (sp.B.Source == "source04") {
+			t.Fatalf("match does not touch the new source: %v", sp)
+		}
+	}
+
+	third, err := ig.AddSource(d, "source05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) == 0 {
+		t.Fatal("third source found no matches")
+	}
+
+	if got := ig.Sources(); len(got) != 3 {
+		t.Errorf("sources = %v", got)
+	}
+
+	// Accumulated matches must be reasonably correct.
+	truth := map[dataset.Pair]bool{}
+	for _, p := range dataset.MatchingPairs(d.Props) {
+		truth[p] = true
+	}
+	edges := ig.Graph().Edges()
+	tp := 0
+	for _, e := range edges {
+		if truth[dataset.Pair{A: e.A, B: e.B}.Canonical()] {
+			tp++
+		}
+	}
+	prec := float64(tp) / float64(len(edges))
+	t.Logf("incremental integration: %d edges, precision %.3f", len(edges), prec)
+	if prec < 0.3 {
+		t.Errorf("edge precision %.3f too low", prec)
+	}
+
+	// Clusters must be derivable and non-trivial.
+	clusters := ig.Clusters(0.7)
+	multi := 0
+	for _, c := range clusters {
+		if len(c) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-property clusters")
+	}
+}
+
+func TestAddSourceTwice(t *testing.T) {
+	m, d := setup(t)
+	ig, _ := New(m)
+	if _, err := ig.AddSource(d, "source03"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ig.AddSource(d, "source03"); err == nil {
+		t.Error("duplicate source accepted")
+	}
+	if _, err := ig.AddSource(d, "ghost"); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestIntegrationWithBlocker(t *testing.T) {
+	m, d := setup(t)
+	store := getStore(t)
+
+	full, _ := New(m)
+	if _, err := full.AddSource(d, "source03"); err != nil {
+		t.Fatal(err)
+	}
+	fullMatches, err := full.AddSource(d, "source04")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocked, _ := New(m)
+	blocked.Blocker = blocking.Union{
+		blocking.NewTokenBlocker(),
+		blocking.NewEmbeddingBlocker(store),
+	}
+	if _, err := blocked.AddSource(d, "source03"); err != nil {
+		t.Fatal(err)
+	}
+	blockedMatches, err := blocked.AddSource(d, "source04")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The blocker may only lose candidates, never invent matches.
+	fullSet := map[dataset.Pair]bool{}
+	for _, sp := range fullMatches {
+		fullSet[dataset.Pair{A: sp.A, B: sp.B}.Canonical()] = true
+	}
+	for _, sp := range blockedMatches {
+		if !fullSet[dataset.Pair{A: sp.A, B: sp.B}.Canonical()] {
+			t.Fatalf("blocked integration invented match %v", sp)
+		}
+	}
+	if len(blockedMatches) < len(fullMatches)/2 {
+		t.Errorf("blocker lost too many matches: %d vs %d", len(blockedMatches), len(fullMatches))
+	}
+	t.Logf("full=%d blocked=%d matches", len(fullMatches), len(blockedMatches))
+}

@@ -1,0 +1,140 @@
+package mathx
+
+import "fmt"
+
+// Matrix is a dense row-major matrix of float64.
+// The zero value is an empty matrix; use NewMatrix to allocate.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mathx: NewMatrix with negative dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, which must all share the
+// same length. The data is copied.
+func MatrixFromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mathx: MatrixFromRows ragged input: row %d has %d cols, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a mutable slice view into the matrix.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements of m to 0.
+func (m *Matrix) Zero() { Zero(m.Data) }
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*out.Cols+i] = v
+		}
+	}
+	return out
+}
+
+// MulVec computes dst = m · x for a column vector x of length m.Cols,
+// storing the result in dst of length m.Rows.
+func (m *Matrix) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mathx: MulVec shape mismatch: %dx%d by %d into %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// MulVecT computes dst = mᵀ · x for x of length m.Rows, storing into dst of
+// length m.Cols, without materialising the transpose.
+func (m *Matrix) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mathx: MulVecT shape mismatch: %dx%d by %d into %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		AxpyTo(dst, x[i], m.Row(i))
+	}
+}
+
+// Gemm computes c = a · b. The receiver-free form keeps call sites explicit
+// about which operand is which. It panics on shape mismatch. The kernel is
+// the classic ikj loop order, which is cache-friendly for row-major data.
+func Gemm(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("mathx: Gemm shape mismatch: %dx%d · %dx%d into %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	c.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			AxpyTo(crow, aik, brow)
+		}
+	}
+}
+
+// AddOuterTo accumulates m += alpha · x ⊗ y (outer product), where x has
+// length m.Rows and y has length m.Cols.
+func (m *Matrix) AddOuterTo(alpha float64, x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("mathx: AddOuterTo shape mismatch")
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		AxpyTo(m.Row(i), alpha*xi, y)
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled accumulates m += alpha · other, element-wise.
+func (m *Matrix) AddScaled(alpha float64, other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("mathx: AddScaled shape mismatch")
+	}
+	AxpyTo(m.Data, alpha, other.Data)
+}

@@ -1,0 +1,94 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	v := make([]float64, 10000)
+	FillUniform(v, -2, 3, NewRand(1))
+	for _, x := range v {
+		if x < -2 || x >= 3 {
+			t.Fatalf("sample %v outside [-2,3)", x)
+		}
+	}
+	if m := Mean(v); math.Abs(m-0.5) > 0.1 {
+		t.Errorf("uniform mean = %v, want ~0.5", m)
+	}
+}
+
+func TestFillNormalMoments(t *testing.T) {
+	v := make([]float64, 20000)
+	FillNormal(v, 1, 2, NewRand(2))
+	if m := Mean(v); math.Abs(m-1) > 0.1 {
+		t.Errorf("normal mean = %v, want ~1", m)
+	}
+	if s := StdDev(v); math.Abs(s-2) > 0.1 {
+		t.Errorf("normal std = %v, want ~2", s)
+	}
+}
+
+func TestGlorotUniformLimit(t *testing.T) {
+	m := NewMatrix(64, 128)
+	GlorotUniform(m, NewRand(3))
+	limit := math.Sqrt(6.0 / float64(64+128))
+	for _, x := range m.Data {
+		if math.Abs(x) > limit {
+			t.Fatalf("weight %v exceeds glorot limit %v", x, limit)
+		}
+	}
+	// Not all zero.
+	if Norm2(m.Data) == 0 {
+		t.Error("GlorotUniform produced all zeros")
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	idx := SampleWithoutReplacement(10, 5, NewRand(4))
+	if len(idx) != 5 {
+		t.Fatalf("got %d samples", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 10 {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when k > n")
+		}
+	}()
+	SampleWithoutReplacement(3, 4, NewRand(5))
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	Shuffle(idx, NewRand(6))
+	seen := make([]bool, 8)
+	for _, i := range idx {
+		seen[i] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("element %d lost in shuffle", i)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package mathx provides the small dense linear-algebra and statistics
+// kernels used throughout LEAPME: vector arithmetic, dense matrices with a
+// cache-friendly GEMM, reductions, and deterministic random initialisers.
+//
+// All functions operate on []float64 and are allocation-conscious: the
+// mutating variants (AddTo, ScaleTo, ...) write into a caller-supplied
+// destination so hot loops in the neural network and the embedding trainers
+// can reuse buffers.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ; dimension mismatches are programming
+// errors in this codebase, not runtime conditions.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b.
+// If either vector has zero norm the similarity is defined as 0.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// CosineDistance returns 1 - CosineSimilarity(a, b).
+func CosineDistance(a, b []float64) float64 {
+	return 1 - CosineSimilarity(a, b)
+}
+
+// EuclideanDistance returns the L2 distance between a and b.
+func EuclideanDistance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: EuclideanDistance length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Add returns a new vector a+b.
+func Add(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	AddTo(out, a, b)
+	return out
+}
+
+// AddTo stores a+b into dst. dst may alias a or b.
+func AddTo(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("mathx: AddTo length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub returns a new vector a-b.
+func Sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	SubTo(out, a, b)
+	return out
+}
+
+// SubTo stores a-b into dst. dst may alias a or b.
+func SubTo(dst, a, b []float64) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("mathx: SubTo length mismatch")
+	}
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// AbsDiff returns |a-b| element-wise as a new vector.
+func AbsDiff(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("mathx: AbsDiff length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = math.Abs(a[i] - b[i])
+	}
+	return out
+}
+
+// Scale returns a new vector v*s.
+func Scale(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	ScaleTo(out, v, s)
+	return out
+}
+
+// ScaleTo stores v*s into dst. dst may alias v.
+func ScaleTo(dst, v []float64, s float64) {
+	if len(dst) != len(v) {
+		panic("mathx: ScaleTo length mismatch")
+	}
+	for i := range v {
+		dst[i] = v[i] * s
+	}
+}
+
+// AxpyTo computes dst += alpha*x, the classic "axpy" update.
+func AxpyTo(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("mathx: AxpyTo length mismatch")
+	}
+	for i := range x {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every element of v to 0.
+func Zero(v []float64) { Fill(v, 0) }
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Sum returns the sum of all elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Variance returns the population variance of v, or 0 for slices with
+// fewer than two elements.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// Min returns the minimum element of v. It panics on an empty slice.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Min of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum element of v. It panics on an empty slice.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Max of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element of v, or -1 for an
+// empty slice. Ties resolve to the lowest index.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, arg := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, arg = x, i+1
+		}
+	}
+	return arg
+}
+
+// MeanVectors returns the element-wise mean of the given vectors, all of
+// which must share the same length. It returns nil for an empty input.
+func MeanVectors(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		AddTo(out, out, v)
+	}
+	ScaleTo(out, out, 1/float64(len(vs)))
+	return out
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

@@ -1,0 +1,201 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{}, []float64{}, 0},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{1, -1}, []float64{1, 1}, 0},
+		{[]float64{0.5}, []float64{0.5}, 0.25},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Dot(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot did not panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if got := Norm2(v); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(v); !almostEqual(got, 7, 1e-12) {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := CosineSimilarity([]float64{2, 2}, []float64{1, 1}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("parallel cosine = %v, want 1", got)
+	}
+	if got := CosineSimilarity([]float64{1, 1}, []float64{-1, -1}); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("antiparallel cosine = %v, want -1", got)
+	}
+	if got := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("zero-vector cosine = %v, want 0", got)
+	}
+}
+
+func TestCosineSimilarityBounds(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		// testing/quick generates values up to ±MaxFloat64, whose squares
+		// overflow; fold inputs into a sane range first.
+		av, bv := make([]float64, 8), make([]float64, 8)
+		for i := range a {
+			av[i] = math.Remainder(a[i], 1e6)
+			bv[i] = math.Remainder(b[i], 1e6)
+		}
+		c := CosineSimilarity(av, bv)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Add(a, b); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got[0] != 3 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(a, 2); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := AbsDiff(a, b); got[0] != 3 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("AbsDiff = %v", got)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		s := Add(a[:], b[:])
+		r := Sub(s, b[:])
+		for i := range r {
+			if !almostEqual(r[i], a[i], 1e-6*(1+math.Abs(a[i])+math.Abs(b[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxpyTo(t *testing.T) {
+	dst := []float64{1, 1}
+	AxpyTo(dst, 2, []float64{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("AxpyTo = %v", dst)
+	}
+}
+
+func TestAliasingAddTo(t *testing.T) {
+	a := []float64{1, 2}
+	AddTo(a, a, a) // a = a+a
+	if a[0] != 2 || a[1] != 4 {
+		t.Errorf("aliased AddTo = %v", a)
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := StdDev(v); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance singleton = %v", got)
+	}
+}
+
+func TestMinMaxArgMax(t *testing.T) {
+	v := []float64{3, -1, 7, 7, 0}
+	if got := Min(v); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(v); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := ArgMax(v); got != 2 {
+		t.Errorf("ArgMax = %v, want first of tied maxima", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %v", got)
+	}
+}
+
+func TestMeanVectors(t *testing.T) {
+	got := MeanVectors([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("MeanVectors = %v", got)
+	}
+	if MeanVectors(nil) != nil {
+		t.Error("MeanVectors(nil) should be nil")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	if got := EuclideanDistance([]float64{0, 0}, []float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("EuclideanDistance = %v", got)
+	}
+}
+
+func TestEuclideanTriangleInequality(t *testing.T) {
+	f := func(a, b, c [5]float64) bool {
+		ab := EuclideanDistance(a[:], b[:])
+		bc := EuclideanDistance(b[:], c[:])
+		ac := EuclideanDistance(a[:], c[:])
+		return ac <= ab+bc+1e-9*(1+ab+bc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

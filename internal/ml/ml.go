@@ -1,0 +1,54 @@
+// Package ml implements the classic supervised classifiers used by the
+// Nezhadi et al. baseline (ontology alignment with machine learning over
+// string-similarity features): a CART decision tree, AdaBoost over decision
+// stumps, k-nearest-neighbours, Gaussian naive Bayes and logistic
+// regression. All are binary classifiers exposing a positive-class
+// probability, mirroring LEAPME's use of the network's positive output as
+// a similarity score.
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a trainable binary classifier.
+type Classifier interface {
+	// Fit trains on feature vectors xs with labels ys in {0, 1}.
+	Fit(xs [][]float64, ys []int) error
+	// PredictProba returns the estimated probability of class 1.
+	PredictProba(x []float64) float64
+	// Name identifies the classifier.
+	Name() string
+}
+
+// Predict returns the hard class under threshold 0.5.
+func Predict(c Classifier, x []float64) int {
+	if c.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// validate checks a common precondition for all Fit implementations.
+func validate(xs [][]float64, ys []int) (dim int, err error) {
+	if len(xs) == 0 {
+		return 0, errors.New("ml: empty training set")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("ml: %d examples but %d labels", len(xs), len(ys))
+	}
+	dim = len(xs[0])
+	if dim == 0 {
+		return 0, errors.New("ml: zero-dimensional features")
+	}
+	for i, x := range xs {
+		if len(x) != dim {
+			return 0, fmt.Errorf("ml: example %d has dim %d, want %d", i, len(x), dim)
+		}
+		if ys[i] != 0 && ys[i] != 1 {
+			return 0, fmt.Errorf("ml: label %d of example %d not in {0,1}", ys[i], i)
+		}
+	}
+	return dim, nil
+}

@@ -1,0 +1,204 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"leapme/internal/mathx"
+)
+
+// KNN is a k-nearest-neighbours classifier with Euclidean distance.
+type KNN struct {
+	// K is the neighbourhood size (default 5).
+	K int
+
+	xs [][]float64
+	ys []int
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return fmt.Sprintf("knn(k=%d)", k.K) }
+
+// Fit implements Classifier (lazy learner: memorises the training set).
+func (k *KNN) Fit(xs [][]float64, ys []int) error {
+	if _, err := validate(xs, ys); err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.xs, k.ys = xs, ys
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (k *KNN) PredictProba(x []float64) float64 {
+	if len(k.xs) == 0 {
+		return 0.5
+	}
+	type cand struct {
+		d float64
+		y int
+	}
+	cands := make([]cand, len(k.xs))
+	for i, xi := range k.xs {
+		cands[i] = cand{d: mathx.EuclideanDistance(x, xi), y: k.ys[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	kk := k.K
+	if kk > len(cands) {
+		kk = len(cands)
+	}
+	pos := 0
+	for _, c := range cands[:kk] {
+		pos += c.y
+	}
+	return float64(pos) / float64(kk)
+}
+
+// GaussianNB is a Gaussian naive Bayes classifier.
+type GaussianNB struct {
+	prior        [2]float64
+	mean, varian [2][]float64
+}
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "gaussian-nb" }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(xs [][]float64, ys []int) error {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return err
+	}
+	var count [2]int
+	for c := 0; c < 2; c++ {
+		g.mean[c] = make([]float64, dim)
+		g.varian[c] = make([]float64, dim)
+	}
+	for i, x := range xs {
+		c := ys[i]
+		count[c]++
+		mathx.AddTo(g.mean[c], g.mean[c], x)
+	}
+	for c := 0; c < 2; c++ {
+		g.prior[c] = float64(count[c]) / float64(len(xs))
+		if count[c] > 0 {
+			mathx.ScaleTo(g.mean[c], g.mean[c], 1/float64(count[c]))
+		}
+	}
+	for i, x := range xs {
+		c := ys[i]
+		for j, v := range x {
+			d := v - g.mean[c][j]
+			g.varian[c][j] += d * d
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range g.varian[c] {
+			if count[c] > 0 {
+				g.varian[c][j] /= float64(count[c])
+			}
+			// Variance smoothing keeps degenerate features finite.
+			if g.varian[c][j] < 1e-9 {
+				g.varian[c][j] = 1e-9
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (g *GaussianNB) PredictProba(x []float64) float64 {
+	if g.mean[0] == nil {
+		return 0.5
+	}
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		if g.prior[c] == 0 {
+			logp[c] = math.Inf(-1)
+			continue
+		}
+		lp := math.Log(g.prior[c])
+		for j, v := range x {
+			d := v - g.mean[c][j]
+			lp += -0.5*math.Log(2*math.Pi*g.varian[c][j]) - d*d/(2*g.varian[c][j])
+		}
+		logp[c] = lp
+	}
+	// Normalise in log space.
+	m := math.Max(logp[0], logp[1])
+	p0 := math.Exp(logp[0] - m)
+	p1 := math.Exp(logp[1] - m)
+	return p1 / (p0 + p1)
+}
+
+// LogisticRegression is L2-regularised logistic regression fitted by
+// full-batch gradient descent.
+type LogisticRegression struct {
+	// LR is the learning rate (default 0.1).
+	LR float64
+	// Iters is the number of gradient steps (default 500).
+	Iters int
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+
+	w []float64
+	b float64
+}
+
+// Name implements Classifier.
+func (l *LogisticRegression) Name() string { return "logreg" }
+
+// Fit implements Classifier.
+func (l *LogisticRegression) Fit(xs [][]float64, ys []int) error {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return err
+	}
+	if l.LR <= 0 {
+		l.LR = 0.1
+	}
+	if l.Iters <= 0 {
+		l.Iters = 500
+	}
+	if l.L2 < 0 {
+		l.L2 = 1e-4
+	}
+	l.w = make([]float64, dim)
+	l.b = 0
+	gw := make([]float64, dim)
+	n := float64(len(xs))
+	for it := 0; it < l.Iters; it++ {
+		mathx.Zero(gw)
+		gb := 0.0
+		for i, x := range xs {
+			p := l.PredictProba(x)
+			diff := p - float64(ys[i])
+			mathx.AxpyTo(gw, diff, x)
+			gb += diff
+		}
+		for j := range gw {
+			gw[j] = gw[j]/n + l.L2*l.w[j]
+		}
+		mathx.AxpyTo(l.w, -l.LR, gw)
+		l.b -= l.LR * gb / n
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (l *LogisticRegression) PredictProba(x []float64) float64 {
+	if l.w == nil {
+		return 0.5
+	}
+	z := mathx.Dot(l.w, x) + l.b
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}

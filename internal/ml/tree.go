@@ -1,0 +1,143 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DecisionTree is a CART-style binary classification tree with Gini
+// impurity splits.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (<=0 means unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum examples per leaf (default 1).
+	MinLeaf int
+
+	root *treeNode
+	dim  int
+}
+
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	leafProb float64 // P(class 1) at a leaf
+	isLeaf   bool
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string {
+	return fmt.Sprintf("cart(maxDepth=%d,minLeaf=%d)", t.MaxDepth, t.MinLeaf)
+}
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(xs [][]float64, ys []int) error {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return err
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 1
+	}
+	t.dim = dim
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(xs, ys, idx, 0)
+	return nil
+}
+
+func (t *DecisionTree) build(xs [][]float64, ys []int, idx []int, depth int) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		pos += ys[i]
+	}
+	prob := float64(pos) / float64(len(idx))
+	if pos == 0 || pos == len(idx) ||
+		(t.MaxDepth > 0 && depth >= t.MaxDepth) ||
+		len(idx) < 2*t.MinLeaf {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+
+	bestFeat, bestThresh, bestGini := -1, 0.0, giniOf(pos, len(idx))
+	sorted := make([]int, len(idx))
+	for f := 0; f < t.dim; f++ {
+		copy(sorted, idx)
+		sort.Slice(sorted, func(a, b int) bool { return xs[sorted[a]][f] < xs[sorted[b]][f] })
+		leftPos, leftN := 0, 0
+		for k := 0; k < len(sorted)-1; k++ {
+			leftPos += ys[sorted[k]]
+			leftN++
+			if xs[sorted[k]][f] == xs[sorted[k+1]][f] {
+				continue // can't split between equal values
+			}
+			if leftN < t.MinLeaf || len(sorted)-leftN < t.MinLeaf {
+				continue
+			}
+			rightPos, rightN := pos-leftPos, len(sorted)-leftN
+			g := (float64(leftN)*giniOf(leftPos, leftN) + float64(rightN)*giniOf(rightPos, rightN)) / float64(len(sorted))
+			if g < bestGini-1e-12 {
+				bestGini = g
+				bestFeat = f
+				bestThresh = (xs[sorted[k]][f] + xs[sorted[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{isLeaf: true, leafProb: prob}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if xs[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    t.build(xs, ys, leftIdx, depth+1),
+		right:   t.build(xs, ys, rightIdx, depth+1),
+	}
+}
+
+func giniOf(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// PredictProba implements Classifier.
+func (t *DecisionTree) PredictProba(x []float64) float64 {
+	node := t.root
+	if node == nil {
+		return 0.5
+	}
+	for !node.isLeaf {
+		if x[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.leafProb
+}
+
+// Depth returns the depth of the fitted tree (0 for a single leaf).
+func (t *DecisionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.isLeaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

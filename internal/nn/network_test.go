@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"leapme/internal/mathx"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{InDim: 0, Out: 2}); err == nil {
+		t.Error("zero input dim accepted")
+	}
+	if _, err := New(Config{InDim: 3, Out: 0}); err == nil {
+		t.Error("zero output dim accepted")
+	}
+	if _, err := New(Config{InDim: 3, Hidden: []int{-1}, Out: 2}); err == nil {
+		t.Error("negative hidden width accepted")
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	n, err := New(PaperConfig(700, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InDim() != 700 || n.OutDim() != 2 {
+		t.Errorf("dims = %d → %d", n.InDim(), n.OutDim())
+	}
+	if len(n.layers) != 3 {
+		t.Errorf("layer count = %d, want 3 (128, 64, 2)", len(n.layers))
+	}
+	if n.layers[0].w.Rows != 128 || n.layers[1].w.Rows != 64 {
+		t.Errorf("hidden widths = %d, %d", n.layers[0].w.Rows, n.layers[1].w.Rows)
+	}
+}
+
+func TestForwardIsDistribution(t *testing.T) {
+	n, _ := New(Config{InDim: 4, Hidden: []int{8}, Out: 3, Seed: 1})
+	p, err := n.Forward([]float64{0.1, -0.2, 0.3, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability %v outside [0,1]", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestForwardDimCheck(t *testing.T) {
+	n, _ := New(Config{InDim: 4, Out: 2, Seed: 1})
+	if _, err := n.Forward([]float64{1, 2}); err == nil {
+		t.Error("wrong input dim accepted")
+	}
+}
+
+func TestPositiveScore(t *testing.T) {
+	n, _ := New(Config{InDim: 2, Out: 2, Seed: 1})
+	s, err := n.PositiveScore([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0 || s > 1 {
+		t.Errorf("score %v outside [0,1]", s)
+	}
+	n1, _ := New(Config{InDim: 2, Out: 1, Seed: 1})
+	if _, err := n1.PositiveScore([]float64{1, 2}); err == nil {
+		t.Error("1-class PositiveScore accepted")
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	dst := make([]float64, 3)
+	softmax(dst, []float64{1000, 1000, 1000})
+	for _, v := range dst {
+		if math.IsNaN(v) || math.Abs(v-1.0/3) > 1e-9 {
+			t.Errorf("softmax of large equal logits = %v", dst)
+		}
+	}
+	softmax(dst, []float64{-1000, 0, 1000})
+	if dst[2] < 0.999 {
+		t.Errorf("softmax should saturate: %v", dst)
+	}
+}
+
+// TestGradientCheck verifies backpropagation against central-difference
+// numerical gradients on every parameter of a small network.
+func TestGradientCheck(t *testing.T) {
+	n, _ := New(Config{InDim: 3, Hidden: []int{5, 4}, Out: 2, Activation: ActTanh, Seed: 3})
+	x := []float64{0.3, -0.7, 0.2}
+	label := 1
+
+	loss := func() float64 {
+		p, err := n.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return -math.Log(math.Max(p[label], 1e-300))
+	}
+
+	// Analytic gradients.
+	probs, _ := n.Forward(x)
+	// Forward again through internal path to set layer caches, then backward.
+	h := x
+	for _, l := range n.layers {
+		h = l.forward(h)
+	}
+	pr := make([]float64, len(probs))
+	softmax(pr, h)
+	n.zeroGrads()
+	n.backward(pr, label)
+
+	const eps = 1e-6
+	for li, l := range n.layers {
+		for i := range l.w.Data {
+			orig := l.w.Data[i]
+			l.w.Data[i] = orig + eps
+			up := loss()
+			l.w.Data[i] = orig - eps
+			down := loss()
+			l.w.Data[i] = orig
+			num := (up - down) / (2 * eps)
+			ana := l.gw.Data[i]
+			if math.Abs(num-ana) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("layer %d weight %d: numeric %g vs analytic %g", li, i, num, ana)
+			}
+		}
+		for i := range l.b {
+			orig := l.b[i]
+			l.b[i] = orig + eps
+			up := loss()
+			l.b[i] = orig - eps
+			down := loss()
+			l.b[i] = orig
+			num := (up - down) / (2 * eps)
+			ana := l.gb[i]
+			if math.Abs(num-ana) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("layer %d bias %d: numeric %g vs analytic %g", li, i, num, ana)
+			}
+		}
+	}
+}
+
+func TestActivations(t *testing.T) {
+	if ActReLU.apply(-1) != 0 || ActReLU.apply(2) != 2 {
+		t.Error("ReLU broken")
+	}
+	if math.Abs(ActSigmoid.apply(0)-0.5) > 1e-12 {
+		t.Error("sigmoid(0) != 0.5")
+	}
+	if ActTanh.apply(0) != 0 {
+		t.Error("tanh(0) != 0")
+	}
+	if ActIdentity.apply(3.14) != 3.14 {
+		t.Error("identity broken")
+	}
+	// derivFromOutput consistency for sigmoid: σ'(0) = 0.25.
+	if math.Abs(ActSigmoid.derivFromOutput(0.5)-0.25) > 1e-12 {
+		t.Error("sigmoid derivative broken")
+	}
+	for _, a := range []Activation{ActReLU, ActSigmoid, ActTanh, ActIdentity} {
+		if a.String() == "invalid" {
+			t.Errorf("activation %d has no name", a)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := New(Config{InDim: 5, Hidden: []int{7}, Out: 2, Seed: 9})
+	b, _ := New(Config{InDim: 5, Hidden: []int{7}, Out: 2, Seed: 9})
+	for li := range a.layers {
+		for i := range a.layers[li].w.Data {
+			if a.layers[li].w.Data[i] != b.layers[li].w.Data[i] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+	c, _ := New(Config{InDim: 5, Hidden: []int{7}, Out: 2, Seed: 10})
+	same := true
+	for li := range a.layers {
+		for i := range a.layers[li].w.Data {
+			if a.layers[li].w.Data[i] != c.layers[li].w.Data[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	n, _ := New(Config{InDim: 2, Out: 2, Seed: 1})
+	c, err := n.Classify([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 && c != 1 {
+		t.Errorf("class = %d", c)
+	}
+}
+
+func TestGradAccumulationScaling(t *testing.T) {
+	n, _ := New(Config{InDim: 2, Hidden: []int{3}, Out: 2, Seed: 4})
+	x := []float64{1, -1}
+	h := x
+	for _, l := range n.layers {
+		h = l.forward(h)
+	}
+	pr := make([]float64, 2)
+	softmax(pr, h)
+	n.zeroGrads()
+	n.backward(pr, 0)
+	g1 := mathx.Clone(n.layers[0].gw.Data)
+	// Backward twice accumulates, then scaling by 2 averages.
+	h = x
+	for _, l := range n.layers {
+		h = l.forward(h)
+	}
+	softmax(pr, h)
+	n.backward(pr, 0)
+	n.scaleGrads(2)
+	for i := range g1 {
+		if math.Abs(n.layers[0].gw.Data[i]-g1[i]) > 1e-12 {
+			t.Fatal("gradient accumulation + scaling is not an average")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary model format: magic, layer count, then per layer
+// (rows, cols, activation, weights row-major, biases), all little-endian.
+const modelMagic = "LEAPMENN"
+
+// WriteTo serialises the network's architecture and weights.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(k int, err error) error {
+		written += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(modelMagic)); err != nil {
+		return written, err
+	}
+	buf := make([]byte, 8)
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		return count(bw.Write(buf[:4]))
+	}
+	writeF64 := func(v float64) error {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		return count(bw.Write(buf))
+	}
+	if err := writeU32(uint32(len(n.layers))); err != nil {
+		return written, err
+	}
+	for _, l := range n.layers {
+		if err := writeU32(uint32(l.w.Rows)); err != nil {
+			return written, err
+		}
+		if err := writeU32(uint32(l.w.Cols)); err != nil {
+			return written, err
+		}
+		if err := writeU32(uint32(l.act)); err != nil {
+			return written, err
+		}
+		for _, x := range l.w.Data {
+			if err := writeF64(x); err != nil {
+				return written, err
+			}
+		}
+		for _, x := range l.b {
+			if err := writeF64(x); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserialises a network written by WriteTo.
+func Read(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	buf := make([]byte, 8)
+	readU32 := func() (int, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return int(binary.LittleEndian.Uint32(buf[:4])), nil
+	}
+	readF64 := func() (float64, error) {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
+	}
+	nLayers, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading layer count: %w", err)
+	}
+	if nLayers <= 0 || nLayers > 1024 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", nLayers)
+	}
+	n := &Network{}
+	for li := 0; li < nLayers; li++ {
+		rows, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d rows: %w", li, err)
+		}
+		cols, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d cols: %w", li, err)
+		}
+		actI, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d activation: %w", li, err)
+		}
+		if rows <= 0 || cols <= 0 || rows > 1<<20 || cols > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible layer %d shape %dx%d", li, rows, cols)
+		}
+		if actI > int(ActIdentity) {
+			return nil, fmt.Errorf("nn: unknown activation %d in layer %d", actI, li)
+		}
+		l := newLayer(cols, rows, Activation(actI), zeroRand{})
+		for i := range l.w.Data {
+			if l.w.Data[i], err = readF64(); err != nil {
+				return nil, fmt.Errorf("nn: layer %d weights: %w", li, err)
+			}
+		}
+		for i := range l.b {
+			if l.b[i], err = readF64(); err != nil {
+				return nil, fmt.Errorf("nn: layer %d biases: %w", li, err)
+			}
+		}
+		if li == 0 {
+			n.inDim = cols
+		} else if prev := n.layers[li-1]; prev.w.Rows != cols {
+			return nil, fmt.Errorf("nn: layer %d input dim %d does not match previous output %d", li, cols, prev.w.Rows)
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n, nil
+}
+
+// zeroRand satisfies the initialiser interface with zeros; Read overwrites
+// all weights anyway.
+type zeroRand struct{}
+
+func (zeroRand) Float64() float64 { return 0 }

@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"leapme/internal/mathx"
+)
+
+// Phase is one stage of the learning-rate schedule.
+type Phase struct {
+	Epochs int
+	LR     float64
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	// Schedule is the staged learning-rate plan. The paper's schedule is
+	// 10 epochs at 1e-3, then 5 at 1e-4, then 5 at 1e-5.
+	Schedule []Phase
+	// BatchSize is the mini-batch size (paper: 32).
+	BatchSize int
+	// Optimizer defaults to Adam when nil.
+	Optimizer Optimizer
+	// WeightDecay applies decoupled L2 weight decay (AdamW-style) after
+	// each optimizer step: w ← w·(1 − lr·WeightDecay). The paper's
+	// configuration has none; the option exists for the regularisation
+	// ablation.
+	WeightDecay float64
+	// Seed drives batch shuffling.
+	Seed int64
+	// OnEpoch, if non-nil, receives (epochIndex, meanLoss) after each
+	// epoch — useful for logging and learning curves.
+	OnEpoch func(epoch int, loss float64)
+}
+
+// PaperSchedule returns the LR schedule of Section IV-D.
+func PaperSchedule() []Phase {
+	return []Phase{{Epochs: 10, LR: 1e-3}, {Epochs: 5, LR: 1e-4}, {Epochs: 5, LR: 1e-5}}
+}
+
+// DefaultTrainConfig returns the paper's training hyper-parameters.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{Schedule: PaperSchedule(), BatchSize: 32, Optimizer: NewAdam(), Seed: seed}
+}
+
+// Fit trains the network on (xs, ys) with mini-batch gradient descent.
+// ys[i] is the class index of xs[i]. It returns the mean loss of the final
+// epoch.
+func (n *Network) Fit(xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("nn: Fit with no training examples")
+	}
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("nn: %d inputs but %d labels", len(xs), len(ys))
+	}
+	out := n.OutDim()
+	for i, x := range xs {
+		if len(x) != n.inDim {
+			return 0, fmt.Errorf("nn: example %d has dim %d, want %d", i, len(x), n.inDim)
+		}
+		if ys[i] < 0 || ys[i] >= out {
+			return 0, fmt.Errorf("nn: label %d of example %d outside [0, %d)", ys[i], i, out)
+		}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam()
+	}
+	if len(cfg.Schedule) == 0 {
+		cfg.Schedule = PaperSchedule()
+	}
+
+	rng := mathx.NewRand(cfg.Seed)
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	probs := make([]float64, out)
+
+	var lastLoss float64
+	epoch := 0
+	for _, phase := range cfg.Schedule {
+		for e := 0; e < phase.Epochs; e++ {
+			mathx.Shuffle(order, rng)
+			var epochLoss float64
+			for start := 0; start < len(order); start += cfg.BatchSize {
+				end := start + cfg.BatchSize
+				if end > len(order) {
+					end = len(order)
+				}
+				n.zeroGrads()
+				for _, idx := range order[start:end] {
+					h := xs[idx]
+					for _, l := range n.layers {
+						h = l.forward(h)
+					}
+					softmax(probs, h)
+					epochLoss += n.backward(probs, ys[idx])
+				}
+				n.scaleGrads(float64(end - start))
+				cfg.Optimizer.Step(n, phase.LR)
+				if cfg.WeightDecay > 0 {
+					shrink := 1 - phase.LR*cfg.WeightDecay
+					for _, l := range n.layers {
+						l.w.Scale(shrink) // biases are conventionally not decayed
+					}
+				}
+			}
+			lastLoss = epochLoss / float64(len(xs))
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(epoch, lastLoss)
+			}
+			epoch++
+		}
+	}
+	return lastLoss, nil
+}

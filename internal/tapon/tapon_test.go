@@ -1,0 +1,171 @@
+package tapon
+
+import (
+	"testing"
+
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+)
+
+var cachedStore *embedding.Store
+
+func getStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	if cachedStore == nil {
+		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
+			domain.CorpusConfig{SentencesPerProp: 50, Seed: 1})
+		cfg := embedding.DefaultGloVeConfig()
+		cfg.Dim = 24
+		cfg.Epochs = 20
+		s, err := embedding.TrainGloVe(corpus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedStore = s
+	}
+	return cachedStore
+}
+
+func cameraClasses() []string {
+	var out []string
+	for _, p := range domain.Cameras().Props {
+		out = append(out, p.Canonical)
+	}
+	return out
+}
+
+func genData(t *testing.T, seed int64, sources int) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.GenConfig{
+		Name:           "tapon-test",
+		Category:       domain.Cameras(),
+		NumSources:     sources,
+		SharedPresence: 0.85,
+		CanonicalBias:  0.5,
+		NoiseProps:     4,
+		MinEntities:    25,
+		MaxEntities:    35,
+		MissingRate:    0.25,
+		Seed:           seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, cameraClasses(), DefaultOptions(1)); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := New(getStore(t), []string{"one"}, DefaultOptions(1)); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestLabelBeforeTrain(t *testing.T) {
+	l, err := New(getStore(t), cameraClasses(), DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Label(genData(t, 1, 3)); err == nil {
+		t.Error("Label before Train accepted")
+	}
+}
+
+func TestTrainNeedsLabeledSlots(t *testing.T) {
+	l, _ := New(getStore(t), cameraClasses(), DefaultOptions(1))
+	empty := &dataset.Dataset{Name: "empty", Sources: []string{"s"}, Props: nil}
+	if err := l.Train(empty); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+// TestSemanticLabelling is the package's core check: trained on some
+// sources' instance values, TAPON must label a held-out source's
+// properties far better than chance — *without looking at names*.
+func TestSemanticLabelling(t *testing.T) {
+	store := getStore(t)
+	train := genData(t, 2, 5)
+	test := genData(t, 99, 3) // different seed: new sources, names, values
+
+	l, err := New(store, cameraClasses(), DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := l.Label(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) == 0 {
+		t.Fatal("no predictions")
+	}
+	acc2, acc1, n := Accuracy(preds, test)
+	t.Logf("TAPON accuracy: phase2=%.3f phase1=%.3f over %d labeled slots", acc2, acc1, n)
+	if n < 20 {
+		t.Fatalf("too few labeled slots: %d", n)
+	}
+	chance := 1.0 / float64(len(cameraClasses()))
+	if acc2 < 5*chance {
+		t.Errorf("phase-2 accuracy %.3f not above chance %.3f", acc2, chance)
+	}
+	if acc2 < 0.4 {
+		t.Errorf("phase-2 accuracy %.3f too low for value-based labelling", acc2)
+	}
+	// The second phase must not be substantially worse than the first.
+	if acc2 < acc1-0.05 {
+		t.Errorf("phase 2 (%.3f) degraded phase 1 (%.3f)", acc2, acc1)
+	}
+}
+
+func TestPredictionsHaveConfidence(t *testing.T) {
+	store := getStore(t)
+	d := genData(t, 3, 4)
+	l, _ := New(store, cameraClasses(), DefaultOptions(1))
+	if err := l.Train(d); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := l.Label(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if p.Confidence <= 0 || p.Confidence > 1 {
+			t.Fatalf("confidence %v outside (0,1]", p.Confidence)
+		}
+		if p.Label == "" || p.Phase1Label == "" {
+			t.Fatal("empty label")
+		}
+	}
+}
+
+func TestClassesSorted(t *testing.T) {
+	l, _ := New(getStore(t), []string{"b", "a", "c"}, DefaultOptions(1))
+	cs := l.Classes()
+	if cs[0] != "a" || cs[1] != "b" || cs[2] != "c" {
+		t.Errorf("classes = %v", cs)
+	}
+}
+
+func TestAccuracyIgnoresNoise(t *testing.T) {
+	d := &dataset.Dataset{
+		Name:    "x",
+		Sources: []string{"s"},
+		Props: []dataset.Property{
+			{Source: "s", Name: "p1", Ref: "weight"},
+			{Source: "s", Name: "p2", Ref: ""},
+		},
+	}
+	preds := []Prediction{
+		{Key: dataset.Key{Source: "s", Name: "p1"}, Label: "weight", Phase1Label: "price"},
+		{Key: dataset.Key{Source: "s", Name: "p2"}, Label: "weight", Phase1Label: "weight"},
+	}
+	a2, a1, n := Accuracy(preds, d)
+	if n != 1 || a2 != 1 || a1 != 0 {
+		t.Errorf("Accuracy = %v %v %v", a2, a1, n)
+	}
+}

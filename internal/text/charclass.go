@@ -1,0 +1,158 @@
+package text
+
+import "unicode"
+
+// CharClass enumerates the character categories counted by the TAPON-style
+// instance meta-features (Table I row 1 of the paper).
+type CharClass int
+
+// The character classes, in feature-vector order.
+const (
+	CharUpper     CharClass = iota // uppercase letters
+	CharLower                      // lowercase letters
+	CharOtherLet                   // letters that are neither upper nor lower (e.g. CJK)
+	CharMark                       // combining marks (Unicode category M)
+	CharNumber                     // numeric characters (category N)
+	CharPunct                      // punctuation (category P)
+	CharSymbol                     // symbols (category S)
+	CharSeparator                  // separators, including spaces (category Z)
+	CharOther                      // everything else (controls, unassigned)
+
+	NumCharClasses
+)
+
+var charClassNames = [...]string{
+	"upper", "lower", "otherLetter", "mark", "number",
+	"punct", "symbol", "separator", "other",
+}
+
+// String returns a short identifier for the class.
+func (c CharClass) String() string {
+	if c < 0 || int(c) >= len(charClassNames) {
+		return "invalid"
+	}
+	return charClassNames[c]
+}
+
+// ClassifyRune maps a rune to its CharClass.
+func ClassifyRune(r rune) CharClass {
+	switch {
+	case unicode.IsUpper(r):
+		return CharUpper
+	case unicode.IsLower(r):
+		return CharLower
+	case unicode.IsLetter(r):
+		return CharOtherLet
+	case unicode.IsMark(r):
+		return CharMark
+	case unicode.IsNumber(r):
+		return CharNumber
+	case unicode.IsPunct(r):
+		return CharPunct
+	case unicode.IsSymbol(r):
+		return CharSymbol
+	case unicode.IsSpace(r) || unicode.In(r, unicode.Z):
+		return CharSeparator
+	default:
+		return CharOther
+	}
+}
+
+// CharClassCounts returns the number of runes of each class in s and the
+// total rune count.
+func CharClassCounts(s string) (counts [NumCharClasses]int, total int) {
+	for _, r := range s {
+		counts[ClassifyRune(r)]++
+		total++
+	}
+	return counts, total
+}
+
+// TokenClass enumerates the token categories of the TAPON token-type
+// features (Table I row 2 of the paper).
+type TokenClass int
+
+// The token classes, in feature-vector order.
+const (
+	TokWord      TokenClass = iota // any token containing at least one letter
+	TokLowerInit                   // words starting with a lowercase letter
+	TokCapital                     // uppercase first letter followed by a non-separator
+	TokUpper                       // tokens consisting entirely of uppercase letters
+	TokNumeric                     // tokens parseable as numeric strings
+
+	NumTokenClasses
+)
+
+var tokenClassNames = [...]string{"word", "lowerInit", "capitalized", "upper", "numeric"}
+
+// String returns a short identifier for the class.
+func (c TokenClass) String() string {
+	if c < 0 || int(c) >= len(tokenClassNames) {
+		return "invalid"
+	}
+	return tokenClassNames[c]
+}
+
+// ClassifyToken reports which token classes tok belongs to. The classes are
+// not mutually exclusive: "Nikon" is both a word and capitalized.
+func ClassifyToken(tok string) (in [NumTokenClasses]bool) {
+	if tok == "" {
+		return in
+	}
+	runes := []rune(tok)
+	hasLetter := false
+	allUpper := true
+	for _, r := range runes {
+		if unicode.IsLetter(r) {
+			hasLetter = true
+			if !unicode.IsUpper(r) {
+				allUpper = false
+			}
+		} else {
+			allUpper = false
+		}
+	}
+	in[TokWord] = hasLetter
+	in[TokLowerInit] = unicode.IsLower(runes[0])
+	in[TokCapital] = unicode.IsUpper(runes[0]) && len(runes) > 1 && !unicode.IsSpace(runes[1])
+	in[TokUpper] = hasLetter && allUpper
+	in[TokNumeric] = isNumericString(tok)
+	return in
+}
+
+// TokenClassCounts counts, over the whitespace tokens of s, how many tokens
+// fall in each token class, plus the total token count.
+func TokenClassCounts(s string) (counts [NumTokenClasses]int, total int) {
+	for _, tok := range Words(s) {
+		in := ClassifyToken(tok)
+		for c := TokenClass(0); c < NumTokenClasses; c++ {
+			if in[c] {
+				counts[c]++
+			}
+		}
+		total++
+	}
+	return counts, total
+}
+
+func isNumericString(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	seenDigit := false
+	seenDot := false
+	for i, r := range tok {
+		switch {
+		case unicode.IsDigit(r):
+			seenDigit = true
+		case (r == '-' || r == '+') && i == 0:
+		case r == '.' && !seenDot:
+			seenDot = true
+		case r == ',':
+			// Thousands separators are common in product specs ("1,920").
+		default:
+			return false
+		}
+	}
+	return seenDigit
+}

@@ -1,0 +1,18 @@
+// Package text implements the lexical machinery LEAPME's features are built
+// on: a tokenizer shared by the feature extractor and the embedding corpus
+// reader, Unicode character classification matching the TAPON meta-features
+// (Table I rows 1–2 of the paper), q-gram profiles, and the eight string
+// distances used as property-pair features (Table I rows 8–15):
+//
+//   - optimal string alignment distance (restricted Damerau–Levenshtein)
+//   - Levenshtein distance
+//   - full (unrestricted) Damerau–Levenshtein distance
+//   - longest common substring distance
+//   - q-gram (3-gram) distance
+//   - cosine distance between 3-gram profiles
+//   - Jaccard distance between 3-gram profiles
+//   - Jaro–Winkler distance
+//
+// All pairwise distances are exposed both raw and normalised to [0, 1] so
+// classifiers see comparable scales regardless of string length.
+package text

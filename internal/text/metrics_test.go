@@ -1,0 +1,288 @@
+package text
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"ca", "abc", 3},
+		{"résumé", "resume", 2},
+		{"megapixels", "megapixel", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOSA(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"ab", "ba", 1},  // single transposition
+		{"ca", "abc", 3}, // OSA restriction: cannot reuse transposed block
+		{"a cat", "an act", 2},
+		{"fee", "deed", 2},
+		{"abcdef", "abcdef", 0},
+	}
+	for _, c := range cases {
+		if got := OSA(c.a, c.b); got != c.want {
+			t.Errorf("OSA(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"ab", "ba", 1},
+		{"ca", "abc", 2}, // the canonical case where full DL < OSA
+		{"a cat", "an act", 2},
+		{"specification", "specificaiton", 1},
+		{"abcd", "dcba", 3},
+	}
+	for _, c := range cases {
+		if got := DamerauLevenshtein(c.a, c.b); got != c.want {
+			t.Errorf("DamerauLevenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOSAUpperBoundsFullDL(t *testing.T) {
+	// Full Damerau–Levenshtein is never larger than OSA, and both are
+	// bounded by Levenshtein.
+	f := func(a, b string) bool {
+		a, b = trimLong(a), trimLong(b)
+		lev := Levenshtein(a, b)
+		osa := OSA(a, b)
+		dl := DamerauLevenshtein(a, b)
+		return dl <= osa && osa <= lev
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	f := func(a, b, c string) bool {
+		a, b, c = trimLong(a), trimLong(b), trimLong(c)
+		ab := Levenshtein(a, b)
+		ba := Levenshtein(b, a)
+		if ab != ba {
+			return false // symmetry
+		}
+		if (ab == 0) != (a == b) {
+			return false // identity of indiscernibles
+		}
+		ac := Levenshtein(a, c)
+		cb := Levenshtein(c, b)
+		return ab <= ac+cb // triangle inequality
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDamerauLevenshteinTriangle(t *testing.T) {
+	// Unlike OSA, the full DL distance is a true metric.
+	f := func(a, b, c string) bool {
+		a, b, c = trimLong(a), trimLong(b), trimLong(c)
+		return DamerauLevenshtein(a, b) <= DamerauLevenshtein(a, c)+DamerauLevenshtein(c, b)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 0},
+		{"abcdef", "zabcy", 3},
+		{"megapixel", "effective pixels", 5}, // "pixel"
+		{"aaa", "aa", 2},
+		{"xyz", "abc", 0},
+	}
+	for _, c := range cases {
+		if got := LongestCommonSubstring(c.a, c.b); got != c.want {
+			t.Errorf("LCSubstring(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCSubstringDistance(t *testing.T) {
+	if got := LCSubstringDistance("abcdef", "abc"); got != 3 {
+		t.Errorf("LCSubstringDistance = %d, want 3", got)
+	}
+	if got := LCSubstringDistance("same", "same"); got != 0 {
+		t.Errorf("identical strings distance = %d, want 0", got)
+	}
+}
+
+func TestLongestCommonSubsequence(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"ABCBDAB", "BDCABA", 4},
+		{"", "x", 0},
+		{"abc", "abc", 3},
+		{"abc", "acb", 2},
+	}
+	for _, c := range cases {
+		if got := LongestCommonSubsequence(c.a, c.b); got != c.want {
+			t.Errorf("LCSubsequence(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaro(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9444444444},
+		{"DIXON", "DICKSONX", 0.7666666667},
+		{"JELLYFISH", "SMELLYFISH", 0.8962962963},
+		{"", "", 1},
+		{"a", "", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Jaro(%q, %q) = %.10f, want %.10f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9611111111},
+		{"DWAYNE", "DUANE", 0.84},
+		{"TRATE", "TRACE", 0.9066666667},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("JaroWinkler(%q, %q) = %.10f, want %.10f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		a, b = trimLong(a), trimLong(b)
+		jw := JaroWinkler(a, b)
+		return jw >= 0 && jw <= 1 && math.Abs(JaroWinkler(b, a)-jw) < 1e-12
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedDistancesBounds(t *testing.T) {
+	fns := map[string]func(a, b string) float64{
+		"lev":  NormalizedLevenshtein,
+		"osa":  NormalizedOSA,
+		"dl":   NormalizedDamerauLevenshtein,
+		"lcsd": NormalizedLCSubstring,
+	}
+	for name, fn := range fns {
+		f := func(a, b string) bool {
+			a, b = trimLong(a), trimLong(b)
+			d := fn(a, b)
+			if d < 0 || d > 1 {
+				return false
+			}
+			if a == b && d != 0 {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, quickCfg()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNormalizedEmptyStrings(t *testing.T) {
+	if NormalizedLevenshtein("", "") != 0 {
+		t.Error("two empty strings should have distance 0")
+	}
+	if NormalizedLevenshtein("", "abc") != 1 {
+		t.Error("empty vs non-empty should have distance 1")
+	}
+}
+
+func trimLong(s string) string {
+	r := []rune(s)
+	if len(r) > 24 {
+		r = r[:24]
+	}
+	return string(r)
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Camera Resolution", []string{"camera", "resolution"}},
+		{"24MP", []string{"24", "mp"}},
+		{"f/2.8-4.0", []string{"f", "2", "8", "4", "0"}},
+		{"", nil},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"shutter_speed", []string{"shutter", "speed"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Camera-Resolution", "camera resolution"},
+		{"  MegaPixels!!", "mega pixels"}, // camelCase splits
+		{"cameraResolution", "camera resolution"},
+		{"HDMIPort", "hdmi port"},
+		{"a__b", "a b"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

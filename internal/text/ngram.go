@@ -1,0 +1,142 @@
+package text
+
+import "math"
+
+// NGramProfile is a multiset of the character q-grams of a string, as used
+// by the 3-gram features of Table I (rows 12–14). Strings are padded with
+// q−1 leading and trailing sentinel runes so that short strings still
+// produce grams, following the convention of the original q-gram distance
+// (Ukkonen 1992).
+type NGramProfile map[string]int
+
+const padRune = '\x20' // space; padding grams mark word edges
+
+// NGrams returns the padded q-gram profile of s. q must be positive.
+func NGrams(s string, q int) NGramProfile {
+	if q <= 0 {
+		panic("text: NGrams with non-positive q")
+	}
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return NGramProfile{}
+	}
+	padded := make([]rune, 0, len(runes)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, padRune)
+	}
+	padded = append(padded, runes...)
+	for i := 0; i < q-1; i++ {
+		padded = append(padded, padRune)
+	}
+	p := make(NGramProfile, len(padded))
+	for i := 0; i+q <= len(padded); i++ {
+		p[string(padded[i:i+q])]++
+	}
+	return p
+}
+
+// TriGrams returns the padded 3-gram profile of s.
+func TriGrams(s string) NGramProfile { return NGrams(s, 3) }
+
+// QGramDistance returns the L1 distance between two q-gram profiles: the
+// total count of grams present in one profile but not the other.
+func QGramDistance(a, b NGramProfile) int {
+	d := 0
+	for g, ca := range a {
+		cb := b[g]
+		if ca > cb {
+			d += ca - cb
+		} else {
+			d += cb - ca
+		}
+	}
+	for g, cb := range b {
+		if _, ok := a[g]; !ok {
+			d += cb
+		}
+	}
+	return d
+}
+
+// NormalizedQGramDistance returns QGramDistance scaled by the total gram
+// count of both profiles, giving a value in [0, 1]. Two empty profiles have
+// distance 0.
+func NormalizedQGramDistance(a, b NGramProfile) float64 {
+	total := 0
+	for _, c := range a {
+		total += c
+	}
+	for _, c := range b {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(QGramDistance(a, b)) / float64(total)
+}
+
+// CosineDistance returns 1 − cosine similarity between the profiles viewed
+// as sparse count vectors. Two empty profiles have distance 0; one empty
+// profile against a non-empty one has distance 1.
+func (a NGramProfile) CosineDistance(b NGramProfile) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for g, ca := range a {
+		fa := float64(ca)
+		na += fa * fa
+		if cb, ok := b[g]; ok {
+			dot += fa * float64(cb)
+		}
+	}
+	for _, cb := range b {
+		fb := float64(cb)
+		nb += fb * fb
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	d := 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+	if d < 0 {
+		return 0 // clamp float residue; a distance is never negative
+	}
+	return d
+}
+
+// JaccardDistance returns 1 − |A∩B| / |A∪B| over the gram *sets* (counts
+// ignored). Two empty profiles have distance 0.
+func (a NGramProfile) JaccardDistance(b NGramProfile) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range a {
+		if _, ok := b[g]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// TriGramDistance is the normalised 3-gram distance between two strings
+// (Table I row 12).
+func TriGramDistance(a, b string) float64 {
+	return NormalizedQGramDistance(TriGrams(a), TriGrams(b))
+}
+
+// TriGramCosineDistance is the cosine distance between the 3-gram profiles
+// of two strings (Table I row 13).
+func TriGramCosineDistance(a, b string) float64 {
+	return TriGrams(a).CosineDistance(TriGrams(b))
+}
+
+// TriGramJaccardDistance is the Jaccard distance between the 3-gram
+// profiles of two strings (Table I row 14).
+func TriGramJaccardDistance(a, b string) float64 {
+	return TriGrams(a).JaccardDistance(TriGrams(b))
+}

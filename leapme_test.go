@@ -1,0 +1,124 @@
+package leapme
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the documented quick-start flow through
+// the public API only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec := DefaultEmbeddingSpec()
+	spec.Categories = []string{"cameras"}
+	spec.SentencesPerProp = 40
+	spec.GloVe.Dim = 24
+	spec.GloVe.Epochs = 12
+	store, err := TrainDomainEmbeddings(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Dim() != 24 {
+		t.Fatalf("store dim = %d", store.Dim())
+	}
+
+	cfg := CamerasLite(1)
+	cfg.NumSources = 5
+	cfg.MinEntities, cfg.MaxEntities = 8, 12
+	data, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewMatcher(store, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputeFeatures(data)
+
+	trainSrc := map[string]bool{"source00": true, "source01": true, "source02": true}
+	testSrc := map[string]bool{"source03": true, "source04": true}
+	pairs := TrainingPairs(data.PropsOfSources(trainSrc), 2, rand.New(rand.NewSource(1)))
+	if len(pairs) == 0 {
+		t.Fatal("no training pairs")
+	}
+	if _, err := m.Train(pairs); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := m.Matches(data.PropsOfSources(testSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches found")
+	}
+
+	// Feed the similarity graph and cluster.
+	g := NewSimilarityGraph()
+	for _, sp := range matches {
+		g.AddEdge(sp.A, sp.B, sp.Score)
+	}
+	clusters := g.ConnectedComponents()
+	if len(clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+}
+
+func TestPresetNames(t *testing.T) {
+	cases := map[string]GenConfig{
+		"cameras":         Cameras(1),
+		"headphones":      Headphones(1),
+		"phones":          Phones(1),
+		"tvs":             TVs(1),
+		"cameras-lite":    CamerasLite(1),
+		"headphones-lite": HeadphonesLite(1),
+		"phones-lite":     PhonesLite(1),
+		"tvs-lite":        TVsLite(1),
+	}
+	for want, cfg := range cases {
+		if cfg.Name != want {
+			t.Errorf("preset name = %q, want %q", cfg.Name, want)
+		}
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	spec := DefaultEmbeddingSpec()
+	spec.Categories = []string{"cameras"}
+	spec.SentencesPerProp = 10
+	spec.GloVe.Dim = 8
+	spec.GloVe.Epochs = 2
+	store, err := TrainDomainEmbeddings(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []BaselineMatcher{NewAML(), NewFCAMap(), NewNezhadi(), NewSemProp(store), NewLSH()} {
+		if b.Name() == "" {
+			t.Error("baseline with empty name")
+		}
+	}
+}
+
+func TestAllFeatureConfigs(t *testing.T) {
+	if got := len(AllFeatureConfigs()); got != 9 {
+		t.Errorf("feature configs = %d, want 9", got)
+	}
+	if !FullFeatures().Valid() {
+		t.Error("FullFeatures invalid")
+	}
+	if len(PaperSchedule()) != 3 {
+		t.Error("PaperSchedule should have 3 phases")
+	}
+}
+
+func TestFromInstancesPublic(t *testing.T) {
+	d, err := FromInstances("user", "misc", []Instance{
+		{Source: "a", Entity: "e", Property: "p", Value: "v"},
+		{Source: "b", Entity: "f", Property: "q", Value: "w"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sources) != 2 {
+		t.Errorf("sources = %d", len(d.Sources))
+	}
+}
