@@ -1,0 +1,30 @@
+GO ?= go
+
+PACKAGES := ./...
+# Packages touched by the robustness work; -race is slow, so restrict it.
+RACE_PACKAGES := ./internal/core ./internal/nn ./internal/guard ./internal/dataset ./internal/eval
+
+.PHONY: all build test vet test-race fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build $(PACKAGES)
+
+test:
+	$(GO) test $(PACKAGES)
+
+vet:
+	$(GO) vet $(PACKAGES)
+
+test-race:
+	$(GO) test -race $(RACE_PACKAGES)
+
+# Short fuzz pass over the dataset loaders; extend -fuzztime for real runs.
+fuzz:
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadJSON$$' -fuzztime=10s
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadJSONQuarantine$$' -fuzztime=10s
+	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadInstancesCSV$$' -fuzztime=10s
+
+clean:
+	$(GO) clean -testcache

@@ -8,6 +8,7 @@ package leapme
 // bench run doubles as a quick shape check against the paper.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -337,7 +338,7 @@ func BenchmarkMatchThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	train := map[string]bool{}
 	for i, s := range d.Sources {
 		if i < len(d.Sources)-1 {
@@ -345,13 +346,13 @@ func BenchmarkMatchThroughput(b *testing.B) {
 		}
 	}
 	pairs := core.TrainingPairs(d.PropsOfSources(train), 2, rand.New(rand.NewSource(1)))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	scored := 0
 	for i := 0; i < b.N; i++ {
-		if err := m.MatchAll(d.Props, func(core.ScoredPair) { scored++ }); err != nil {
+		if err := m.MatchAll(context.Background(), d.Props, func(core.ScoredPair) { scored++ }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -377,7 +378,7 @@ func BenchmarkNNTraining(b *testing.B) {
 		}
 		cfg := nn.DefaultTrainConfig(1)
 		cfg.Schedule = []nn.Phase{{Epochs: 5, LR: 1e-3}}
-		if _, err := net.Fit(xs, ys, cfg); err != nil {
+		if _, err := net.Fit(context.Background(), xs, ys, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,11 +15,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"leapme/internal/core"
 	"leapme/internal/dataset"
@@ -37,18 +42,23 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the run cooperatively: long scenario loops
+	// (eval's 25 splits, quadratic matching) notice within one work unit
+	// and return context.Canceled instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "embed":
 		err = cmdEmbed(os.Args[2:])
 	case "match":
-		err = cmdMatch(os.Args[2:])
+		err = cmdMatch(ctx, os.Args[2:])
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(ctx, os.Args[2:])
 	case "cluster":
-		err = cmdCluster(os.Args[2:])
+		err = cmdCluster(ctx, os.Args[2:])
 	case "label":
-		err = cmdLabel(os.Args[2:])
+		err = cmdLabel(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -57,8 +67,48 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "leapme: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "leapme:", err)
 		os.Exit(1)
+	}
+}
+
+// withTimeout derives the command context from the -timeout flag
+// (0 = no deadline).
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// loadData loads a dataset directory. In lenient mode malformed records
+// are quarantined (reported on stderr) instead of failing the load.
+func loadData(dir string, lenient bool) (*dataset.Dataset, error) {
+	if !lenient {
+		return dataset.LoadDir(dir)
+	}
+	d, dropped, err := dataset.LoadDirQuarantine(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, dr := range dropped {
+		fmt.Fprintf(os.Stderr, "leapme: quarantined %s\n", dr)
+	}
+	if len(dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "leapme: %d malformed records quarantined from %s\n", len(dropped), dir)
+	}
+	return d, nil
+}
+
+// reportUnitFailures surfaces per-unit failures (isolated panics during
+// featurization or scoring) that did not abort the run.
+func reportUnitFailures(m *core.Matcher) {
+	if rep := m.LastReport(); rep != nil && rep.Failed() > 0 {
+		fmt.Fprintf(os.Stderr, "leapme: warning: %s\n", rep)
 	}
 }
 
@@ -68,7 +118,11 @@ func usage() {
   leapme match   -data DIR -store store.bin -train src1,src2 [-features both/all] [-threshold 0.5] [-top 0]
   leapme eval    -data DIR -store store.bin [-frac 0.8] [-runs 5] [-features both/all] [-seed 1]
   leapme cluster -data DIR -store store.bin -train src1,src2 [-scheme components|star|correlation]
-  leapme label   -data DIR -store store.bin -category cameras -train src1,src2 [-top 20]`)
+  leapme label   -data DIR -store store.bin -category cameras -train src1,src2 [-top 20]
+
+match/eval/cluster/label also accept:
+  -lenient       quarantine malformed dataset records instead of failing the load
+  -timeout DUR   abort the run after DUR (e.g. 90s); Ctrl-C cancels cooperatively`)
 }
 
 func cmdEmbed(args []string) error {
@@ -134,12 +188,12 @@ func parseFeatures(s string) (features.Config, error) {
 
 // trainedMatcher loads data+store, trains on the given sources and
 // returns the matcher plus the held-out test properties.
-func trainedMatcher(dataDir, storePath, trainList, featStr string, threshold float64, seed int64) (*core.Matcher, []dataset.Property, *dataset.Dataset, error) {
+func trainedMatcher(ctx context.Context, dataDir, storePath, trainList, featStr string, threshold float64, seed int64, lenient bool) (*core.Matcher, []dataset.Property, *dataset.Dataset, error) {
 	store, err := loadStore(storePath)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	d, err := dataset.LoadDir(dataDir)
+	d, err := loadData(dataDir, lenient)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -176,18 +230,21 @@ func trainedMatcher(dataDir, storePath, trainList, featStr string, threshold flo
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	m.ComputeFeatures(d)
+	if err := m.ComputeFeatures(ctx, d); err != nil {
+		return nil, nil, nil, err
+	}
+	reportUnitFailures(m)
 	pairs := core.TrainingPairs(d.PropsOfSources(trainSrc), 2, mathx.NewRand(seed))
 	if len(pairs) == 0 {
 		return nil, nil, nil, fmt.Errorf("no training pairs among sources %s", trainList)
 	}
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(ctx, pairs); err != nil {
 		return nil, nil, nil, err
 	}
 	return m, d.PropsOfSources(testSrc), d, nil
 }
 
-func cmdMatch(args []string) error {
+func cmdMatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("match", flag.ExitOnError)
 	dataDir := fs.String("data", "", "dataset directory (from datagen)")
 	storePath := fs.String("store", "", "embedding store file (from embed)")
@@ -197,18 +254,23 @@ func cmdMatch(args []string) error {
 	top := fs.Int("top", 0, "print only the top N matches by score (0 = all)")
 	explain := fs.Bool("explain", false, "attribute each printed match to its feature groups")
 	seed := fs.Int64("seed", 1, "seed")
+	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
 	if *dataDir == "" || *storePath == "" || *trainList == "" {
 		return fmt.Errorf("match needs -data, -store and -train")
 	}
-	m, testProps, _, err := trainedMatcher(*dataDir, *storePath, *trainList, *featStr, *threshold, *seed)
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *lenient)
 	if err != nil {
 		return err
 	}
-	matches, err := m.Matches(testProps)
+	matches, err := m.Matches(ctx, testProps)
 	if err != nil {
 		return err
 	}
+	reportUnitFailures(m)
 	sort.Slice(matches, func(i, j int) bool { return matches[i].Score > matches[j].Score })
 	if *top > 0 && len(matches) > *top {
 		matches = matches[:*top]
@@ -228,7 +290,7 @@ func cmdMatch(args []string) error {
 	return nil
 }
 
-func cmdEval(args []string) error {
+func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	dataDir := fs.String("data", "", "dataset directory")
 	storePath := fs.String("store", "", "embedding store file")
@@ -236,15 +298,19 @@ func cmdEval(args []string) error {
 	runs := fs.Int("runs", 5, "number of random splits")
 	featStr := fs.String("features", "both/all", "feature config")
 	seed := fs.Int64("seed", 1, "seed")
+	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
 	if *dataDir == "" || *storePath == "" {
 		return fmt.Errorf("eval needs -data and -store")
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	store, err := loadStore(*storePath)
 	if err != nil {
 		return err
 	}
-	d, err := dataset.LoadDir(*dataDir)
+	d, err := loadData(*dataDir, *lenient)
 	if err != nil {
 		return err
 	}
@@ -254,6 +320,7 @@ func cmdEval(args []string) error {
 	}
 	h := eval.NewHarness(store, *seed)
 	h.Runs = *runs
+	h.Ctx = ctx
 	h.OnRun = func(run int, m eval.PRF) {
 		fmt.Fprintf(os.Stderr, "run %d: %v\n", run, m)
 	}
@@ -265,7 +332,7 @@ func cmdEval(args []string) error {
 	return nil
 }
 
-func cmdLabel(args []string) error {
+func cmdLabel(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("label", flag.ExitOnError)
 	dataDir := fs.String("data", "", "dataset directory")
 	storePath := fs.String("store", "", "embedding store file")
@@ -273,15 +340,19 @@ func cmdLabel(args []string) error {
 	trainList := fs.String("train", "", "comma-separated training sources (ground truth used)")
 	top := fs.Int("top", 20, "print only the N most confident labels (0 = all)")
 	seed := fs.Int64("seed", 1, "seed")
+	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
 	if *dataDir == "" || *storePath == "" || *category == "" || *trainList == "" {
 		return fmt.Errorf("label needs -data, -store, -category and -train")
 	}
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
 	store, err := loadStore(*storePath)
 	if err != nil {
 		return err
 	}
-	d, err := dataset.LoadDir(*dataDir)
+	d, err := loadData(*dataDir, *lenient)
 	if err != nil {
 		return err
 	}
@@ -324,7 +395,7 @@ func cmdLabel(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := l.Train(trainData); err != nil {
+	if err := l.Train(ctx, trainData); err != nil {
 		return err
 	}
 	preds, err := l.Label(testData)
@@ -344,7 +415,7 @@ func cmdLabel(args []string) error {
 	return nil
 }
 
-func cmdCluster(args []string) error {
+func cmdCluster(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	dataDir := fs.String("data", "", "dataset directory")
 	storePath := fs.String("store", "", "embedding store file")
@@ -352,11 +423,15 @@ func cmdCluster(args []string) error {
 	scheme := fs.String("scheme", "components", "clustering scheme: components|star|correlation")
 	threshold := fs.Float64("threshold", 0.5, "match threshold")
 	seed := fs.Int64("seed", 1, "seed")
+	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
 	if *dataDir == "" || *storePath == "" || *trainList == "" {
 		return fmt.Errorf("cluster needs -data, -store and -train")
 	}
-	m, testProps, _, err := trainedMatcher(*dataDir, *storePath, *trainList, "both/all", *threshold, *seed)
+	ctx, cancel := withTimeout(ctx, *timeout)
+	defer cancel()
+	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, "both/all", *threshold, *seed, *lenient)
 	if err != nil {
 		return err
 	}
@@ -364,13 +439,14 @@ func cmdCluster(args []string) error {
 	for _, p := range testProps {
 		g.AddNode(p.Key())
 	}
-	if err := m.MatchAll(testProps, func(sp core.ScoredPair) {
+	if err := m.MatchAll(ctx, testProps, func(sp core.ScoredPair) {
 		if sp.Match {
 			g.AddEdge(sp.A, sp.B, sp.Score)
 		}
 	}); err != nil {
 		return err
 	}
+	reportUnitFailures(m)
 	var clusters graph.Clustering
 	switch *scheme {
 	case "components":

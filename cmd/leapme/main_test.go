@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -46,27 +47,27 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("embed: %v", err)
 	}
 
-	if err := cmdMatch([]string{
+	if err := cmdMatch(context.Background(), []string{
 		"-data", dataDir, "-store", storePath,
 		"-train", "source00,source01,source02", "-top", "5",
 	}); err != nil {
 		t.Fatalf("match: %v", err)
 	}
 
-	if err := cmdMatch([]string{
+	if err := cmdMatch(context.Background(), []string{
 		"-data", dataDir, "-store", storePath,
 		"-train", "source00,source01,source02", "-top", "3", "-explain",
 	}); err != nil {
 		t.Fatalf("match -explain: %v", err)
 	}
 
-	if err := cmdEval([]string{
+	if err := cmdEval(context.Background(), []string{
 		"-data", dataDir, "-store", storePath, "-frac", "0.5", "-runs", "1",
 	}); err != nil {
 		t.Fatalf("eval: %v", err)
 	}
 
-	if err := cmdCluster([]string{
+	if err := cmdCluster(context.Background(), []string{
 		"-data", dataDir, "-store", storePath,
 		"-train", "source00,source01", "-scheme", "star",
 	}); err != nil {
@@ -84,31 +85,31 @@ func TestCLILabel(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdLabel([]string{
+	if err := cmdLabel(context.Background(), []string{
 		"-data", dataDir, "-store", storePath, "-category", "headphones",
 		"-train", "source00,source01,source02", "-top", "5",
 	}); err != nil {
 		t.Fatalf("label: %v", err)
 	}
-	if err := cmdLabel([]string{
+	if err := cmdLabel(context.Background(), []string{
 		"-data", dataDir, "-store", storePath, "-category", "bicycles",
 		"-train", "source00",
 	}); err == nil {
 		t.Error("unknown category accepted")
 	}
-	if err := cmdLabel(nil); err == nil {
+	if err := cmdLabel(context.Background(), nil); err == nil {
 		t.Error("label without flags accepted")
 	}
 }
 
 func TestCLIMissingFlags(t *testing.T) {
-	if err := cmdMatch(nil); err == nil {
+	if err := cmdMatch(context.Background(), nil); err == nil {
 		t.Error("match without flags accepted")
 	}
-	if err := cmdEval(nil); err == nil {
+	if err := cmdEval(context.Background(), nil); err == nil {
 		t.Error("eval without flags accepted")
 	}
-	if err := cmdCluster(nil); err == nil {
+	if err := cmdCluster(context.Background(), nil); err == nil {
 		t.Error("cluster without flags accepted")
 	}
 }
@@ -124,20 +125,20 @@ func TestCLIBadInputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Unknown training source.
-	if err := cmdMatch([]string{
+	if err := cmdMatch(context.Background(), []string{
 		"-data", dataDir, "-store", storePath, "-train", "nosuch",
 	}); err == nil {
 		t.Error("unknown training source accepted")
 	}
 	// All sources in training → nothing to test.
-	if err := cmdMatch([]string{
+	if err := cmdMatch(context.Background(), []string{
 		"-data", dataDir, "-store", storePath,
 		"-train", "source00,source01,source02,source03",
 	}); err == nil {
 		t.Error("empty test set accepted")
 	}
 	// Bad feature string.
-	if err := cmdEval([]string{
+	if err := cmdEval(context.Background(), []string{
 		"-data", dataDir, "-store", storePath, "-features", "bogus",
 	}); err == nil {
 		t.Error("bad feature config accepted")
@@ -147,14 +148,14 @@ func TestCLIBadInputs(t *testing.T) {
 		t.Error("unknown category accepted")
 	}
 	// Unknown clustering scheme.
-	if err := cmdCluster([]string{
+	if err := cmdCluster(context.Background(), []string{
 		"-data", dataDir, "-store", storePath, "-train", "source00,source01",
 		"-scheme", "magic",
 	}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 	// Missing store file.
-	if err := cmdEval([]string{
+	if err := cmdEval(context.Background(), []string{
 		"-data", dataDir, "-store", filepath.Join(dir, "absent.bin"),
 	}); err == nil {
 		t.Error("missing store accepted")

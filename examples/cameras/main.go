@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,7 +48,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.ComputeFeatures(data)
+	ctx := context.Background()
+	if err := m.ComputeFeatures(ctx, data); err != nil {
+		log.Fatal(err)
+	}
 
 	// Train on 6 of 8 sources.
 	trainSrc := map[string]bool{}
@@ -61,7 +65,7 @@ func main() {
 	}
 	pairs := leapme.TrainingPairs(data.PropsOfSources(trainSrc), 2, rand.New(rand.NewSource(7)))
 	fmt.Printf("training on %d pairs from %d sources...\n", len(pairs), len(trainSrc))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(ctx, pairs); err != nil {
 		log.Fatal(err)
 	}
 
@@ -71,7 +75,7 @@ func main() {
 	for _, p := range testProps {
 		g.AddNode(p.Key())
 	}
-	if err := m.MatchAll(testProps, func(sp leapme.ScoredPair) {
+	if err := m.MatchAll(ctx, testProps, func(sp leapme.ScoredPair) {
 		if sp.Match {
 			g.AddEdge(sp.A, sp.B, sp.Score)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -63,7 +64,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.ComputeFeatures(data)
+	ctx := context.Background()
+	if err := m.ComputeFeatures(ctx, data); err != nil {
+		log.Fatal(err)
+	}
 
 	// Hand-labeled pairs: in a real integration these come from a domain
 	// expert or an existing partial alignment.
@@ -79,7 +83,7 @@ func main() {
 		{A: key("shopA", "price"), B: key("shopB", "camera resolution"), Match: false},
 		{A: key("shopA", "price"), B: key("shopB", "body weight"), Match: false},
 	}
-	if _, err := m.Train(labeled); err != nil {
+	if _, err := m.Train(ctx, labeled); err != nil {
 		log.Fatal(err)
 	}
 
@@ -105,7 +109,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	served.ComputeFeatures(data)
+	if err := served.ComputeFeatures(ctx, data); err != nil {
+		log.Fatal(err)
+	}
 	rf, err := os.Open(modelPath)
 	if err != nil {
 		log.Fatal(err)
@@ -118,7 +124,7 @@ func main() {
 	// Score the catalog's unlabeled properties against both shops.
 	fmt.Println("\ncatalog property matches:")
 	var scored []leapme.ScoredPair
-	err = served.MatchWhere(data.Props,
+	err = served.MatchWhere(ctx, data.Props,
 		func(a, b dataset.Property) bool { return a.Source == "catalog" || b.Source == "catalog" },
 		func(sp leapme.ScoredPair) { scored = append(scored, sp) })
 	if err != nil {

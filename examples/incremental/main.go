@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,13 +40,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.ComputeFeatures(data)
+	ctx := context.Background()
+	if err := m.ComputeFeatures(ctx, data); err != nil {
+		log.Fatal(err)
+	}
 	seed := map[string]bool{}
 	for _, s := range data.Sources[:3] {
 		seed[s] = true
 	}
 	pairs := leapme.TrainingPairs(data.PropsOfSources(seed), 2, rand.New(rand.NewSource(1)))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(ctx, pairs); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("matcher trained on %d labeled pairs from %d seed sources\n\n",
@@ -59,7 +63,7 @@ func main() {
 	ig.Blocker = leapme.UnionBlockers(leapme.NewTokenBlocker(), leapme.NewEmbeddingBlocker(store))
 
 	for _, src := range data.Sources[3:] {
-		matches, err := ig.AddSource(data, src)
+		matches, err := ig.AddSource(ctx, data, src)
 		if err != nil {
 			log.Fatal(err)
 		}

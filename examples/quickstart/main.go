@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,7 +55,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.ComputeFeatures(data)
+	ctx := context.Background()
+	if err := m.ComputeFeatures(ctx, data); err != nil {
+		log.Fatal(err)
+	}
 
 	// 4. Train on four sources (positives from ground truth, two random
 	// negatives per positive — the paper's regime).
@@ -62,12 +66,12 @@ func main() {
 	testSrc := map[string]bool{"source04": true, "source05": true}
 	pairs := leapme.TrainingPairs(data.PropsOfSources(trainSrc), 2, rand.New(rand.NewSource(1)))
 	fmt.Printf("training on %d labeled pairs...\n", len(pairs))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(ctx, pairs); err != nil {
 		log.Fatal(err)
 	}
 
 	// 5. Match the held-out sources.
-	matches, err := m.Matches(data.PropsOfSources(testSrc))
+	matches, err := m.Matches(ctx, data.PropsOfSources(testSrc))
 	if err != nil {
 		log.Fatal(err)
 	}

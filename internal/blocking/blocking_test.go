@@ -1,6 +1,7 @@
 package blocking
 
 import (
+	"context"
 	"testing"
 
 	"leapme/internal/core"
@@ -138,15 +139,15 @@ func TestMatchCandidatesAgreesWithMatchWhere(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	pairs := core.TrainingPairs(props, 2, mathx.NewRand(1))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
 	cands := Union{NewTokenBlocker(), NewEmbeddingBlocker(store)}.Candidates(props)
 
 	blocked := map[dataset.Pair]float64{}
-	if err := m.MatchCandidates(cands, func(sp core.ScoredPair) {
+	if err := m.MatchCandidates(context.Background(), cands, func(sp core.ScoredPair) {
 		blocked[dataset.Pair{A: sp.A, B: sp.B}.Canonical()] = sp.Score
 	}); err != nil {
 		t.Fatal(err)
@@ -155,7 +156,7 @@ func TestMatchCandidatesAgreesWithMatchWhere(t *testing.T) {
 		t.Fatalf("scored %d of %d candidates", len(blocked), len(cands))
 	}
 	checked := 0
-	if err := m.MatchAll(props, func(sp core.ScoredPair) {
+	if err := m.MatchAll(context.Background(), props, func(sp core.ScoredPair) {
 		p := dataset.Pair{A: sp.A, B: sp.B}.Canonical()
 		if s, ok := blocked[p]; ok {
 			if s != sp.Score {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,9 +16,9 @@ func trainedMatcherFor(t *testing.T, seed int64) (*Matcher, *dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
 	return m, d
@@ -79,7 +80,7 @@ func TestExplain(t *testing.T) {
 func TestExplainRequiresTraining(t *testing.T) {
 	d := smallDataset(t, 9)
 	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	if _, err := m.Explain(d.Props[0].Key(), d.Props[1].Key()); err == nil {
 		t.Error("untrained Explain accepted")
 	}

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -24,6 +25,7 @@ import (
 	"leapme/internal/dataset"
 	"leapme/internal/embedding"
 	"leapme/internal/features"
+	"leapme/internal/guard"
 	"math"
 
 	"leapme/internal/nn"
@@ -95,6 +97,10 @@ type Matcher struct {
 
 	// Standardisation parameters fitted on the training pairs.
 	featMean, featInvStd []float64
+
+	// lastReport records per-unit failures of the most recent
+	// ComputeFeatures or Match* run (see LastReport).
+	lastReport *guard.Report
 }
 
 // NewMatcher builds a matcher over the given embedding store.
@@ -141,13 +147,39 @@ func (m *Matcher) PairDim() int { return m.pairer.Dim() }
 // ComputeFeatures runs steps 1–3 of Algorithm 1 for every property of d:
 // instance features, aggregated into property features. It may be called
 // for several datasets; properties accumulate in the matcher.
-func (m *Matcher) ComputeFeatures(d *dataset.Dataset) {
-	values := d.InstancesByProperty()
-	for _, p := range d.Props {
-		k := p.Key()
-		m.props[k] = m.ex.PropertyFeatures(p.Name, values[k])
+//
+// Properties are featurized in parallel (the extractor and embedding
+// store are read-only) under panic isolation: a panic while featurizing
+// one property is recorded in LastReport and that property simply gets no
+// features — scoring it later fails loudly — while the rest of the
+// dataset proceeds. The returned error is non-nil only for hard failures:
+// a nil dataset or a done context (prompt ctx.Err() propagation).
+func (m *Matcher) ComputeFeatures(ctx context.Context, d *dataset.Dataset) error {
+	if d == nil {
+		return errors.New("core: ComputeFeatures on nil dataset")
 	}
+	values := d.InstancesByProperty()
+	out := make([]*features.Prop, len(d.Props))
+	rep, err := guard.ForEach(ctx, 0, len(d.Props),
+		func(i int) string { return "featurize " + d.Props[i].Key().String() },
+		func(i int) error {
+			out[i] = m.ex.PropertyFeatures(d.Props[i].Name, values[d.Props[i].Key()])
+			return nil
+		})
+	m.lastReport = rep
+	for i, p := range out {
+		if p != nil {
+			m.props[d.Props[i].Key()] = p
+		}
+	}
+	return err
 }
+
+// LastReport returns the per-unit failure report of the most recent
+// ComputeFeatures or Match* call on this matcher (nil before the first).
+// A run proceeds past failed units; callers decide whether the failure
+// rate recorded here is acceptable.
+func (m *Matcher) LastReport() *guard.Report { return m.lastReport }
 
 // NumProperties returns how many properties have computed features.
 func (m *Matcher) NumProperties() int { return len(m.props) }
@@ -182,8 +214,11 @@ func (m *Matcher) prop(k dataset.Key) (*features.Prop, error) {
 }
 
 // Train runs step 5a: it builds pair feature vectors for the labeled pairs
-// and fits the network. It returns the final-epoch mean loss.
-func (m *Matcher) Train(pairs []LabeledPair) (float64, error) {
+// and fits the network. It returns the final-epoch mean loss. Training is
+// cancellable through ctx (checked between mini-batches) and recovers
+// from loss divergence by checkpoint rollback with a backed-off learning
+// rate (see nn.TrainConfig); a nil ctx behaves like context.Background().
+func (m *Matcher) Train(ctx context.Context, pairs []LabeledPair) (float64, error) {
 	if len(pairs) == 0 {
 		return 0, errors.New("core: no training pairs")
 	}
@@ -226,7 +261,7 @@ func (m *Matcher) Train(pairs []LabeledPair) (float64, error) {
 		WeightDecay: m.opts.WeightDecay,
 		Seed:        m.opts.Seed,
 	}
-	loss, err := net.Fit(xs, ys, cfg)
+	loss, err := net.Fit(ctx, xs, ys, cfg)
 	if err != nil {
 		return 0, fmt.Errorf("core: training: %w", err)
 	}
@@ -263,21 +298,49 @@ func (m *Matcher) Score(a, b dataset.Key) (ScoredPair, error) {
 // MatchAll runs step 5b over every cross-source pair of props, streaming
 // each scored pair to fn. Pair vectors are computed into a reused buffer,
 // so memory stays constant regardless of the quadratic pair count.
-func (m *Matcher) MatchAll(props []dataset.Property, fn func(ScoredPair)) error {
-	return m.MatchWhere(props, nil, fn)
+func (m *Matcher) MatchAll(ctx context.Context, props []dataset.Property, fn func(ScoredPair)) error {
+	return m.MatchWhere(ctx, props, nil, fn)
+}
+
+// scoreUnit scores one property pair into the reused vec buffer and
+// streams the result to fn — the unit of failure for panic isolation.
+func (m *Matcher) scoreUnit(vec []float64, a, b dataset.Key, pa, pb *features.Prop, fn func(ScoredPair)) error {
+	m.pairer.PairVector(vec, pa, pb)
+	m.standardize(vec)
+	s, err := m.net.PositiveScore(vec)
+	if err != nil {
+		return err
+	}
+	fn(ScoredPair{A: a, B: b, Score: s, Match: s >= m.opts.Threshold})
+	return nil
 }
 
 // MatchWhere is MatchAll restricted to cross-source pairs for which
 // include returns true (nil includes everything). The evaluation protocol
 // uses it to classify exactly the pairs not wholly inside the training
 // sources, as the paper prescribes.
-func (m *Matcher) MatchWhere(props []dataset.Property, include func(a, b dataset.Property) bool, fn func(ScoredPair)) error {
+//
+// The unit of failure is one pair: a panic while scoring a pair or inside
+// the fn callback is contained, recorded in LastReport, and enumeration
+// continues — the run degrades gracefully rather than aborting. Hard
+// errors still abort: a missing property (features never computed) is a
+// caller bug, and a done ctx stops the run within one pair with ctx.Err().
+// A nil ctx behaves like context.Background().
+func (m *Matcher) MatchWhere(ctx context.Context, props []dataset.Property, include func(a, b dataset.Property) bool, fn func(ScoredPair)) error {
 	if m.net == nil {
 		return errors.New("core: matcher is not trained")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := guard.NewReport()
+	m.lastReport = rep
 	vec := make([]float64, m.pairer.Dim())
 	var err error
 	dataset.CrossSourcePairs(props, func(a, b dataset.Property) bool {
+		if err = ctx.Err(); err != nil {
+			return false
+		}
 		if include != nil && !include(a, b) {
 			return true
 		}
@@ -288,13 +351,10 @@ func (m *Matcher) MatchWhere(props []dataset.Property, include func(a, b dataset
 		if pb, err = m.prop(b.Key()); err != nil {
 			return false
 		}
-		m.pairer.PairVector(vec, pa, pb)
-		m.standardize(vec)
-		var s float64
-		if s, err = m.net.PositiveScore(vec); err != nil {
-			return false
-		}
-		fn(ScoredPair{A: a.Key(), B: b.Key(), Score: s, Match: s >= m.opts.Threshold})
+		ka, kb := a.Key(), b.Key()
+		rep.Do(ka.String()+" × "+kb.String(), func() error {
+			return m.scoreUnit(vec, ka, kb, pa, pb, fn)
+		})
 		return true
 	})
 	return err
@@ -302,13 +362,23 @@ func (m *Matcher) MatchWhere(props []dataset.Property, include func(a, b dataset
 
 // MatchCandidates scores exactly the given candidate pairs (e.g. from a
 // blocker) instead of the full cross product, streaming each scored pair
-// to fn. Features for both endpoints must have been computed.
-func (m *Matcher) MatchCandidates(cands []dataset.Pair, fn func(ScoredPair)) error {
+// to fn. Features for both endpoints must have been computed. Failure
+// semantics match MatchWhere: per-pair panics are isolated into
+// LastReport, unknown properties and a done ctx abort.
+func (m *Matcher) MatchCandidates(ctx context.Context, cands []dataset.Pair, fn func(ScoredPair)) error {
 	if m.net == nil {
 		return errors.New("core: matcher is not trained")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep := guard.NewReport()
+	m.lastReport = rep
 	vec := make([]float64, m.pairer.Dim())
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		pa, err := m.prop(c.A)
 		if err != nil {
 			return err
@@ -317,22 +387,19 @@ func (m *Matcher) MatchCandidates(cands []dataset.Pair, fn func(ScoredPair)) err
 		if err != nil {
 			return err
 		}
-		m.pairer.PairVector(vec, pa, pb)
-		m.standardize(vec)
-		s, err := m.net.PositiveScore(vec)
-		if err != nil {
-			return err
-		}
-		fn(ScoredPair{A: c.A, B: c.B, Score: s, Match: s >= m.opts.Threshold})
+		c := c
+		rep.Do(c.A.String()+" × "+c.B.String(), func() error {
+			return m.scoreUnit(vec, c.A, c.B, pa, pb, fn)
+		})
 	}
 	return nil
 }
 
 // Matches collects the pairs MatchAll classifies as matches — the
 // similarity graph Sim of Algorithm 1, keeping only positive edges.
-func (m *Matcher) Matches(props []dataset.Property) ([]ScoredPair, error) {
+func (m *Matcher) Matches(ctx context.Context, props []dataset.Property) ([]ScoredPair, error) {
 	var out []ScoredPair
-	err := m.MatchAll(props, func(sp ScoredPair) {
+	err := m.MatchAll(ctx, props, func(sp ScoredPair) {
 		if sp.Match {
 			out = append(out, sp)
 		}

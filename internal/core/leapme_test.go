@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"leapme/internal/dataset"
@@ -77,7 +78,7 @@ func TestNewMatcherNilStore(t *testing.T) {
 func TestComputeFeatures(t *testing.T) {
 	d := smallDataset(t, 1)
 	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	if m.NumProperties() != len(d.Props) {
 		t.Errorf("computed %d property features, want %d", m.NumProperties(), len(d.Props))
 	}
@@ -90,10 +91,10 @@ func TestTrainRequiresFeatures(t *testing.T) {
 		B:     dataset.Key{Source: "t", Name: "y"},
 		Match: true,
 	}}
-	if _, err := m.Train(pairs); err == nil {
+	if _, err := m.Train(context.Background(), pairs); err == nil {
 		t.Error("training without computed features accepted")
 	}
-	if _, err := m.Train(nil); err == nil {
+	if _, err := m.Train(context.Background(), nil); err == nil {
 		t.Error("empty training set accepted")
 	}
 }
@@ -101,11 +102,11 @@ func TestTrainRequiresFeatures(t *testing.T) {
 func TestScoreRequiresTraining(t *testing.T) {
 	d := smallDataset(t, 1)
 	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	if _, err := m.Score(d.Props[0].Key(), d.Props[1].Key()); err == nil {
 		t.Error("scoring before training accepted")
 	}
-	if err := m.MatchAll(d.Props, func(ScoredPair) {}); err == nil {
+	if err := m.MatchAll(context.Background(), d.Props, func(ScoredPair) {}); err == nil {
 		t.Error("MatchAll before training accepted")
 	}
 }
@@ -170,7 +171,7 @@ func TestEndToEndMatching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 
 	trainSources := map[string]bool{"source00": true, "source01": true, "source02": true, "source03": true}
 	testSources := map[string]bool{"source04": true, "source05": true}
@@ -181,7 +182,7 @@ func TestEndToEndMatching(t *testing.T) {
 	if len(pairs) < 30 {
 		t.Fatalf("too few training pairs: %d", len(pairs))
 	}
-	loss, err := m.Train(pairs)
+	loss, err := m.Train(context.Background(), pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestEndToEndMatching(t *testing.T) {
 	}
 	var tp, fp, fn int
 	predicted := map[dataset.Pair]bool{}
-	err = m.MatchAll(testProps, func(sp ScoredPair) {
+	err = m.MatchAll(context.Background(), testProps, func(sp ScoredPair) {
 		if sp.Score < 0 || sp.Score > 1 {
 			t.Fatalf("score %v outside [0,1]", sp.Score)
 		}
@@ -239,12 +240,12 @@ func TestMatchesFiltersByThreshold(t *testing.T) {
 	opts := DefaultOptions(1)
 	opts.Schedule = []nn.Phase{{Epochs: 5, LR: 1e-3}}
 	m, _ := NewMatcher(getStore(t), opts)
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
-	matches, err := m.Matches(d.Props)
+	matches, err := m.Matches(context.Background(), d.Props)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestAdoptFeatures(t *testing.T) {
 	d := smallDataset(t, 6)
 	store := getStore(t)
 	a, _ := NewMatcher(store, DefaultOptions(1))
-	a.ComputeFeatures(d)
+	a.ComputeFeatures(context.Background(), d)
 	b, _ := NewMatcher(store, DefaultOptions(2))
 	if err := b.AdoptFeatures(a); err != nil {
 		t.Fatal(err)
@@ -275,17 +276,17 @@ func TestAdoptFeatures(t *testing.T) {
 func TestMatchCandidates(t *testing.T) {
 	d := smallDataset(t, 7)
 	m, _ := NewMatcher(getStore(t), DefaultOptions(1))
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	cand := []dataset.Pair{{A: d.Props[0].Key(), B: d.Props[40].Key()}}
-	if err := m.MatchCandidates(cand, func(ScoredPair) {}); err == nil {
+	if err := m.MatchCandidates(context.Background(), cand, func(ScoredPair) {}); err == nil {
 		t.Error("untrained MatchCandidates accepted")
 	}
 	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
 	var got []ScoredPair
-	if err := m.MatchCandidates(cand, func(sp ScoredPair) { got = append(got, sp) }); err != nil {
+	if err := m.MatchCandidates(context.Background(), cand, func(sp ScoredPair) { got = append(got, sp) }); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 {
@@ -301,7 +302,7 @@ func TestMatchCandidates(t *testing.T) {
 	}
 	// Unknown property errors.
 	bad := []dataset.Pair{{A: dataset.Key{Source: "x", Name: "y"}, B: d.Props[0].Key()}}
-	if err := m.MatchCandidates(bad, func(ScoredPair) {}); err == nil {
+	if err := m.MatchCandidates(context.Background(), bad, func(ScoredPair) {}); err == nil {
 		t.Error("unknown candidate accepted")
 	}
 }

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -13,10 +14,28 @@ import (
 
 // Model persistence: the trained network plus the fitted feature
 // standardiser, so a matcher can be trained once and reused (including
-// across datasets — the transfer-learning deployment). Format: magic,
-// standardiser flag + vectors, then the nn serialisation.
+// across datasets — the transfer-learning deployment).
+//
+// On-disk layout (v2, little-endian):
+//
+//	magic "LEAPMEMD" | uint32 version | uint64 payloadLen |
+//	payload | uint32 CRC-32 (IEEE) of payload
+//
+// payload = uint32 standardiser length n | n × (mean f64, invStd f64) |
+// the nn serialisation. The length prefix and trailing checksum let
+// ReadModel reject truncated or bit-flipped files with a descriptive
+// error instead of loading garbage weights.
 
-const matcherMagic = "LEAPMEMD"
+const (
+	matcherMagic = "LEAPMEMD"
+	// modelVersion is the current format version. v1 (the unversioned
+	// seed format: magic followed directly by the standardiser) is no
+	// longer readable; retrain and re-save.
+	modelVersion = 2
+	// maxModelPayload bounds payload allocation when reading untrusted
+	// files: 1 GiB is orders of magnitude beyond any real model here.
+	maxModelPayload = 1 << 30
+)
 
 // WriteModel serialises the trained network and standardiser. Property
 // features are not serialised — recompute them with ComputeFeatures on
@@ -25,67 +44,95 @@ func (m *Matcher) WriteModel(w io.Writer) error {
 	if m.net == nil {
 		return errors.New("core: WriteModel on untrained matcher")
 	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(matcherMagic); err != nil {
-		return err
-	}
+	// The payload is serialised into memory first so its exact length and
+	// checksum are known before anything hits w.
+	var payload bytes.Buffer
 	buf := make([]byte, 8)
-	writeF64 := func(x float64) error {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
-		_, err := bw.Write(buf)
-		return err
-	}
 	n := 0
 	if m.featMean != nil {
 		n = len(m.featMean)
 	}
 	binary.LittleEndian.PutUint32(buf[:4], uint32(n))
-	if _, err := bw.Write(buf[:4]); err != nil {
-		return err
-	}
+	payload.Write(buf[:4])
 	for i := 0; i < n; i++ {
-		if err := writeF64(m.featMean[i]); err != nil {
-			return err
-		}
-		if err := writeF64(m.featInvStd[i]); err != nil {
-			return err
-		}
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(m.featMean[i]))
+		payload.Write(buf)
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(m.featInvStd[i]))
+		payload.Write(buf)
 	}
-	if err := bw.Flush(); err != nil {
+	if _, err := m.net.WriteTo(&payload); err != nil {
 		return err
 	}
-	if _, err := m.net.WriteTo(w); err != nil {
+
+	if _, err := io.WriteString(w, matcherMagic); err != nil {
 		return err
 	}
-	return nil
+	binary.LittleEndian.PutUint32(buf[:4], modelVersion)
+	if _, err := w.Write(buf[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(payload.Len()))
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	sum := crc32.ChecksumIEEE(payload.Bytes())
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[:4], sum)
+	_, err := w.Write(buf[:4])
+	return err
 }
 
 // ReadModel loads a model saved by WriteModel into the matcher. The
 // matcher must have been constructed with the same embedding store
 // dimension and feature configuration as the saved model; the network
 // input dimension is checked against the matcher's pair dimension.
+// Unknown format versions and truncated or corrupt payloads (checksum
+// mismatch) are rejected with a descriptive error; the matcher is left
+// unmodified on any failure.
 func (m *Matcher) ReadModel(r io.Reader) error {
-	br := bufio.NewReader(r)
+	buf := make([]byte, 8)
 	magic := make([]byte, len(matcherMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(r, magic); err != nil {
 		return fmt.Errorf("core: reading model magic: %w", err)
 	}
 	if string(magic) != matcherMagic {
-		return fmt.Errorf("core: bad model magic %q", magic)
+		return fmt.Errorf("core: bad model magic %q (not a LEAPME model file)", magic)
 	}
-	buf := make([]byte, 8)
-	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return fmt.Errorf("core: reading model version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(buf[:4]); v != modelVersion {
+		return fmt.Errorf("core: unsupported model format version %d (this build reads v%d; retrain and re-save)",
+			v, modelVersion)
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("core: reading model payload length: %w", err)
+	}
+	plen := binary.LittleEndian.Uint64(buf)
+	if plen > maxModelPayload {
+		return fmt.Errorf("core: implausible model payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("core: model payload truncated: %w", err)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return fmt.Errorf("core: reading model checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(buf[:4])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return fmt.Errorf("core: model payload corrupt: CRC-32 %08x, want %08x", got, want)
+	}
+
+	pr := bytes.NewReader(payload)
+	if _, err := io.ReadFull(pr, buf[:4]); err != nil {
 		return fmt.Errorf("core: reading standardiser length: %w", err)
 	}
 	n := int(binary.LittleEndian.Uint32(buf[:4]))
 	if n < 0 || n > 1<<24 {
 		return fmt.Errorf("core: implausible standardiser length %d", n)
-	}
-	readF64 := func() (float64, error) {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return 0, err
-		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(buf)), nil
 	}
 	var mean, invStd []float64
 	if n > 0 {
@@ -95,16 +142,17 @@ func (m *Matcher) ReadModel(r io.Reader) error {
 		mean = make([]float64, n)
 		invStd = make([]float64, n)
 		for i := 0; i < n; i++ {
-			var err error
-			if mean[i], err = readF64(); err != nil {
+			if _, err := io.ReadFull(pr, buf); err != nil {
 				return fmt.Errorf("core: reading standardiser: %w", err)
 			}
-			if invStd[i], err = readF64(); err != nil {
+			mean[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			if _, err := io.ReadFull(pr, buf); err != nil {
 				return fmt.Errorf("core: reading standardiser: %w", err)
 			}
+			invStd[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
 		}
 	}
-	net, err := nn.Read(br)
+	net, err := nn.Read(pr)
 	if err != nil {
 		return fmt.Errorf("core: reading network: %w", err)
 	}

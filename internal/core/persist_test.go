@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"strings"
 	"testing"
 
 	"leapme/internal/mathx"
@@ -14,9 +16,9 @@ func TestModelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(3))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
 
@@ -30,7 +32,7 @@ func TestModelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2.ComputeFeatures(d)
+	m2.ComputeFeatures(context.Background(), d)
 	if err := m2.ReadModel(&buf); err != nil {
 		t.Fatal(err)
 	}
@@ -68,13 +70,94 @@ func TestReadModelGarbage(t *testing.T) {
 	}
 }
 
+// TestReadModelCorruption drives ReadModel through every rejection path
+// of the v2 format: wrong magic, unknown version, truncation at each
+// section boundary, and a bit flip caught by the checksum. A failed read
+// must never leave the matcher partially loaded.
+func TestReadModelCorruption(t *testing.T) {
+	d := smallDataset(t, 23)
+	store := getStore(t)
+	m, _ := NewMatcher(store, DefaultOptions(1))
+	if err := m.ComputeFeatures(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
+	if _, err := m.Train(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		c := append([]byte(nil), good...)
+		return mutate(c)
+	}
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"empty", nil, "magic"},
+		{"bad magic", corrupt(func(b []byte) []byte {
+			copy(b, "NOTAMODL")
+			return b
+		}), "not a LEAPME model file"},
+		{"future version", corrupt(func(b []byte) []byte {
+			b[8] = 99 // version field follows the 8-byte magic
+			return b
+		}), "unsupported model format version"},
+		{"truncated header", good[:10], ""},
+		{"truncated payload", good[:len(good)-40], "truncated"},
+		{"missing checksum", good[:len(good)-2], "checksum"},
+		{"bit flip in payload", corrupt(func(b []byte) []byte {
+			b[len(b)/2] ^= 0x40 // middle of the payload, not the header
+			return b
+		}), "corrupt"},
+		{"implausible length", corrupt(func(b []byte) []byte {
+			// payloadLen is the 8 bytes after magic+version.
+			for i := 12; i < 20; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}), "implausible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m2, _ := NewMatcher(store, DefaultOptions(1))
+			err := m2.ReadModel(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt model accepted")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if m2.Trained() {
+				t.Error("matcher trained after failed read")
+			}
+		})
+	}
+
+	// And the pristine bytes still load, proving the cases above failed
+	// because of the corruption, not the harness.
+	m3, _ := NewMatcher(store, DefaultOptions(1))
+	if err := m3.ReadModel(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine model rejected: %v", err)
+	}
+	if !m3.Trained() {
+		t.Error("pristine model loaded but matcher not trained")
+	}
+}
+
 func TestReadModelDimMismatch(t *testing.T) {
 	d := smallDataset(t, 22)
 	store := getStore(t)
 	m, _ := NewMatcher(store, DefaultOptions(1))
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(1))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"leapme/internal/dataset"
+	"leapme/internal/guard"
+	"leapme/internal/mathx"
+)
+
+// trainedTestMatcher builds a trained matcher over the given dataset.
+func trainedTestMatcher(t *testing.T, d *dataset.Dataset) *Matcher {
+	t.Helper()
+	m, err := NewMatcher(getStore(t), DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeFeatures(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(4))
+	if _, err := m.Train(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestComputeFeaturesNilDataset(t *testing.T) {
+	m, err := NewMatcher(getStore(t), DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeFeatures(context.Background(), nil); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestComputeFeaturesCancelled(t *testing.T) {
+	d := smallDataset(t, 5)
+	m, err := NewMatcher(getStore(t), DefaultOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = m.ComputeFeatures(ctx, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The report still accounts for whatever ran before cancellation.
+	if m.LastReport() == nil {
+		t.Error("no report recorded for the cancelled run")
+	}
+}
+
+// TestMatchAllCancelsMidRun cancels from inside the streaming callback:
+// the enumeration must stop within one work unit (no further callbacks)
+// and surface context.Canceled.
+func TestMatchAllCancelsMidRun(t *testing.T) {
+	d := smallDataset(t, 4)
+	m := trainedTestMatcher(t, d)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const stopAfter = 3
+	calls := 0
+	err := m.MatchAll(ctx, d.Props, func(ScoredPair) {
+		calls++
+		if calls == stopAfter {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != stopAfter {
+		t.Errorf("callback ran %d times after cancellation at call %d", calls, stopAfter)
+	}
+}
+
+// TestMatchAllPanicIsolated injects a panic into the scoring callback for
+// one pair: the run must complete, score the remaining pairs, and record
+// exactly that unit's failure (with the panic surfaced) in LastReport.
+func TestMatchAllPanicIsolated(t *testing.T) {
+	d := smallDataset(t, 4)
+	m := trainedTestMatcher(t, d)
+
+	// Baseline run to know the total pair count.
+	total := 0
+	if err := m.MatchAll(context.Background(), d.Props, func(ScoredPair) { total++ }); err != nil {
+		t.Fatal(err)
+	}
+	if total < 10 {
+		t.Fatalf("dataset too small for the isolation test: %d pairs", total)
+	}
+
+	calls := 0
+	err := m.MatchAll(context.Background(), d.Props, func(ScoredPair) {
+		calls++
+		if calls == 5 {
+			panic("injected scoring failure")
+		}
+	})
+	if err != nil {
+		t.Fatalf("isolated panic aborted the run: %v", err)
+	}
+	if calls != total {
+		t.Errorf("scored %d pairs, want all %d despite one panicking unit", calls, total)
+	}
+	rep := m.LastReport()
+	if rep == nil {
+		t.Fatal("no report after run with injected panic")
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("report counts %d failed units, want 1 (%s)", rep.Failed(), rep)
+	}
+	recorded := rep.Errors()
+	if len(recorded) != 1 {
+		t.Fatalf("report errors = %v, want exactly one", recorded)
+	}
+	var pe *guard.PanicError
+	if !errors.As(recorded[0].Err, &pe) {
+		t.Fatalf("recorded error %v is not a PanicError", recorded[0].Err)
+	}
+	if !strings.Contains(pe.Error(), "injected scoring failure") {
+		t.Errorf("panic value lost: %v", pe)
+	}
+	if rep.Err() == nil {
+		t.Error("Report.Err() = nil despite a failed unit")
+	}
+}
+
+// TestMatchCandidatesCancelled mirrors the cancellation contract on the
+// blocker path.
+func TestMatchCandidatesCancelled(t *testing.T) {
+	d := smallDataset(t, 4)
+	m := trainedTestMatcher(t, d)
+	cands := dataset.MatchingPairs(d.Props)
+	if len(cands) == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.MatchCandidates(ctx, cands, func(ScoredPair) {
+		t.Error("callback ran under a cancelled context")
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNilContextDefaults: a nil ctx must behave like context.Background()
+// across the pipeline entry points.
+func TestNilContextDefaults(t *testing.T) {
+	d := smallDataset(t, 4)
+	m, err := NewMatcher(getStore(t), DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeFeatures(nil, d); err != nil {
+		t.Fatalf("ComputeFeatures(nil ctx): %v", err)
+	}
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(4))
+	if _, err := m.Train(nil, pairs); err != nil {
+		t.Fatalf("Train(nil ctx): %v", err)
+	}
+	if err := m.MatchAll(nil, d.Props, func(ScoredPair) {}); err != nil {
+		t.Fatalf("MatchAll(nil ctx): %v", err)
+	}
+}

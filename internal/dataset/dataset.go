@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"unicode/utf8"
 )
 
 // Property is one source-specific property. Two properties from different
@@ -69,14 +70,24 @@ type Dataset struct {
 	Instances []Instance `json:"instances"`
 }
 
-// Validate checks referential integrity: every instance must reference a
-// declared source and property, and properties must be unique per source.
+// Validate checks the dataset strictly: referential integrity (every
+// instance must reference a declared source and property, properties must
+// be unique per source) plus record well-formedness — empty keys (source,
+// property name, instance entity) and non-UTF-8 text are rejected, so
+// malformed records never reach the text/feature layers. Use Quarantine
+// to salvage the valid remainder of a dataset instead of rejecting it.
 func (d *Dataset) Validate() error {
 	if d.Name == "" {
 		return errors.New("dataset: empty name")
 	}
 	srcs := map[string]bool{}
 	for _, s := range d.Sources {
+		if s == "" {
+			return fmt.Errorf("dataset %s: empty source name", d.Name)
+		}
+		if !utf8.ValidString(s) {
+			return fmt.Errorf("dataset %s: source name %q is not valid UTF-8", d.Name, s)
+		}
 		if srcs[s] {
 			return fmt.Errorf("dataset %s: duplicate source %q", d.Name, s)
 		}
@@ -84,6 +95,12 @@ func (d *Dataset) Validate() error {
 	}
 	props := map[Key]bool{}
 	for _, p := range d.Props {
+		if p.Name == "" {
+			return fmt.Errorf("dataset %s: property of source %q has empty name", d.Name, p.Source)
+		}
+		if !utf8.ValidString(p.Name) {
+			return fmt.Errorf("dataset %s: property name %q is not valid UTF-8", d.Name, p.Name)
+		}
 		if !srcs[p.Source] {
 			return fmt.Errorf("dataset %s: property %s references unknown source", d.Name, p.Key())
 		}
@@ -93,6 +110,12 @@ func (d *Dataset) Validate() error {
 		props[p.Key()] = true
 	}
 	for i, in := range d.Instances {
+		if in.Entity == "" {
+			return fmt.Errorf("dataset %s: instance %d has empty entity", d.Name, i)
+		}
+		if !utf8.ValidString(in.Value) {
+			return fmt.Errorf("dataset %s: instance %d value is not valid UTF-8", d.Name, i)
+		}
 		if !props[Key{Source: in.Source, Name: in.Property}] {
 			return fmt.Errorf("dataset %s: instance %d references unknown property %s/%s",
 				d.Name, i, in.Source, in.Property)

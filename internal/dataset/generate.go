@@ -88,7 +88,10 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	// achievable precision for reasons no matcher can see. Sources still
 	// share individual words ("box weight" vs "box width"), keeping the
 	// realistic near-miss noise.
-	noisePool := domain.GenerateNoiseProperties(cfg.NoiseProps*cfg.NumSources, rng)
+	noisePool, err := domain.GenerateNoiseProperties(cfg.NoiseProps*cfg.NumSources, rng)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", cfg.Name, err)
+	}
 
 	// Each reference property uses a small *active pool* of synonyms for
 	// the whole dataset rather than every synonym it could have: in the
@@ -124,7 +127,11 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 	for e := range universe {
 		universe[e] = make([]domain.Value, len(cfg.Category.Props))
 		for pi := range cfg.Category.Props {
-			universe[e][pi] = cfg.Category.Props[pi].Sample(rng)
+			v, err := cfg.Category.Props[pi].Sample(rng)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q: %w", cfg.Name, err)
+			}
+			universe[e][pi] = v
 		}
 	}
 
@@ -206,10 +213,14 @@ func Generate(cfg GenConfig) (*Dataset, error) {
 					continue
 				}
 				var value string
+				var err error
 				if sp.refIdx >= 0 {
-					value = sp.spec.Render(universe[ei][sp.refIdx], style, rng)
+					value, err = sp.spec.Render(universe[ei][sp.refIdx], style, rng)
 				} else {
-					value = sp.spec.Value(rng, style)
+					value, err = sp.spec.Value(rng, style)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("dataset %q: property %q: %w", cfg.Name, sp.prop.Name, err)
 				}
 				d.Instances = append(d.Instances, Instance{
 					Source:   srcName,

@@ -19,16 +19,27 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadJSON deserialises and validates a dataset written by WriteJSON.
-func ReadJSON(r io.Reader) (*Dataset, error) {
+// decodeJSON decodes a dataset without validating it.
+func decodeJSON(r io.Reader) (*Dataset, error) {
 	var d Dataset
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("dataset: decoding: %w", err)
 	}
+	return &d, nil
+}
+
+// ReadJSON deserialises and strictly validates a dataset written by
+// WriteJSON; the first malformed record rejects the whole dataset. Use
+// ReadJSONQuarantine to salvage the valid remainder instead.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	d, err := decodeJSON(r)
+	if err != nil {
+		return nil, err
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	return &d, nil
+	return d, nil
 }
 
 // SaveDir writes the dataset to dir as dataset.json plus an instances.csv
@@ -92,7 +103,7 @@ func ReadInstancesCSV(r io.Reader) ([]Instance, error) {
 		return nil, nil
 	}
 	start := 0
-	if rows[0][0] == "source" {
+	if len(rows[0]) > 0 && rows[0][0] == "source" {
 		start = 1 // skip header
 	}
 	out := make([]Instance, 0, len(rows)-start)

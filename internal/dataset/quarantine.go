@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"unicode/utf8"
+)
+
+// Dropped describes one record removed by Quarantine: which section it
+// came from, its index there, and why it was dropped.
+type Dropped struct {
+	Section string // "source", "property", or "instance"
+	Index   int
+	Reason  string
+}
+
+// String renders the record for error reports.
+func (q Dropped) String() string {
+	return fmt.Sprintf("%s %d: %s", q.Section, q.Index, q.Reason)
+}
+
+// Quarantine salvages the valid part of a possibly-malformed dataset:
+// records that strict Validate would reject (empty keys, duplicates,
+// non-UTF-8 text, dangling references) are dropped and reported, and the
+// remainder is returned as a new dataset that passes Validate. Dropping
+// cascades: instances of a quarantined property are quarantined too. The
+// receiver is not modified.
+func (d *Dataset) Quarantine() (*Dataset, []Dropped) {
+	clean := &Dataset{Name: d.Name, Category: d.Category}
+	if clean.Name == "" {
+		clean.Name = "unnamed"
+	}
+	var dropped []Dropped
+
+	srcs := map[string]bool{}
+	for i, s := range d.Sources {
+		switch {
+		case s == "":
+			dropped = append(dropped, Dropped{"source", i, "empty source name"})
+		case !utf8.ValidString(s):
+			dropped = append(dropped, Dropped{"source", i, "source name is not valid UTF-8"})
+		case srcs[s]:
+			dropped = append(dropped, Dropped{"source", i, fmt.Sprintf("duplicate source %q", s)})
+		default:
+			srcs[s] = true
+			clean.Sources = append(clean.Sources, s)
+		}
+	}
+	props := map[Key]bool{}
+	for i, p := range d.Props {
+		switch {
+		case p.Name == "":
+			dropped = append(dropped, Dropped{"property", i, fmt.Sprintf("empty property name in source %q", p.Source)})
+		case !utf8.ValidString(p.Name):
+			dropped = append(dropped, Dropped{"property", i, "property name is not valid UTF-8"})
+		case !srcs[p.Source]:
+			dropped = append(dropped, Dropped{"property", i, fmt.Sprintf("unknown or quarantined source %q", p.Source)})
+		case props[p.Key()]:
+			dropped = append(dropped, Dropped{"property", i, fmt.Sprintf("duplicate property %s", p.Key())})
+		default:
+			props[p.Key()] = true
+			clean.Props = append(clean.Props, p)
+		}
+	}
+	for i, in := range d.Instances {
+		switch {
+		case in.Entity == "":
+			dropped = append(dropped, Dropped{"instance", i, "empty entity"})
+		case !utf8.ValidString(in.Value):
+			dropped = append(dropped, Dropped{"instance", i, "value is not valid UTF-8"})
+		case !props[Key{Source: in.Source, Name: in.Property}]:
+			dropped = append(dropped, Dropped{"instance", i,
+				fmt.Sprintf("unknown or quarantined property %s/%s", in.Source, in.Property)})
+		default:
+			clean.Instances = append(clean.Instances, in)
+		}
+	}
+	return clean, dropped
+}
+
+// ReadJSONQuarantine is ReadJSON in lenient mode: instead of rejecting
+// the dataset on the first malformed record it quarantines bad records
+// and returns the valid remainder plus the drop list. Only decode errors
+// (malformed JSON) fail.
+func ReadJSONQuarantine(r io.Reader) (*Dataset, []Dropped, error) {
+	d, err := decodeJSON(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	clean, dropped := d.Quarantine()
+	return clean, dropped, nil
+}
+
+// LoadDirQuarantine reads a dataset saved with SaveDir in lenient mode
+// (see ReadJSONQuarantine).
+func LoadDirQuarantine(dir string) (*Dataset, []Dropped, error) {
+	f, err := os.Open(filepath.Join(dir, "dataset.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadJSONQuarantine(f)
+}

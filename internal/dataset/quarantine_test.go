@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuarantineCleanDataset: a valid dataset passes through untouched.
+func TestQuarantineCleanDataset(t *testing.T) {
+	d := toy()
+	clean, dropped := d.Quarantine()
+	if len(dropped) != 0 {
+		t.Fatalf("dropped %v from a clean dataset", dropped)
+	}
+	if err := clean.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := clean.Summary()
+	if s.Sources != 3 || s.Properties != 6 || s.Instances != 5 {
+		t.Errorf("clean copy lost records: %+v", s)
+	}
+}
+
+// TestQuarantineCascade: dropping a source must cascade to its properties
+// and their instances, and the salvaged remainder must pass strict
+// Validate.
+func TestQuarantineCascade(t *testing.T) {
+	d := toy()
+	// Make s3 a duplicate so it gets quarantined; its two properties and
+	// two instances must cascade out with it.
+	d.Sources = []string{"s1", "s2", "s3", "s3"}
+
+	clean, dropped := d.Quarantine()
+	if err := clean.Validate(); err != nil {
+		t.Fatalf("salvaged dataset invalid: %v", err)
+	}
+	if len(clean.Sources) != 3 {
+		t.Errorf("sources = %v, want first s3 kept, duplicate dropped", clean.Sources)
+	}
+	if len(dropped) != 1 {
+		t.Fatalf("dropped = %v, want exactly the duplicate source", dropped)
+	}
+	if dropped[0].Section != "source" || !strings.Contains(dropped[0].Reason, "duplicate") {
+		t.Errorf("unexpected drop record %v", dropped[0])
+	}
+
+	// Now actually sever s3: only s1 and s2 survive, so the two s3
+	// properties and both s3 instances cascade.
+	d = toy()
+	d.Sources = []string{"s1", "s2", ""} // s3 replaced by an empty name
+	clean, dropped = d.Quarantine()
+	if err := clean.Validate(); err != nil {
+		t.Fatalf("salvaged dataset invalid: %v", err)
+	}
+	var bySection = map[string]int{}
+	for _, q := range dropped {
+		bySection[q.Section]++
+	}
+	// empty source, 2 dangling s3 properties, 2 cascading s3 instances.
+	if bySection["source"] != 1 || bySection["property"] != 2 || bySection["instance"] != 2 {
+		t.Errorf("drop cascade = %v, want 1 source / 2 properties / 2 instances", dropped)
+	}
+	for _, in := range clean.Instances {
+		if in.Source == "s3" {
+			t.Errorf("instance of quarantined source survived: %v", in)
+		}
+	}
+}
+
+// TestQuarantineBadRecords covers the per-record rejection reasons.
+func TestQuarantineBadRecords(t *testing.T) {
+	d := toy()
+	d.Props = append(d.Props, Property{Source: "s1", Name: "\xff\xfe"})
+	d.Instances = append(d.Instances,
+		Instance{Source: "s1", Entity: "", Property: "weight", Value: "x"},
+		Instance{Source: "s1", Entity: "e5", Property: "weight", Value: "\xff"},
+	)
+	clean, dropped := d.Quarantine()
+	if err := clean.Validate(); err != nil {
+		t.Fatalf("salvaged dataset invalid: %v", err)
+	}
+	if len(dropped) != 3 {
+		t.Fatalf("dropped = %v, want 3 records", dropped)
+	}
+	reasons := make([]string, len(dropped))
+	for i, q := range dropped {
+		reasons[i] = q.String()
+	}
+	joined := strings.Join(reasons, "; ")
+	for _, want := range []string{"not valid UTF-8", "empty entity"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("drop reasons %q missing %q", joined, want)
+		}
+	}
+	// Original dataset untouched.
+	if len(d.Instances) != 7 {
+		t.Errorf("Quarantine mutated its receiver: %d instances", len(d.Instances))
+	}
+}
+
+// TestQuarantineUnnamed: a dataset without a name gets a placeholder so
+// the salvaged result still passes Validate.
+func TestQuarantineUnnamed(t *testing.T) {
+	d := toy()
+	d.Name = ""
+	clean, _ := d.Quarantine()
+	if clean.Name == "" {
+		t.Fatal("quarantined dataset still unnamed")
+	}
+	if err := clean.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDirQuarantine: round-trip through SaveDir with a malformed
+// record injected into the JSON — strict LoadDir rejects it, the lenient
+// loader salvages the rest.
+func TestLoadDirQuarantine(t *testing.T) {
+	d := toy()
+	d.Instances = append(d.Instances, Instance{Source: "s1", Entity: "e9", Property: "ghost", Value: "v"})
+	dir := t.TempDir()
+	// SaveDir validates, so write the raw JSON ourselves.
+	f, err := os.Create(filepath.Join(dir, "dataset.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("strict LoadDir accepted a dangling instance")
+	}
+	clean, dropped, err := LoadDirQuarantine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0].Section != "instance" {
+		t.Fatalf("dropped = %v, want the one dangling instance", dropped)
+	}
+	if err := clean.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Instances) != 5 {
+		t.Errorf("salvaged %d instances, want 5", len(clean.Instances))
+	}
+}

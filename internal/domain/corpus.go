@@ -70,7 +70,12 @@ func Corpus(categories []*Category, cfg CorpusConfig) [][]string {
 				// tokens (units, enum values) to the vocabulary — the
 				// instance features need vectors for them.
 				if p.Kind != KindBoolean {
-					sent = append(sent, text.Tokenize(p.Value(rng, style))...)
+					// Corpus generation is best-effort: a spec with a
+					// broken value grammar contributes no value tokens
+					// rather than aborting corpus construction.
+					if v, err := p.Value(rng, style); err == nil {
+						sent = append(sent, text.Tokenize(v)...)
+					}
 				}
 				if len(p.Context) > 0 {
 					sent = append(sent, p.Context[rng.Intn(len(p.Context))])

@@ -62,7 +62,10 @@ func TestValueGenerationNonEmpty(t *testing.T) {
 		for _, p := range cat.Props {
 			for trial := 0; trial < 20; trial++ {
 				style := RandomStyle(rng)
-				v := p.Value(rng, style)
+				v, err := p.Value(rng, style)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, p.Canonical, err)
+				}
 				if strings.TrimSpace(v) == "" {
 					t.Fatalf("%s/%s: empty value (style %+v)", name, p.Canonical, style)
 				}
@@ -79,8 +82,14 @@ func TestValueStylesDiffer(t *testing.T) {
 	a := FormatStyle{UnitIndex: 0, UnitSpace: true}
 	b := FormatStyle{UnitIndex: 1, UnitSpace: false}
 	rng := rand.New(rand.NewSource(2))
-	va := p.Value(rng, a)
-	vb := p.Value(rng, b)
+	va, err := p.Value(rng, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := p.Value(rng, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if strings.Contains(va, "grams") || !strings.Contains(vb, "grams") {
 		t.Errorf("unit styles not applied: %q vs %q", va, vb)
 	}
@@ -121,7 +130,10 @@ func TestDecorateNameStable(t *testing.T) {
 
 func TestGenerateNoiseProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	props := GenerateNoiseProperties(300, rng)
+	props, err := GenerateNoiseProperties(300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(props) != 300 {
 		t.Fatalf("generated %d, want 300", len(props))
 	}
@@ -134,7 +146,10 @@ func TestGenerateNoiseProperties(t *testing.T) {
 			t.Fatalf("duplicate noise property %q", np.Name)
 		}
 		seen[np.Name] = true
-		v := np.Spec.Value(rng, RandomStyle(rng))
+		v, err := np.Spec.Value(rng, RandomStyle(rng))
+		if err != nil {
+			t.Fatalf("noise property %q: %v", np.Name, err)
+		}
 		if strings.TrimSpace(v) == "" {
 			t.Fatalf("noise property %q produced empty value", np.Name)
 		}

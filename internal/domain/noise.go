@@ -65,10 +65,12 @@ type NoiseProperty struct {
 // space adds ~10k more). Different sources thus share individual surface
 // words — realistic near-miss noise — but never near-identical full names,
 // which would be semantic matches mislabeled as negatives.
-func GenerateNoiseProperties(n int, rng *rand.Rand) []NoiseProperty {
+func GenerateNoiseProperties(n int, rng *rand.Rand) ([]NoiseProperty, error) {
 	maxNames := len(noiseQualifiers) * len(noiseAttributes) * len(noiseQualifiers)
 	if n > maxNames/2 {
-		panic(fmt.Sprintf("domain: %d noise properties exceeds the distinct-name budget %d", n, maxNames/2))
+		// n comes straight from generator configuration — an input error,
+		// not an invariant violation.
+		return nil, fmt.Errorf("domain: %d noise properties exceeds the distinct-name budget %d", n, maxNames/2)
 	}
 	seen := map[string]bool{}
 	out := make([]NoiseProperty, 0, n)
@@ -89,7 +91,7 @@ func GenerateNoiseProperties(n int, rng *rand.Rand) []NoiseProperty {
 		seen[name] = true
 		out = append(out, NoiseProperty{Name: name, Spec: noiseValueSpec(name, a, rng)})
 	}
-	return out
+	return out, nil
 }
 
 // nameHash mixes a property name into a small deterministic integer used

@@ -15,9 +15,18 @@ import (
 func TestSharedValueRendersConsistently(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	p := Cameras().PropByCanonical("weight") // KindNumericUnit
-	v := p.Sample(rng)
-	s1 := p.Render(v, FormatStyle{UnitIndex: 0, UnitSpace: true}, rng)
-	s2 := p.Render(v, FormatStyle{UnitIndex: 1, UnitSpace: false, DecimalComma: true}, rng)
+	v, err := p.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Render(v, FormatStyle{UnitIndex: 0, UnitSpace: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Render(v, FormatStyle{UnitIndex: 1, UnitSpace: false, DecimalComma: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s1 == s2 {
 		t.Logf("styles coincided: %q", s1)
 	}
@@ -40,9 +49,18 @@ func leadingNumber(s string) string {
 func TestEnumRenderStable(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	p := Cameras().PropByCanonical("sensor type")
-	v := p.Sample(rng)
-	s1 := p.Render(v, FormatStyle{CaseStyle: 0}, rng)
-	s2 := p.Render(v, FormatStyle{CaseStyle: 1}, rng)
+	v, err := p.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := p.Render(v, FormatStyle{CaseStyle: 0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Render(v, FormatStyle{CaseStyle: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.EqualFold(s1, s2) {
 		t.Errorf("same enum value rendered different members: %q vs %q", s1, s2)
 	}
@@ -54,8 +72,14 @@ func TestBooleanRenderRespectsValue(t *testing.T) {
 	yes := Value{Bool: true}
 	no := Value{Bool: false}
 	for style := 0; style < 4; style++ {
-		sYes := p.Render(yes, FormatStyle{BoolStyle: style}, rng)
-		sNo := p.Render(no, FormatStyle{BoolStyle: style}, rng)
+		sYes, err := p.Render(yes, FormatStyle{BoolStyle: style}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sNo, err := p.Render(no, FormatStyle{BoolStyle: style}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if sYes == sNo {
 			t.Errorf("style %d: yes and no render identically: %q", style, sYes)
 		}
@@ -66,7 +90,10 @@ func TestRangeValuesAscending(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	p := Cameras().PropByCanonical("iso range")
 	for i := 0; i < 50; i++ {
-		v := p.Sample(rng)
+		v, err := p.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if v.Num2 < v.Num {
 			t.Fatalf("range sampled descending: %v > %v", v.Num, v.Num2)
 		}
@@ -77,13 +104,19 @@ func TestRenderNumberNoDigitLoss(t *testing.T) {
 	// Regression: integer "5410" must not lose its trailing zero.
 	p := &PropertySpec{Kind: KindNumeric, Lo: 5410, Hi: 5410, Decimals: 0}
 	rng := rand.New(rand.NewSource(5))
-	got := p.Render(p.Sample(rng), FormatStyle{}, rng)
+	got, err := p.Value(rng, FormatStyle{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != "5410" {
 		t.Errorf("renderNumber(5410) = %q", got)
 	}
 	// And fraction trimming still works.
 	p2 := &PropertySpec{Kind: KindNumeric, Lo: 2.5, Hi: 2.5, Decimals: 2}
-	got = p2.Render(p2.Sample(rng), FormatStyle{}, rng)
+	got, err = p2.Value(rng, FormatStyle{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != "2.5" {
 		t.Errorf("renderNumber(2.50) = %q", got)
 	}

@@ -94,73 +94,79 @@ type Value struct {
 	Text      string // canonical text (model codes, free text)
 }
 
-// Sample draws an underlying value for the property.
-func (p *PropertySpec) Sample(rng *rand.Rand) Value {
+// Sample draws an underlying value for the property. An unknown value
+// kind is an input error (specs can arrive from user-defined ontologies),
+// not a panic.
+func (p *PropertySpec) Sample(rng *rand.Rand) (Value, error) {
 	switch p.Kind {
 	case KindNumericUnit, KindNumeric, KindPrice:
-		return Value{Num: p.sample(rng)}
+		return Value{Num: p.sample(rng)}, nil
 	case KindDimensions:
 		w := p.sample(rng)
-		return Value{Num: w, Num2: w * (0.5 + rng.Float64()*0.5)}
+		return Value{Num: w, Num2: w * (0.5 + rng.Float64()*0.5)}, nil
 	case KindRange:
 		lo := p.sample(rng)
-		return Value{Num: lo, Num2: lo + (p.Hi-lo)*rng.Float64()}
+		return Value{Num: lo, Num2: lo + (p.Hi-lo)*rng.Float64()}, nil
 	case KindEnum:
 		if len(p.Values) == 0 {
-			return Value{}
+			return Value{}, nil
 		}
-		return Value{Enum: []int{rng.Intn(len(p.Values))}}
+		return Value{Enum: []int{rng.Intn(len(p.Values))}}, nil
 	case KindEnumSet:
+		if len(p.Values) == 0 {
+			return Value{}, nil
+		}
 		k := 1 + rng.Intn(min(3, len(p.Values)))
-		return Value{Enum: rng.Perm(len(p.Values))[:k]}
+		return Value{Enum: rng.Perm(len(p.Values))[:k]}, nil
 	case KindModel:
 		brand := pick(p.Words, rng)
-		return Value{Text: fmt.Sprintf("%s %s%d", brand, string(rune('A'+rng.Intn(26))), 100+rng.Intn(900))}
+		return Value{Text: fmt.Sprintf("%s %s%d", brand, string(rune('A'+rng.Intn(26))), 100+rng.Intn(900))}, nil
 	case KindText:
 		k := 2 + rng.Intn(4)
 		parts := make([]string, k)
 		for i := range parts {
 			parts[i] = pick(p.Words, rng)
 		}
-		return Value{Text: strings.Join(parts, " ")}
+		return Value{Text: strings.Join(parts, " ")}, nil
 	case KindBoolean:
-		return Value{Bool: rng.Intn(2) == 0}
+		return Value{Bool: rng.Intn(2) == 0}, nil
 	default:
-		panic(fmt.Sprintf("domain: unknown value kind %d", p.Kind))
+		return Value{}, fmt.Errorf("domain: property %q has unknown value kind %d", p.Canonical, p.Kind)
 	}
 }
 
 // Render expresses an underlying value under a source's format style.
 // rng drives rendering-level noise only (e.g. whether a positive flag is
-// elaborated), never the value itself.
-func (p *PropertySpec) Render(v Value, style FormatStyle, rng *rand.Rand) string {
+// elaborated), never the value itself. An unknown value kind is an input
+// error, mirroring Sample.
+func (p *PropertySpec) Render(v Value, style FormatStyle, rng *rand.Rand) (string, error) {
 	switch p.Kind {
 	case KindNumericUnit:
 		n := p.renderNumber(v.Num, style)
 		u := p.unit(style)
 		if u == "" {
-			return n
+			return n, nil
 		}
 		if style.UnitSpace {
-			return n + " " + u
+			return n + " " + u, nil
 		}
-		return n + u
+		return n + u, nil
 	case KindNumeric:
-		return p.renderNumber(v.Num, style)
+		return p.renderNumber(v.Num, style), nil
 	case KindDimensions:
-		return fmt.Sprintf("%s%s%s", p.renderNumber(v.Num, style), style.DimSep, p.renderNumber(v.Num2, style))
+		return fmt.Sprintf("%s%s%s", p.renderNumber(v.Num, style), style.DimSep, p.renderNumber(v.Num2, style)), nil
 	case KindRange:
 		u := p.unit(style)
 		sep := ""
 		if style.UnitSpace && u != "" {
 			sep = " "
 		}
-		return fmt.Sprintf("%s-%s%s%s", p.renderNumber(v.Num, style), p.renderNumber(v.Num2, style), sep, u)
+		return fmt.Sprintf("%s-%s%s%s", p.renderNumber(v.Num, style), p.renderNumber(v.Num2, style), sep, u), nil
 	case KindEnum:
 		if len(v.Enum) == 0 || len(p.Values) == 0 {
-			return ""
+			return "", nil
 		}
-		return applyCase(p.Values[v.Enum[0]%len(p.Values)], style.CaseStyle)
+		return applyCase(p.Values[v.Enum[0]%len(p.Values)], style.CaseStyle), nil
 	case KindEnumSet:
 		parts := make([]string, 0, len(v.Enum))
 		for _, idx := range v.Enum {
@@ -168,11 +174,11 @@ func (p *PropertySpec) Render(v Value, style FormatStyle, rng *rand.Rand) string
 				parts = append(parts, applyCase(p.Values[idx%len(p.Values)], style.CaseStyle))
 			}
 		}
-		return strings.Join(parts, ", ")
+		return strings.Join(parts, ", "), nil
 	case KindModel:
-		return v.Text
+		return v.Text, nil
 	case KindText:
-		return applyCase(v.Text, style.CaseStyle)
+		return applyCase(v.Text, style.CaseStyle), nil
 	case KindBoolean:
 		s := renderBool(v.Bool, style.BoolStyle)
 		// Product pages often elaborate positive flags ("Yes (optical
@@ -181,25 +187,29 @@ func (p *PropertySpec) Render(v Value, style FormatStyle, rng *rand.Rand) string
 		if v.Bool && len(p.Context) > 0 && rng.Float64() < 0.5 {
 			s += " (" + p.Context[rng.Intn(len(p.Context))] + ")"
 		}
-		return s
+		return s, nil
 	case KindPrice:
 		switch style.PriceStyle {
 		case 0:
-			return fmt.Sprintf("$%.2f", v.Num)
+			return fmt.Sprintf("$%.2f", v.Num), nil
 		case 1:
-			return fmt.Sprintf("%.0f USD", v.Num)
+			return fmt.Sprintf("%.0f USD", v.Num), nil
 		default:
-			return fmt.Sprintf("€%.0f", v.Num)
+			return fmt.Sprintf("€%.0f", v.Num), nil
 		}
 	default:
-		panic(fmt.Sprintf("domain: unknown value kind %d", p.Kind))
+		return "", fmt.Errorf("domain: property %q has unknown value kind %d", p.Canonical, p.Kind)
 	}
 }
 
 // Value samples and renders in one step — the independent-values path
 // used for noise properties and corpus generation.
-func (p *PropertySpec) Value(rng *rand.Rand, style FormatStyle) string {
-	return p.Render(p.Sample(rng), style, rng)
+func (p *PropertySpec) Value(rng *rand.Rand, style FormatStyle) (string, error) {
+	v, err := p.Sample(rng)
+	if err != nil {
+		return "", err
+	}
+	return p.Render(v, style, rng)
 }
 
 // sample draws a value in [Lo, Hi].

@@ -10,6 +10,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -155,6 +156,19 @@ type Harness struct {
 	// OnRun, if non-nil, is called after each run with the run index and
 	// its metrics — for progress reporting in the CLI.
 	OnRun func(run int, m PRF)
+	// Ctx, if non-nil, cancels the scenario loop: it is checked before
+	// each run and threaded into feature computation, training and
+	// matching, so a long 25-run evaluation aborts within one work unit
+	// of cancellation (or its deadline). Nil means context.Background().
+	Ctx context.Context
+}
+
+// context returns the harness's effective context.
+func (h *Harness) context() context.Context {
+	if h.Ctx != nil {
+		return h.Ctx
+	}
+	return context.Background()
 }
 
 // NewHarness returns a harness with the paper's protocol parameters.
@@ -235,10 +249,16 @@ func (h *Harness) EvalLEAPMEStats(d *dataset.Dataset, fcfg features.Config, trai
 	if err != nil {
 		return Stats{}, err
 	}
-	base.ComputeFeatures(d)
+	ctx := h.context()
+	if err := base.ComputeFeatures(ctx, d); err != nil {
+		return Stats{}, err
+	}
 
 	var ms []PRF
 	for run := 0; run < runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, err
+		}
 		rng := mathx.NewRand(h.Seed + int64(run)*7919)
 		sp, err := SplitSources(d.Sources, trainFrac, rng)
 		if err != nil {
@@ -257,12 +277,12 @@ func (h *Harness) EvalLEAPMEStats(d *dataset.Dataset, fcfg features.Config, trai
 		if err := m.AdoptFeatures(base); err != nil {
 			return Stats{}, err
 		}
-		if _, err := m.Train(pairs); err != nil {
+		if _, err := m.Train(ctx, pairs); err != nil {
 			return Stats{}, err
 		}
 		truth := testTruth(d.Props, sp.Train)
 		var pred []dataset.Pair
-		if err := m.MatchWhere(d.Props, isTestPair(sp.Train), func(sp core.ScoredPair) {
+		if err := m.MatchWhere(ctx, d.Props, isTestPair(sp.Train), func(sp core.ScoredPair) {
 			if sp.Match {
 				pred = append(pred, dataset.Pair{A: sp.A, B: sp.B}.Canonical())
 			}
@@ -297,8 +317,12 @@ func (h *Harness) EvalBaselineStats(d *dataset.Dataset, mk func() baselines.Matc
 		runs = 25
 	}
 	values := d.InstancesByProperty()
+	ctx := h.context()
 	var ms []PRF
 	for run := 0; run < runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, err
+		}
 		rng := mathx.NewRand(h.Seed + int64(run)*7919)
 		sp, err := SplitSources(d.Sources, trainFrac, rng)
 		if err != nil {

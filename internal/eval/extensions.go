@@ -84,6 +84,7 @@ func (h *Harness) transferOne(dtrain, dtest *dataset.Dataset) (PRF, error) {
 	}
 	opts := h.Options
 	opts.Features = features.FullConfig()
+	ctx := h.context()
 	var ms []PRF
 	for run := 0; run < runs; run++ {
 		rng := mathx.NewRand(h.Seed + int64(run)*104729)
@@ -92,18 +93,22 @@ func (h *Harness) transferOne(dtrain, dtest *dataset.Dataset) (PRF, error) {
 		if err != nil {
 			return PRF{}, err
 		}
-		m.ComputeFeatures(dtrain)
-		m.ComputeFeatures(dtest)
+		if err := m.ComputeFeatures(ctx, dtrain); err != nil {
+			return PRF{}, err
+		}
+		if err := m.ComputeFeatures(ctx, dtest); err != nil {
+			return PRF{}, err
+		}
 		pairs := core.TrainingPairs(dtrain.Props, h.negRatio(), rng)
 		if countPositives(pairs) == 0 {
 			continue
 		}
-		if _, err := m.Train(pairs); err != nil {
+		if _, err := m.Train(ctx, pairs); err != nil {
 			return PRF{}, err
 		}
 		truth := truthIn(dtest.Props)
 		var pred []dataset.Pair
-		if err := m.MatchAll(dtest.Props, func(sp core.ScoredPair) {
+		if err := m.MatchAll(ctx, dtest.Props, func(sp core.ScoredPair) {
 			if sp.Match {
 				pred = append(pred, dataset.Pair{A: sp.A, B: sp.B}.Canonical())
 			}
@@ -142,10 +147,13 @@ func (h *Harness) Clusterings(d *dataset.Dataset) ([]ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.ComputeFeatures(d)
+	ctx := h.context()
+	if err := m.ComputeFeatures(ctx, d); err != nil {
+		return nil, err
+	}
 	trainProps := d.PropsOfSources(sp.Train)
 	pairs := core.TrainingPairs(trainProps, h.negRatio(), rng)
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(ctx, pairs); err != nil {
 		return nil, err
 	}
 	// Similarity graph over the test pairs (the paper's protocol: pairs
@@ -154,7 +162,7 @@ func (h *Harness) Clusterings(d *dataset.Dataset) ([]ClusterResult, error) {
 	for _, p := range d.Props {
 		g.AddNode(p.Key())
 	}
-	if err := m.MatchWhere(d.Props, isTestPair(sp.Train), func(sp core.ScoredPair) {
+	if err := m.MatchWhere(ctx, d.Props, isTestPair(sp.Train), func(sp core.ScoredPair) {
 		if sp.Match {
 			g.AddEdge(sp.A, sp.B, sp.Score)
 		}

@@ -1,0 +1,30 @@
+// Package guard implements the pipeline's failure-domain model: the unit
+// of failure is one piece of work (featurizing one property, scoring one
+// property pair, one training phase), never the whole run.
+//
+// The model has three layers:
+//
+//   - Panic isolation. Run converts a panic inside a work unit into a
+//     *PanicError carrying the panic value and stack, so a malformed
+//     record or a bug in one scoring callback degrades that single unit
+//     instead of aborting a 25-run evaluation. Go is the goroutine
+//     variant used by worker pools.
+//
+//   - Failure accounting. A Report accumulates per-unit outcomes under a
+//     mutex: how many units ran, how many failed, and a bounded sample of
+//     the failures (labels plus errors). Callers inspect the report after
+//     a run — the run itself proceeds past failed units (graceful
+//     degradation) — and decide whether the failure rate is acceptable.
+//
+//   - Cooperative cancellation. ForEach checks its context between units
+//     and stops dispatching new work as soon as the context is done, so a
+//     cancelled run returns within one work unit. The in-flight units
+//     finish; nothing is killed mid-write.
+//
+// What is NOT a unit failure: programmer errors at the call boundary
+// (scoring a property whose features were never computed, dimension
+// mismatches) stay hard errors that abort the run — hiding those in a
+// report would mask bugs. The split mirrors the rest of the codebase:
+// mathx keeps its invariant panics, while input-reachable paths return
+// errors.
+package guard

@@ -1,0 +1,133 @@
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError wraps a recovered panic so it can travel as an ordinary
+// error. Stack is the stack of the panicking goroutine at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Run executes fn, converting a panic into a *PanicError. A nil return
+// means fn completed without panicking and returned nil itself.
+func Run(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Go runs fn in a new goroutine under panic isolation, recording the
+// outcome in rep under the given unit label and marking wg done when the
+// unit finishes.
+func Go(wg *sync.WaitGroup, rep *Report, unit string, fn func() error) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep.Do(unit, fn)
+	}()
+}
+
+// maxRecorded bounds how many unit errors a Report retains verbatim; the
+// failure *count* is always exact. A run scoring millions of pairs must
+// not turn a systematic failure into an error slice of the same size.
+const maxRecorded = 32
+
+// UnitError is one recorded unit failure.
+type UnitError struct {
+	Unit string
+	Err  error
+}
+
+// Report accumulates per-unit outcomes of a run. It is safe for
+// concurrent use; the zero value is ready.
+type Report struct {
+	mu     sync.Mutex
+	units  int
+	failed int
+	errs   []UnitError
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report { return &Report{} }
+
+// Do executes fn as one unit under panic isolation, records the outcome,
+// and returns the unit's error (nil on success).
+func (r *Report) Do(unit string, fn func() error) error {
+	err := Run(fn)
+	r.Record(unit, err)
+	return err
+}
+
+// Record counts one completed unit; a non-nil err marks it failed.
+func (r *Report) Record(unit string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.units++
+	if err == nil {
+		return
+	}
+	r.failed++
+	if len(r.errs) < maxRecorded {
+		r.errs = append(r.errs, UnitError{Unit: unit, Err: err})
+	}
+}
+
+// Units returns how many units completed (failed or not).
+func (r *Report) Units() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.units
+}
+
+// Failed returns how many units failed.
+func (r *Report) Failed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed
+}
+
+// Errors returns a copy of the recorded failures (at most maxRecorded;
+// Failed is the exact count).
+func (r *Report) Errors() []UnitError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]UnitError, len(r.errs))
+	copy(out, r.errs)
+	return out
+}
+
+// Err returns nil when no unit failed, otherwise one error summarising
+// the failures with the first recorded cause.
+func (r *Report) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed == 0 {
+		return nil
+	}
+	first := ""
+	if len(r.errs) > 0 {
+		first = fmt.Sprintf("; first: %s: %v", r.errs[0].Unit, r.errs[0].Err)
+	}
+	return fmt.Errorf("guard: %d of %d units failed%s", r.failed, r.units, first)
+}
+
+// String renders a one-line summary for logs.
+func (r *Report) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failed == 0 {
+		return fmt.Sprintf("%d units ok", r.units)
+	}
+	return fmt.Sprintf("%d of %d units failed", r.failed, r.units)
+}

@@ -1,0 +1,149 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunConvertsPanic(t *testing.T) {
+	err := Run(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *PanicError", err, err)
+	}
+	if fmt.Sprint(pe.Value) != "boom" {
+		t.Errorf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRunPassesThroughErrors(t *testing.T) {
+	want := errors.New("plain failure")
+	if err := Run(func() error { return want }); err != want {
+		t.Errorf("got %v, want %v", err, want)
+	}
+	if err := Run(func() error { return nil }); err != nil {
+		t.Errorf("got %v, want nil", err)
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	r := NewReport()
+	r.Do("a", func() error { return nil })
+	r.Do("b", func() error { return errors.New("bad") })
+	r.Do("c", func() error { panic("worse") })
+	if r.Units() != 3 || r.Failed() != 2 {
+		t.Fatalf("units=%d failed=%d, want 3/2", r.Units(), r.Failed())
+	}
+	errs := r.Errors()
+	if len(errs) != 2 || errs[0].Unit != "b" || errs[1].Unit != "c" {
+		t.Fatalf("errors = %+v", errs)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "2 of 3") {
+		t.Errorf("Err() = %v", err)
+	}
+	if s := r.String(); !strings.Contains(s, "2 of 3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestReportErrNilOnSuccess(t *testing.T) {
+	r := NewReport()
+	r.Do("a", func() error { return nil })
+	if err := r.Err(); err != nil {
+		t.Errorf("Err() = %v", err)
+	}
+}
+
+func TestReportCapsRecordedErrors(t *testing.T) {
+	r := NewReport()
+	for i := 0; i < 3*maxRecorded; i++ {
+		r.Record(fmt.Sprintf("u%d", i), errors.New("x"))
+	}
+	if r.Failed() != 3*maxRecorded {
+		t.Errorf("failed = %d", r.Failed())
+	}
+	if got := len(r.Errors()); got != maxRecorded {
+		t.Errorf("recorded %d errors, want cap %d", got, maxRecorded)
+	}
+}
+
+func TestGo(t *testing.T) {
+	var wg sync.WaitGroup
+	r := NewReport()
+	Go(&wg, r, "ok", func() error { return nil })
+	Go(&wg, r, "panics", func() error { panic("isolated") })
+	wg.Wait()
+	if r.Units() != 2 || r.Failed() != 1 {
+		t.Fatalf("units=%d failed=%d", r.Units(), r.Failed())
+	}
+}
+
+func TestForEachRunsAllUnits(t *testing.T) {
+	var hits int64
+	rep, err := ForEach(context.Background(), 4, 100, nil, func(i int) error {
+		atomic.AddInt64(&hits, 1)
+		if i%10 == 3 {
+			panic(i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 100 || rep.Units() != 100 {
+		t.Fatalf("hits=%d units=%d", hits, rep.Units())
+	}
+	if rep.Failed() != 10 {
+		t.Errorf("failed = %d, want 10", rep.Failed())
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done int64
+	rep, err := ForEach(ctx, 1, 1000, nil, func(i int) error {
+		if atomic.AddInt64(&done, 1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The single worker may take at most a few already-dispatched units
+	// after cancel; nothing close to the full range.
+	if u := rep.Units(); u >= 100 {
+		t.Errorf("ran %d units after cancellation", u)
+	}
+}
+
+func TestForEachDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := ForEach(ctx, 1, 1<<30, nil, func(i int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestForEachEmptyAndNilCtx(t *testing.T) {
+	rep, err := ForEach(nil, 0, 0, nil, func(i int) error { return nil })
+	if err != nil || rep.Units() != 0 {
+		t.Fatalf("err=%v units=%d", err, rep.Units())
+	}
+}

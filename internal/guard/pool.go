@@ -1,0 +1,64 @@
+package guard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) on a pool of workers with panic isolation per
+// unit, returning the run's Report. workers ≤ 0 uses GOMAXPROCS. label
+// names unit i in the report (nil labels units "unit i").
+//
+// Cancellation is cooperative: once ctx is done no further units are
+// dispatched and ForEach returns ctx.Err() after the in-flight units
+// finish — a cancelled call returns within roughly one work unit. Unit
+// failures do not stop the pool; inspect the report.
+func ForEach(ctx context.Context, workers, n int, label func(i int) string, fn func(i int) error) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	rep := NewReport()
+	if n <= 0 {
+		return rep, ctx.Err()
+	}
+	if label == nil {
+		label = func(i int) string { return fmt.Sprintf("unit %d", i) }
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rep.Do(label(i), func() error { return fn(i) })
+			}
+		}()
+	}
+
+	var err error
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err == nil {
+		err = ctx.Err() // cancellation racing the last dispatch still reports
+	}
+	return rep, err
+}

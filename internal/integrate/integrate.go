@@ -11,6 +11,7 @@
 package integrate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -74,7 +75,9 @@ func (ig *Integrator) Graph() *graph.SimilarityGraph { return ig.g }
 // their features, scores them against every already-integrated property
 // (or the blocker's candidates), records matches as graph edges, and
 // returns the new matches. The first source added just seeds the graph.
-func (ig *Integrator) AddSource(d *dataset.Dataset, source string) ([]core.ScoredPair, error) {
+// ctx cancels the work between units; on cancellation the integrator is
+// left without the new source (no partial integration is recorded).
+func (ig *Integrator) AddSource(ctx context.Context, d *dataset.Dataset, source string) ([]core.ScoredPair, error) {
 	if ig.sources[source] {
 		return nil, fmt.Errorf("integrate: source %q already integrated", source)
 	}
@@ -100,7 +103,9 @@ func (ig *Integrator) AddSource(d *dataset.Dataset, source string) ([]core.Score
 			sub.Instances = append(sub.Instances, in)
 		}
 	}
-	ig.Matcher.ComputeFeatures(sub)
+	if err := ig.Matcher.ComputeFeatures(ctx, sub); err != nil {
+		return nil, err
+	}
 
 	for _, p := range newProps {
 		ig.g.AddNode(p.Key())
@@ -123,12 +128,12 @@ func (ig *Integrator) AddSource(d *dataset.Dataset, source string) ([]core.Score
 					cands = append(cands, c)
 				}
 			}
-			if err := ig.Matcher.MatchCandidates(cands, record); err != nil {
+			if err := ig.Matcher.MatchCandidates(ctx, cands, record); err != nil {
 				return nil, err
 			}
 		} else {
 			all := append(append([]dataset.Property(nil), ig.props...), newProps...)
-			err := ig.Matcher.MatchWhere(all, func(a, b dataset.Property) bool {
+			err := ig.Matcher.MatchWhere(ctx, all, func(a, b dataset.Property) bool {
 				return (a.Source == source) != (b.Source == source)
 			}, record)
 			if err != nil {

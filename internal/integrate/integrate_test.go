@@ -1,6 +1,7 @@
 package integrate
 
 import (
+	"context"
 	"testing"
 
 	"leapme/internal/blocking"
@@ -53,10 +54,10 @@ func setup(t *testing.T) (*core.Matcher, *dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ComputeFeatures(d)
+	m.ComputeFeatures(context.Background(), d)
 	trainSrc := map[string]bool{"source00": true, "source01": true, "source02": true}
 	pairs := core.TrainingPairs(d.PropsOfSources(trainSrc), 2, mathx.NewRand(1))
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
 	return m, d
@@ -83,7 +84,7 @@ func TestIncrementalIntegration(t *testing.T) {
 	}
 
 	// First source seeds the graph: no matches possible.
-	first, err := ig.AddSource(d, "source03")
+	first, err := ig.AddSource(context.Background(), d, "source03")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestIncrementalIntegration(t *testing.T) {
 	}
 
 	// Second source must match against the first.
-	second, err := ig.AddSource(d, "source04")
+	second, err := ig.AddSource(context.Background(), d, "source04")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestIncrementalIntegration(t *testing.T) {
 		}
 	}
 
-	third, err := ig.AddSource(d, "source05")
+	third, err := ig.AddSource(context.Background(), d, "source05")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,13 +155,13 @@ func TestIncrementalIntegration(t *testing.T) {
 func TestAddSourceTwice(t *testing.T) {
 	m, d := setup(t)
 	ig, _ := New(m)
-	if _, err := ig.AddSource(d, "source03"); err != nil {
+	if _, err := ig.AddSource(context.Background(), d, "source03"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ig.AddSource(d, "source03"); err == nil {
+	if _, err := ig.AddSource(context.Background(), d, "source03"); err == nil {
 		t.Error("duplicate source accepted")
 	}
-	if _, err := ig.AddSource(d, "ghost"); err == nil {
+	if _, err := ig.AddSource(context.Background(), d, "ghost"); err == nil {
 		t.Error("unknown source accepted")
 	}
 }
@@ -170,10 +171,10 @@ func TestIntegrationWithBlocker(t *testing.T) {
 	store := getStore(t)
 
 	full, _ := New(m)
-	if _, err := full.AddSource(d, "source03"); err != nil {
+	if _, err := full.AddSource(context.Background(), d, "source03"); err != nil {
 		t.Fatal(err)
 	}
-	fullMatches, err := full.AddSource(d, "source04")
+	fullMatches, err := full.AddSource(context.Background(), d, "source04")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,10 +184,10 @@ func TestIntegrationWithBlocker(t *testing.T) {
 		blocking.NewTokenBlocker(),
 		blocking.NewEmbeddingBlocker(store),
 	}
-	if _, err := blocked.AddSource(d, "source03"); err != nil {
+	if _, err := blocked.AddSource(context.Background(), d, "source03"); err != nil {
 		t.Fatal(err)
 	}
-	blockedMatches, err := blocked.AddSource(d, "source04")
+	blockedMatches, err := blocked.AddSource(context.Background(), d, "source04")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -247,6 +247,57 @@ func (n *Network) backward(probs []float64, label int) float64 {
 	return -math.Log(p)
 }
 
+// snapshot copies all trainable parameters — the in-memory checkpoint
+// divergence recovery rolls back to. Layout: per layer, weights then
+// biases, concatenated.
+func (n *Network) snapshot() []float64 {
+	size := 0
+	for _, l := range n.layers {
+		size += len(l.w.Data) + len(l.b)
+	}
+	snap := make([]float64, 0, size)
+	for _, l := range n.layers {
+		snap = append(snap, l.w.Data...)
+		snap = append(snap, l.b...)
+	}
+	return snap
+}
+
+// restore writes a snapshot back into the network's parameters.
+func (n *Network) restore(snap []float64) {
+	for _, l := range n.layers {
+		copy(l.w.Data, snap[:len(l.w.Data)])
+		snap = snap[len(l.w.Data):]
+		copy(l.b, snap[:len(l.b)])
+		snap = snap[len(l.b):]
+	}
+}
+
+// maxAbsParam returns the largest parameter magnitude, or NaN if any
+// parameter is NaN — the exploding-weights detector. The explicit NaN
+// check matters: NaN fails every > comparison, so a plain max would
+// report a quiet 0 for a fully-NaN network.
+func (n *Network) maxAbsParam() float64 {
+	m := 0.0
+	scan := func(xs []float64) bool {
+		for _, v := range xs {
+			if math.IsNaN(v) {
+				return false
+			}
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return true
+	}
+	for _, l := range n.layers {
+		if !scan(l.w.Data) || !scan(l.b) {
+			return math.NaN()
+		}
+	}
+	return m
+}
+
 // zeroGrads clears accumulated gradients.
 func (n *Network) zeroGrads() {
 	for _, l := range n.layers {

@@ -1,8 +1,10 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"leapme/internal/mathx"
 )
@@ -12,6 +14,10 @@ type Phase struct {
 	Epochs int
 	LR     float64
 }
+
+// ErrDiverged reports that training kept producing non-finite losses or
+// exploding weights after exhausting the per-phase retry budget.
+var ErrDiverged = errors.New("nn: training diverged")
 
 // TrainConfig controls Fit.
 type TrainConfig struct {
@@ -32,6 +38,25 @@ type TrainConfig struct {
 	// OnEpoch, if non-nil, receives (epochIndex, meanLoss) after each
 	// epoch — useful for logging and learning curves.
 	OnEpoch func(epoch int, loss float64)
+
+	// MaxPhaseRetries bounds divergence recoveries per schedule phase
+	// (default 3). When an epoch produces a non-finite loss or the
+	// parameters exceed ExplodeThreshold, the network rolls back to the
+	// snapshot taken at the start of the phase, the optimizer state is
+	// reset, and the phase restarts with LR scaled by LRBackoff. Beyond
+	// the budget Fit fails with ErrDiverged.
+	MaxPhaseRetries int
+	// LRBackoff scales the phase learning rate on each recovery
+	// (default 0.1). Values outside (0, 1) fall back to the default.
+	LRBackoff float64
+	// ExplodeThreshold is the parameter magnitude treated as divergence
+	// (default 1e8). Healthy training of standardized features keeps
+	// weights within single digits; 1e8 only trips on a genuine runaway.
+	ExplodeThreshold float64
+	// OnRecovery, if non-nil, observes each rollback: the phase index,
+	// the retry number within the phase (1-based), the backed-off LR the
+	// phase restarts with, and what tripped the detector.
+	OnRecovery func(phase, retry int, lr float64, reason string)
 }
 
 // PaperSchedule returns the LR schedule of Section IV-D.
@@ -47,7 +72,16 @@ func DefaultTrainConfig(seed int64) TrainConfig {
 // Fit trains the network on (xs, ys) with mini-batch gradient descent.
 // ys[i] is the class index of xs[i]. It returns the mean loss of the final
 // epoch.
-func (n *Network) Fit(xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
+//
+// Fit is cancellable: ctx is checked between mini-batches and a done
+// context aborts with ctx.Err(), leaving the network in its
+// last-completed-batch state. A nil ctx behaves like context.Background().
+// Divergence (non-finite loss, exploding weights) triggers checkpoint
+// rollback with a backed-off learning rate; see TrainConfig.
+func (n *Network) Fit(ctx context.Context, xs [][]float64, ys []int, cfg TrainConfig) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(xs) == 0 {
 		return 0, errors.New("nn: Fit with no training examples")
 	}
@@ -58,6 +92,11 @@ func (n *Network) Fit(xs [][]float64, ys []int, cfg TrainConfig) (float64, error
 	for i, x := range xs {
 		if len(x) != n.inDim {
 			return 0, fmt.Errorf("nn: example %d has dim %d, want %d", i, len(x), n.inDim)
+		}
+		for j, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("nn: example %d has non-finite feature %d (%v)", i, j, v)
+			}
 		}
 		if ys[i] < 0 || ys[i] >= out {
 			return 0, fmt.Errorf("nn: label %d of example %d outside [0, %d)", ys[i], i, out)
@@ -72,6 +111,15 @@ func (n *Network) Fit(xs [][]float64, ys []int, cfg TrainConfig) (float64, error
 	if len(cfg.Schedule) == 0 {
 		cfg.Schedule = PaperSchedule()
 	}
+	if cfg.MaxPhaseRetries <= 0 {
+		cfg.MaxPhaseRetries = 3
+	}
+	if cfg.LRBackoff <= 0 || cfg.LRBackoff >= 1 {
+		cfg.LRBackoff = 0.1
+	}
+	if cfg.ExplodeThreshold <= 0 {
+		cfg.ExplodeThreshold = 1e8
+	}
 
 	rng := mathx.NewRand(cfg.Seed)
 	order := make([]int, len(xs))
@@ -82,11 +130,19 @@ func (n *Network) Fit(xs [][]float64, ys []int, cfg TrainConfig) (float64, error
 
 	var lastLoss float64
 	epoch := 0
-	for _, phase := range cfg.Schedule {
+	for pi, phase := range cfg.Schedule {
+		lr := phase.LR
+		// The rollback checkpoint: parameters as of the start of the
+		// phase, i.e. the last state every earlier phase signed off on.
+		snap := n.snapshot()
+		retries := 0
 		for e := 0; e < phase.Epochs; e++ {
 			mathx.Shuffle(order, rng)
 			var epochLoss float64
 			for start := 0; start < len(order); start += cfg.BatchSize {
+				if err := ctx.Err(); err != nil {
+					return lastLoss, err
+				}
 				end := start + cfg.BatchSize
 				if end > len(order) {
 					end = len(order)
@@ -101,14 +157,41 @@ func (n *Network) Fit(xs [][]float64, ys []int, cfg TrainConfig) (float64, error
 					epochLoss += n.backward(probs, ys[idx])
 				}
 				n.scaleGrads(float64(end - start))
-				cfg.Optimizer.Step(n, phase.LR)
+				cfg.Optimizer.Step(n, lr)
 				if cfg.WeightDecay > 0 {
-					shrink := 1 - phase.LR*cfg.WeightDecay
+					shrink := 1 - lr*cfg.WeightDecay
 					for _, l := range n.layers {
 						l.w.Scale(shrink) // biases are conventionally not decayed
 					}
 				}
+				if math.IsNaN(epochLoss) || math.IsInf(epochLoss, 0) {
+					break // mid-epoch divergence: no point finishing the epoch
+				}
 			}
+
+			reason := ""
+			if math.IsNaN(epochLoss) || math.IsInf(epochLoss, 0) {
+				reason = "non-finite loss"
+			} else if m := n.maxAbsParam(); math.IsNaN(m) || m > cfg.ExplodeThreshold {
+				reason = fmt.Sprintf("exploding weights (max |w| = %g)", m)
+			}
+			if reason != "" {
+				retries++
+				if retries > cfg.MaxPhaseRetries {
+					n.restore(snap)
+					return lastLoss, fmt.Errorf("%w: phase %d: %s after %d recovery attempts",
+						ErrDiverged, pi, reason, cfg.MaxPhaseRetries)
+				}
+				n.restore(snap)
+				cfg.Optimizer.Reset() // stale moments would re-poison the restored weights
+				lr *= cfg.LRBackoff
+				if cfg.OnRecovery != nil {
+					cfg.OnRecovery(pi, retries, lr, reason)
+				}
+				e = -1 // restart the phase from the checkpoint
+				continue
+			}
+
 			lastLoss = epochLoss / float64(len(xs))
 			if cfg.OnEpoch != nil {
 				cfg.OnEpoch(epoch, lastLoss)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestFitLearnsXOR(t *testing.T) {
 	n, _ := New(Config{InDim: 2, Hidden: []int{16, 8}, Out: 2, Seed: 1})
 	cfg := DefaultTrainConfig(1)
 	cfg.Schedule = []Phase{{Epochs: 60, LR: 5e-3}, {Epochs: 20, LR: 1e-3}}
-	loss, err := n.Fit(xs, ys, cfg)
+	loss, err := n.Fit(context.Background(), xs, ys, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestFitWithSGDMomentum(t *testing.T) {
 		Optimizer: NewSGD(0.9),
 		Seed:      2,
 	}
-	loss, err := n.Fit(xs, ys, cfg)
+	loss, err := n.Fit(context.Background(), xs, ys, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,16 +72,16 @@ func TestFitWithSGDMomentum(t *testing.T) {
 
 func TestFitValidation(t *testing.T) {
 	n, _ := New(Config{InDim: 2, Out: 2, Seed: 1})
-	if _, err := n.Fit(nil, nil, DefaultTrainConfig(1)); err == nil {
+	if _, err := n.Fit(context.Background(), nil, nil, DefaultTrainConfig(1)); err == nil {
 		t.Error("empty training set accepted")
 	}
-	if _, err := n.Fit([][]float64{{1, 2}}, []int{0, 1}, DefaultTrainConfig(1)); err == nil {
+	if _, err := n.Fit(context.Background(), [][]float64{{1, 2}}, []int{0, 1}, DefaultTrainConfig(1)); err == nil {
 		t.Error("mismatched labels accepted")
 	}
-	if _, err := n.Fit([][]float64{{1}}, []int{0}, DefaultTrainConfig(1)); err == nil {
+	if _, err := n.Fit(context.Background(), [][]float64{{1}}, []int{0}, DefaultTrainConfig(1)); err == nil {
 		t.Error("wrong input dim accepted")
 	}
-	if _, err := n.Fit([][]float64{{1, 2}}, []int{5}, DefaultTrainConfig(1)); err == nil {
+	if _, err := n.Fit(context.Background(), [][]float64{{1, 2}}, []int{5}, DefaultTrainConfig(1)); err == nil {
 		t.Error("out-of-range label accepted")
 	}
 }
@@ -91,7 +92,7 @@ func TestFitDeterministic(t *testing.T) {
 		n, _ := New(Config{InDim: 2, Hidden: []int{8}, Out: 2, Seed: 3})
 		cfg := DefaultTrainConfig(3)
 		cfg.Schedule = []Phase{{Epochs: 5, LR: 1e-3}}
-		if _, err := n.Fit(xs, ys, cfg); err != nil {
+		if _, err := n.Fit(context.Background(), xs, ys, cfg); err != nil {
 			t.Fatal(err)
 		}
 		p, _ := n.Forward(xs[0])
@@ -116,7 +117,7 @@ func TestOnEpochCallback(t *testing.T) {
 		epochs = append(epochs, e)
 		losses = append(losses, l)
 	}
-	if _, err := n.Fit(xs, ys, cfg); err != nil {
+	if _, err := n.Fit(context.Background(), xs, ys, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if len(epochs) != 5 {
@@ -157,7 +158,7 @@ func TestSerializeRoundTrip(t *testing.T) {
 	n, _ := New(Config{InDim: 2, Hidden: []int{8, 4}, Out: 2, Seed: 5})
 	cfg := DefaultTrainConfig(5)
 	cfg.Schedule = []Phase{{Epochs: 10, LR: 1e-3}}
-	if _, err := n.Fit(xs, ys, cfg); err != nil {
+	if _, err := n.Fit(context.Background(), xs, ys, cfg); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

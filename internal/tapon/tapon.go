@@ -21,6 +21,7 @@
 package tapon
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -178,8 +179,9 @@ func (l *Labeler) hints(slots []slot, probs [][]float64) [][]float64 {
 }
 
 // Train fits both phases on the labeled properties of d (those whose Ref
-// is one of the labeler's classes and that carry instance values).
-func (l *Labeler) Train(d *dataset.Dataset) error {
+// is one of the labeler's classes and that carry instance values). ctx
+// cancels training between mini-batches; nil means context.Background().
+func (l *Labeler) Train(ctx context.Context, d *dataset.Dataset) error {
 	slots, _, err := l.baseFeatures(d, true)
 	if err != nil {
 		return err
@@ -208,7 +210,7 @@ func (l *Labeler) Train(d *dataset.Dataset) error {
 		Schedule: l.opts.Schedule, BatchSize: l.opts.BatchSize,
 		Optimizer: nn.NewAdam(), Seed: l.opts.Seed,
 	}
-	if _, err := net1.Fit(xs1, ys, cfg); err != nil {
+	if _, err := net1.Fit(ctx, xs1, ys, cfg); err != nil {
 		return fmt.Errorf("tapon: phase 1: %w", err)
 	}
 	l.phase1 = net1
@@ -236,7 +238,7 @@ func (l *Labeler) Train(d *dataset.Dataset) error {
 	}
 	cfg.Seed = l.opts.Seed + 1
 	cfg.Optimizer = nn.NewAdam() // optimizer state is per-network
-	if _, err := net2.Fit(xs2, ys, cfg); err != nil {
+	if _, err := net2.Fit(ctx, xs2, ys, cfg); err != nil {
 		return fmt.Errorf("tapon: phase 2: %w", err)
 	}
 	l.phase2 = net2

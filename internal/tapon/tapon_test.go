@@ -1,6 +1,7 @@
 package tapon
 
 import (
+	"context"
 	"testing"
 
 	"leapme/internal/dataset"
@@ -77,7 +78,7 @@ func TestLabelBeforeTrain(t *testing.T) {
 func TestTrainNeedsLabeledSlots(t *testing.T) {
 	l, _ := New(getStore(t), cameraClasses(), DefaultOptions(1))
 	empty := &dataset.Dataset{Name: "empty", Sources: []string{"s"}, Props: nil}
-	if err := l.Train(empty); err == nil {
+	if err := l.Train(context.Background(), empty); err == nil {
 		t.Error("empty dataset accepted")
 	}
 }
@@ -94,7 +95,7 @@ func TestSemanticLabelling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Train(train); err != nil {
+	if err := l.Train(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
 	preds, err := l.Label(test)
@@ -126,7 +127,7 @@ func TestPredictionsHaveConfidence(t *testing.T) {
 	store := getStore(t)
 	d := genData(t, 3, 4)
 	l, _ := New(store, cameraClasses(), DefaultOptions(1))
-	if err := l.Train(d); err != nil {
+	if err := l.Train(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
 	preds, err := l.Label(d)

@@ -1,6 +1,9 @@
 package text
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // NGramProfile is a multiset of the character q-grams of a string, as used
 // by the 3-gram features of Table I (rows 12–14). Strings are padded with
@@ -11,11 +14,17 @@ type NGramProfile map[string]int
 
 const padRune = '\x20' // space; padding grams mark word edges
 
-// NGrams returns the padded q-gram profile of s. q must be positive.
-func NGrams(s string, q int) NGramProfile {
+// NGrams returns the padded q-gram profile of s. A non-positive q is an
+// input error, not a panic: q often arrives from user configuration.
+func NGrams(s string, q int) (NGramProfile, error) {
 	if q <= 0 {
-		panic("text: NGrams with non-positive q")
+		return nil, fmt.Errorf("text: NGrams with non-positive q %d", q)
 	}
+	return ngrams(s, q), nil
+}
+
+// ngrams computes the profile for a q already known to be positive.
+func ngrams(s string, q int) NGramProfile {
 	runes := []rune(s)
 	if len(runes) == 0 {
 		return NGramProfile{}
@@ -36,7 +45,7 @@ func NGrams(s string, q int) NGramProfile {
 }
 
 // TriGrams returns the padded 3-gram profile of s.
-func TriGrams(s string) NGramProfile { return NGrams(s, 3) }
+func TriGrams(s string) NGramProfile { return ngrams(s, 3) }
 
 // QGramDistance returns the L1 distance between two q-gram profiles: the
 // total count of grams present in one profile but not the other.

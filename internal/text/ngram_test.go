@@ -7,7 +7,10 @@ import (
 )
 
 func TestNGramsBasic(t *testing.T) {
-	p := NGrams("ab", 2)
+	p, err := NGrams("ab", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// padded " ab " → " a", "ab", "b "
 	want := map[string]int{" a": 1, "ab": 1, "b ": 1}
 	if len(p) != len(want) {
@@ -21,25 +24,27 @@ func TestNGramsBasic(t *testing.T) {
 }
 
 func TestNGramsEmpty(t *testing.T) {
-	if p := NGrams("", 3); len(p) != 0 {
-		t.Errorf("empty string profile = %v", p)
+	if p, err := NGrams("", 3); err != nil || len(p) != 0 {
+		t.Errorf("empty string profile = %v (err %v)", p, err)
 	}
 }
 
 func TestNGramsCounts(t *testing.T) {
-	p := NGrams("aaaa", 2)
+	p, err := NGrams("aaaa", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p["aa"] != 3 {
 		t.Errorf(`count of "aa" in "aaaa" = %d, want 3`, p["aa"])
 	}
 }
 
-func TestNGramsPanicsOnBadQ(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for q=0")
+func TestNGramsRejectsBadQ(t *testing.T) {
+	for _, q := range []int{0, -1, -100} {
+		if _, err := NGrams("abc", q); err == nil {
+			t.Errorf("q=%d accepted", q)
 		}
-	}()
-	NGrams("abc", 0)
+	}
 }
 
 func TestQGramDistance(t *testing.T) {

@@ -20,10 +20,16 @@
 //	store, _ := leapme.TrainDomainEmbeddings(leapme.DefaultEmbeddingSpec())
 //	data, _ := leapme.Generate(leapme.CamerasLite(1))
 //	m, _ := leapme.NewMatcher(store, leapme.DefaultOptions(1))
-//	m.ComputeFeatures(data)
+//	ctx := context.Background()
+//	m.ComputeFeatures(ctx, data)
 //	pairs := leapme.TrainingPairs(data.PropsOfSources(trainSrc), 2, rng)
-//	m.Train(pairs)
-//	matches, _ := m.Matches(data.PropsOfSources(testSrc))
+//	m.Train(ctx, pairs)
+//	matches, _ := m.Matches(ctx, data.PropsOfSources(testSrc))
+//
+// The context cancels long pipeline stages cooperatively (within one
+// property featurization, one pair scoring, or one training mini-batch);
+// see README.md's "Failure modes & recovery" section for the full
+// robustness model (panic isolation, divergence recovery, quarantine).
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package leapme
@@ -42,6 +48,7 @@ import (
 	"leapme/internal/features"
 	"leapme/internal/fusion"
 	"leapme/internal/graph"
+	"leapme/internal/guard"
 	"leapme/internal/integrate"
 	"leapme/internal/nn"
 	"leapme/internal/tapon"
@@ -61,6 +68,9 @@ type (
 	// Explanation attributes a pair's score to feature groups
 	// (Matcher.Explain).
 	Explanation = core.Explanation
+	// UnitReport accounts for isolated per-unit failures of the last
+	// feature/match run (Matcher.LastReport).
+	UnitReport = guard.Report
 )
 
 // Dataset model (package dataset).

@@ -1,6 +1,7 @@
 package leapme
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -33,7 +34,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.ComputeFeatures(data)
+	m.ComputeFeatures(context.Background(), data)
 
 	trainSrc := map[string]bool{"source00": true, "source01": true, "source02": true}
 	testSrc := map[string]bool{"source03": true, "source04": true}
@@ -41,10 +42,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if len(pairs) == 0 {
 		t.Fatal("no training pairs")
 	}
-	if _, err := m.Train(pairs); err != nil {
+	if _, err := m.Train(context.Background(), pairs); err != nil {
 		t.Fatal(err)
 	}
-	matches, err := m.Matches(data.PropsOfSources(testSrc))
+	matches, err := m.Matches(context.Background(), data.PropsOfSources(testSrc))
 	if err != nil {
 		t.Fatal(err)
 	}
