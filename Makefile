@@ -1,10 +1,11 @@
 GO ?= go
 
 PACKAGES := ./...
-# Packages touched by the robustness work; -race is slow, so restrict it.
-RACE_PACKAGES := ./internal/core ./internal/nn ./internal/guard ./internal/dataset ./internal/eval
+# Packages touched by the robustness and serving work; -race is slow, so
+# restrict it.
+RACE_PACKAGES := ./internal/core ./internal/nn ./internal/guard ./internal/dataset ./internal/eval ./internal/serve ./internal/cli
 
-.PHONY: all build test vet test-race fuzz clean
+.PHONY: all build test vet test-race fuzz bench-json clean
 
 all: build vet test
 
@@ -25,6 +26,12 @@ fuzz:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadJSON$$' -fuzztime=10s
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadJSONQuarantine$$' -fuzztime=10s
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadInstancesCSV$$' -fuzztime=10s
+
+# Machine-readable performance baselines for the serving and training
+# pipelines (committed as BENCH_serve.json / BENCH_train.json).
+bench-json:
+	$(GO) run ./cmd/benchtab -bench serve -out BENCH_serve.json
+	$(GO) run ./cmd/benchtab -bench train -out BENCH_train.json
 
 clean:
 	$(GO) clean -testcache

@@ -1,0 +1,373 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"leapme/internal/core"
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+	"leapme/internal/features"
+	"leapme/internal/mathx"
+	"leapme/internal/serve"
+)
+
+// benchResult is one benchmark row in BENCH_*.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	PairsPerOp  int     `json:"pairs_per_op,omitempty"`
+	PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+}
+
+// benchReport is the BENCH_serve.json / BENCH_train.json document.
+type benchReport struct {
+	Suite     string             `json:"suite"`
+	Go        string             `json:"go"`
+	Timestamp string             `json:"timestamp"`
+	Config    map[string]any     `json:"config"`
+	Results   []benchResult      `json:"results"`
+	Derived   map[string]float64 `json:"derived,omitempty"`
+}
+
+func resultOf(name string, pairsPerOp int, r testing.BenchmarkResult) benchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	out := benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		PairsPerOp:  pairsPerOp,
+	}
+	if pairsPerOp > 0 && ns > 0 {
+		out.PairsPerSec = float64(pairsPerOp) * 1e9 / ns
+	}
+	return out
+}
+
+// benchFixture is the shared setup for both suites: embeddings, a lite
+// dataset, a trained matcher and its serialised model.
+type benchFixture struct {
+	seed  int64
+	dim   int
+	store *embedding.Store
+	data  *dataset.Dataset
+	pairs []core.LabeledPair
+	model []byte
+}
+
+func newBenchFixture(seed int64, dim int) (*benchFixture, error) {
+	store, err := trainStore(seed, dim)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(dataset.Lite(dataset.CamerasConfig(seed)))
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewMatcher(store, core.DefaultOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if err := m.ComputeFeatures(ctx, d); err != nil {
+		return nil, err
+	}
+	pairs := core.TrainingPairs(d.Props, 2, mathx.NewRand(seed))
+	if _, err := m.Train(ctx, pairs); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		return nil, err
+	}
+	return &benchFixture{seed: seed, dim: dim, store: store, data: d, pairs: pairs, model: buf.Bytes()}, nil
+}
+
+// runBench runs the serve or train suite and writes the JSON report.
+func runBench(suite, out string, seed int64, dim int) error {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "bench %s: preparing fixture (embeddings dim=%d, lite cameras, trained model)...\n", suite, dim)
+	fx, err := newBenchFixture(seed, dim)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench %s: fixture ready in %v\n", suite, time.Since(start).Round(time.Millisecond))
+
+	rep := benchReport{
+		Suite:     suite,
+		Go:        runtime.Version(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Config: map[string]any{
+			"seed":           fx.seed,
+			"embedding_dim":  fx.dim,
+			"dataset":        fx.data.Name,
+			"properties":     len(fx.data.Props),
+			"training_pairs": len(fx.pairs),
+			"gomaxprocs":     runtime.GOMAXPROCS(0),
+		},
+	}
+	switch suite {
+	case "serve":
+		err = benchServe(fx, &rep)
+	case "train":
+		err = benchTrain(fx, &rep)
+	default:
+		return fmt.Errorf("unknown bench suite %q (serve|train)", suite)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench %s: wrote %s in %v\n", suite, out, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func benchTrain(fx *benchFixture, rep *benchReport) error {
+	ctx := context.Background()
+
+	// Feature computation over the whole dataset (one op = all properties).
+	var featErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := core.NewMatcher(fx.store, core.DefaultOptions(fx.seed))
+			if err == nil {
+				err = m.ComputeFeatures(ctx, fx.data)
+			}
+			if err != nil {
+				featErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if featErr != nil {
+		return featErr
+	}
+	rep.Results = append(rep.Results, resultOf("compute_features_dataset", 0, r))
+
+	// Training-pair generation.
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.TrainingPairs(fx.data.Props, 2, mathx.NewRand(fx.seed))
+		}
+	})
+	rep.Results = append(rep.Results, resultOf("training_pair_generation", len(fx.pairs), r))
+
+	// Full training run (features precomputed once outside the timer);
+	// pairs/sec counts labeled pairs consumed per second of training.
+	m, err := core.NewMatcher(fx.store, core.DefaultOptions(fx.seed))
+	if err != nil {
+		return err
+	}
+	if err := m.ComputeFeatures(ctx, fx.data); err != nil {
+		return err
+	}
+	var trainErr error
+	r = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Train(ctx, fx.pairs); err != nil {
+				trainErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if trainErr != nil {
+		return trainErr
+	}
+	rep.Results = append(rep.Results, resultOf("train_full", len(fx.pairs), r))
+	return nil
+}
+
+// benchPairs builds the wire-level request body reused by the HTTP
+// benchmarks: n cross-source pairs with instance values.
+func benchPairs(fx *benchFixture, n int) ([]byte, error) {
+	values := fx.data.InstancesByProperty()
+	type propSpec struct {
+		Name   string   `json:"name"`
+		Values []string `json:"values,omitempty"`
+	}
+	type pairSpec struct {
+		A propSpec `json:"a"`
+		B propSpec `json:"b"`
+	}
+	var pairs []pairSpec
+	dataset.CrossSourcePairs(fx.data.Props, func(a, b dataset.Property) bool {
+		pairs = append(pairs, pairSpec{
+			A: propSpec{Name: a.Name, Values: values[a.Key()]},
+			B: propSpec{Name: b.Name, Values: values[b.Key()]},
+		})
+		return len(pairs) < n
+	})
+	if len(pairs) < n {
+		return nil, fmt.Errorf("fixture has only %d cross-source pairs, want %d", len(pairs), n)
+	}
+	return json.Marshal(map[string]any{"pairs": pairs})
+}
+
+func benchServe(fx *benchFixture, rep *benchReport) error {
+	dir, err := os.MkdirTemp("", "leapme-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := dir + "/model.leapme"
+	if err := os.WriteFile(modelPath, fx.model, 0o644); err != nil {
+		return err
+	}
+
+	const pairsPerReq = 32
+	body, err := benchPairs(fx, pairsPerReq)
+	if err != nil {
+		return err
+	}
+	rep.Config["pairs_per_request"] = pairsPerReq
+
+	// newServer spins up an httptest server; cache toggles the feature
+	// cache so cold vs warm isolates its effect.
+	newServer := func(cacheSize int) (*serve.Server, *httptest.Server, error) {
+		s, err := serve.New(serve.Config{
+			Store:     fx.store,
+			Models:    []serve.ModelSource{{Name: "default", Path: modelPath}},
+			CacheSize: cacheSize,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, httptest.NewServer(s.Handler()), nil
+	}
+	post := func(ts *httptest.Server) error {
+		resp, err := ts.Client().Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("/v1/match: status %d", resp.StatusCode)
+		}
+		var sink struct {
+			Results []struct {
+				Error string `json:"error"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sink); err != nil {
+			return err
+		}
+		for _, r := range sink.Results {
+			if r.Error != "" {
+				return fmt.Errorf("pair failed: %s", r.Error)
+			}
+		}
+		return nil
+	}
+	benchHTTP := func(name string, cacheSize int, parallel bool) (benchResult, error) {
+		s, ts, err := newServer(cacheSize)
+		if err != nil {
+			return benchResult{}, err
+		}
+		defer func() { ts.Close(); s.Close() }()
+		if err := post(ts); err != nil { // warm-up (fills cache when enabled)
+			return benchResult{}, err
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			if parallel {
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if err := post(ts); err != nil {
+							benchErr = err
+							return
+						}
+					}
+				})
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				if err := post(ts); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchResult{}, benchErr
+		}
+		return resultOf(name, pairsPerReq, r), nil
+	}
+
+	cold, err := benchHTTP("http_match_cold_cache_off", -1, false)
+	if err != nil {
+		return err
+	}
+	warm, err := benchHTTP("http_match_warm_cache_on", 0, false)
+	if err != nil {
+		return err
+	}
+	conc, err := benchHTTP("http_match_concurrent_cache_on", 0, true)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, cold, warm, conc)
+
+	// Library scorer baseline: same pairs, no HTTP, no batching — the
+	// floor the serving layers are compared against.
+	m, err := core.NewMatcher(fx.store, core.DefaultOptions(fx.seed))
+	if err != nil {
+		return err
+	}
+	if err := m.ReadModel(bytes.NewReader(fx.model)); err != nil {
+		return err
+	}
+	sc, err := m.NewScorer()
+	if err != nil {
+		return err
+	}
+	values := fx.data.InstancesByProperty()
+	var as, bs []*features.Prop
+	dataset.CrossSourcePairs(fx.data.Props, func(a, b dataset.Property) bool {
+		as = append(as, sc.Featurize(a.Name, values[a.Key()]))
+		bs = append(bs, sc.Featurize(b.Name, values[b.Key()]))
+		return len(as) < pairsPerReq
+	})
+	dst := make([]float64, len(as))
+	var scoreErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sc.ScoreBatch(dst, as, bs); err != nil {
+				scoreErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if scoreErr != nil {
+		return scoreErr
+	}
+	rep.Results = append(rep.Results, resultOf("scorer_batch_library", len(as), r))
+
+	rep.Derived = map[string]float64{
+		// How much the feature cache buys on repeated property content:
+		// identical requests, cache off vs on.
+		"feature_cache_speedup": cold.NsPerOp / warm.NsPerOp,
+		// HTTP+batching overhead versus the raw library scorer.
+		"http_overhead_x": warm.NsPerOp / rep.Results[len(rep.Results)-1].NsPerOp,
+	}
+	return nil
+}

@@ -11,6 +11,12 @@
 // count so a full Table II completes in minutes on a laptop; pass
 // -scale full -runs 25 for the paper-scale protocol (hours).
 // EXPERIMENTS.md records both the expected shapes and measured outputs.
+//
+// It also emits machine-readable performance baselines for the serving
+// and training pipelines (`make bench-json` regenerates both):
+//
+//	benchtab -bench serve -out BENCH_serve.json
+//	benchtab -bench train -out BENCH_train.json
 package main
 
 import (
@@ -34,8 +40,20 @@ func main() {
 	names := flag.String("datasets", "cameras,headphones,phones,tvs", "datasets to include")
 	dim := flag.Int("dim", 50, "embedding dimension")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
+	bench := flag.String("bench", "", "emit a JSON benchmark report instead of a table: serve|train")
+	out := flag.String("out", "", "output file for -bench (default BENCH_<suite>.json)")
 	flag.Parse()
 
+	if *bench != "" {
+		if *out == "" {
+			*out = "BENCH_" + *bench + ".json"
+		}
+		if err := runBench(*bench, *out, *seed, 32); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*table, *scale, *runs, *seed, *names, *dim, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)

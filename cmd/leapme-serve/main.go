@@ -1,0 +1,135 @@
+// Command leapme-serve exposes trained LEAPME models over HTTP —
+// matching as a service:
+//
+//	leapme embed -out store.bin
+//	leapme train -data data/cameras -store store.bin -train source00,source01 -out model.leapme
+//	leapme-serve -store store.bin -model model.leapme -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/match      score explicit property pairs
+//	POST /v1/match/all  match every cross-source pair (optional blocking)
+//	GET  /v1/models     list loaded models; POST {"activate":...}/{"reload":true}
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (flips off while draining)
+//	GET  /metrics       Prometheus text exposition
+//
+// Multiple models are served side by side (-model "a=x.leapme,b=y.leapme");
+// requests pick one with "model", others use the active one. SIGHUP (or
+// POST {"reload":true}) re-reads every model file and hot-swaps without
+// dropping in-flight requests. SIGINT/SIGTERM drains and exits 130.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leapme/internal/cli"
+	"leapme/internal/serve"
+)
+
+func main() {
+	cli.Exit("leapme-serve", run(os.Args[1:]))
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leapme-serve", flag.ExitOnError)
+	storePath := fs.String("store", "", "embedding store file (from `leapme embed`)")
+	modelList := fs.String("model", "", "model files to serve: path, or name=path,name=path,...")
+	active := fs.String("active", "", "initially active model name (default: first loaded)")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 4, "batch-scoring workers (also sizes each model's scorer pool)")
+	maxBatch := fs.Int("max-batch", 32, "max pairs per micro-batch")
+	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "micro-batch flush deadline")
+	cacheSize := fs.Int("cache", 4096, "feature cache entries per model (-1 disables)")
+	threshold := fs.Float64("threshold", 0, "override every model's match threshold (0 keeps each model's own)")
+	maxValues := fs.Int("max-values", 0, "cap instance values per served property (0 = all)")
+	maxPairs := fs.Int("max-pairs", 4096, "max pairs per request")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	fs.Parse(args)
+	if *storePath == "" || *modelList == "" {
+		fs.Usage()
+		return errors.New("need -store and -model")
+	}
+	models, err := serve.ParseModelList(*modelList)
+	if err != nil {
+		return err
+	}
+	store, err := cli.LoadStore(*storePath)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Config{
+		Store:     store,
+		Models:    models,
+		Active:    *active,
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+		MaxWait:   *maxWait,
+		CacheSize: *cacheSize,
+		Threshold: *threshold,
+		MaxValues: *maxValues,
+		MaxPairs:  *maxPairs,
+	})
+	if err != nil {
+		return err
+	}
+	for _, md := range s.Registry().List() {
+		fmt.Fprintf(os.Stderr, "leapme-serve: loaded %s from %s (%v)\n", md.Name, md.Path, md.Info)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// SIGHUP hot-reloads every model file; load failures keep the old
+	// version serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := s.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "leapme-serve: reload: %v\n", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "leapme-serve: models reloaded")
+			}
+		}
+	}()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "leapme-serve: listening on %s\n", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // second Ctrl-C kills immediately
+	fmt.Fprintln(os.Stderr, "leapme-serve: draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "leapme-serve: forced shutdown: %v\n", err)
+	}
+	s.Close()
+	// cli.Exit maps context.Canceled to exit code 130, the conventional
+	// "terminated by signal" status.
+	return context.Canceled
+}

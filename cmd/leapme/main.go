@@ -1,31 +1,30 @@
 // Command leapme is the end-to-end CLI for the LEAPME property matcher:
 //
 //	leapme embed   -out store.bin [-dim 50] [-categories cameras,...]
+//	leapme train   -data data/cameras -store store.bin -train source00,source01 -out model.leapme
 //	leapme match   -data data/cameras -store store.bin -train source00,source01 [-top 20]
 //	leapme eval    -data data/cameras -store store.bin [-frac 0.8] [-runs 5]
 //	leapme cluster -data data/cameras -store store.bin -train source00,source01 [-scheme star]
 //	leapme label   -data data/cameras -store store.bin -category cameras -train source00,source01
 //
 // embed trains domain GloVe embeddings (and prints an embedding quality
-// report); match trains on the named sources and prints the matches it
-// finds among the remaining sources; eval runs the paper's protocol and
-// prints averaged P/R/F1; cluster derives property clusters from the
-// similarity graph; label runs TAPON semantic labelling against a
-// reference ontology.
+// report); train fits a matcher on the named sources and saves it as a
+// model file for leapme-serve; match trains on the named sources and
+// prints the matches it finds among the remaining sources; eval runs the
+// paper's protocol and prints averaged P/R/F1; cluster derives property
+// clusters from the similarity graph; label runs TAPON semantic labelling
+// against a reference ontology.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
-	"time"
 
+	"leapme/internal/cli"
 	"leapme/internal/core"
 	"leapme/internal/dataset"
 	"leapme/internal/domain"
@@ -45,12 +44,14 @@ func main() {
 	// Ctrl-C / SIGTERM cancels the run cooperatively: long scenario loops
 	// (eval's 25 splits, quadratic matching) notice within one work unit
 	// and return context.Canceled instead of dying mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "embed":
 		err = cmdEmbed(os.Args[2:])
+	case "train":
+		err = cmdTrain(ctx, os.Args[2:])
 	case "match":
 		err = cmdMatch(ctx, os.Args[2:])
 	case "eval":
@@ -59,6 +60,9 @@ func main() {
 		err = cmdCluster(ctx, os.Args[2:])
 	case "label":
 		err = cmdLabel(ctx, os.Args[2:])
+	case "serve":
+		fmt.Fprintln(os.Stderr, "leapme: serving lives in its own binary — run `leapme-serve -store store.bin -model model.leapme` (train a model first with `leapme train`)")
+		os.Exit(2)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,42 +70,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "leapme: interrupted")
-			os.Exit(130)
-		}
-		fmt.Fprintln(os.Stderr, "leapme:", err)
-		os.Exit(1)
-	}
+	stop()
+	cli.Exit("leapme", err)
 }
 
-// withTimeout derives the command context from the -timeout flag
-// (0 = no deadline).
-func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
-	if d <= 0 {
-		return context.WithCancel(ctx)
-	}
-	return context.WithTimeout(ctx, d)
-}
-
-// loadData loads a dataset directory. In lenient mode malformed records
-// are quarantined (reported on stderr) instead of failing the load.
+// loadData loads a dataset directory, quarantining malformed records in
+// lenient mode.
 func loadData(dir string, lenient bool) (*dataset.Dataset, error) {
-	if !lenient {
-		return dataset.LoadDir(dir)
-	}
-	d, dropped, err := dataset.LoadDirQuarantine(dir)
-	if err != nil {
-		return nil, err
-	}
-	for _, dr := range dropped {
-		fmt.Fprintf(os.Stderr, "leapme: quarantined %s\n", dr)
-	}
-	if len(dropped) > 0 {
-		fmt.Fprintf(os.Stderr, "leapme: %d malformed records quarantined from %s\n", len(dropped), dir)
-	}
-	return d, nil
+	return cli.LoadData("leapme", dir, lenient)
 }
 
 // reportUnitFailures surfaces per-unit failures (isolated panics during
@@ -115,14 +91,18 @@ func reportUnitFailures(m *core.Matcher) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   leapme embed   -out store.bin [-dim 50] [-epochs 30] [-categories cameras,headphones,phones,tvs] [-seed 1]
+  leapme train   -data DIR -store store.bin -train src1,src2 -out model.leapme [-features both/all] [-threshold 0.5]
   leapme match   -data DIR -store store.bin -train src1,src2 [-features both/all] [-threshold 0.5] [-top 0]
   leapme eval    -data DIR -store store.bin [-frac 0.8] [-runs 5] [-features both/all] [-seed 1]
   leapme cluster -data DIR -store store.bin -train src1,src2 [-scheme components|star|correlation]
   leapme label   -data DIR -store store.bin -category cameras -train src1,src2 [-top 20]
 
-match/eval/cluster/label also accept:
+train/match/eval/cluster/label also accept:
   -lenient       quarantine malformed dataset records instead of failing the load
-  -timeout DUR   abort the run after DUR (e.g. 90s); Ctrl-C cancels cooperatively`)
+  -timeout DUR   abort the run after DUR (e.g. 90s); Ctrl-C cancels cooperatively
+
+serve saved models over HTTP with the leapme-serve binary:
+  leapme-serve -store store.bin -model model.leapme [-addr :8080]`)
 }
 
 func cmdEmbed(args []string) error {
@@ -174,16 +154,56 @@ func cmdEmbed(args []string) error {
 }
 
 func loadStore(path string) (*embedding.Store, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return embedding.ReadStore(f)
+	return cli.LoadStore(path)
 }
 
 func parseFeatures(s string) (features.Config, error) {
 	return features.ParseConfig(s)
+}
+
+// cmdTrain fits a matcher on the named sources and saves it as a model
+// file (descriptor + standardiser + network) for leapme-serve.
+func cmdTrain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dataDir := fs.String("data", "", "dataset directory (from datagen)")
+	storePath := fs.String("store", "", "embedding store file (from embed)")
+	trainList := fs.String("train", "", "comma-separated training sources")
+	out := fs.String("out", "model.leapme", "output model file")
+	featStr := fs.String("features", "both/all", "feature config level/kind")
+	threshold := fs.Float64("threshold", 0.5, "match threshold")
+	seed := fs.Int64("seed", 1, "seed")
+	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	fs.Parse(args)
+	if *dataDir == "" || *storePath == "" || *trainList == "" {
+		return fmt.Errorf("train needs -data, -store and -train")
+	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	m, _, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *lenient)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteModel(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Read the file back through the descriptor path: what we print is
+	// what leapme-serve will see.
+	info, err := core.LoadInfoFile(*out)
+	if err != nil {
+		return fmt.Errorf("verifying written model: %w", err)
+	}
+	fmt.Printf("saved model → %s\n%v\n", *out, info)
+	fmt.Printf("serve it: leapme-serve -store %s -model %s\n", *storePath, *out)
+	return nil
 }
 
 // trainedMatcher loads data+store, trains on the given sources and
@@ -201,10 +221,7 @@ func trainedMatcher(ctx context.Context, dataDir, storePath, trainList, featStr 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	trainSrc := map[string]bool{}
-	for _, s := range strings.Split(trainList, ",") {
-		trainSrc[strings.TrimSpace(s)] = true
-	}
+	trainSrc := cli.SourceSet(trainList)
 	known := map[string]bool{}
 	for _, s := range d.Sources {
 		known[s] = true
@@ -260,7 +277,7 @@ func cmdMatch(ctx context.Context, args []string) error {
 	if *dataDir == "" || *storePath == "" || *trainList == "" {
 		return fmt.Errorf("match needs -data, -store and -train")
 	}
-	ctx, cancel := withTimeout(ctx, *timeout)
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *lenient)
 	if err != nil {
@@ -304,7 +321,7 @@ func cmdEval(ctx context.Context, args []string) error {
 	if *dataDir == "" || *storePath == "" {
 		return fmt.Errorf("eval needs -data and -store")
 	}
-	ctx, cancel := withTimeout(ctx, *timeout)
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	store, err := loadStore(*storePath)
 	if err != nil {
@@ -346,7 +363,7 @@ func cmdLabel(ctx context.Context, args []string) error {
 	if *dataDir == "" || *storePath == "" || *category == "" || *trainList == "" {
 		return fmt.Errorf("label needs -data, -store, -category and -train")
 	}
-	ctx, cancel := withTimeout(ctx, *timeout)
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	store, err := loadStore(*storePath)
 	if err != nil {
@@ -364,10 +381,7 @@ func cmdLabel(ctx context.Context, args []string) error {
 	for _, p := range cat.Props {
 		classes = append(classes, p.Canonical)
 	}
-	trainSrc := map[string]bool{}
-	for _, s := range strings.Split(*trainList, ",") {
-		trainSrc[strings.TrimSpace(s)] = true
-	}
+	trainSrc := cli.SourceSet(*trainList)
 	trainData := &dataset.Dataset{Name: d.Name + "-train", Category: d.Category}
 	testData := &dataset.Dataset{Name: d.Name + "-test", Category: d.Category}
 	for _, s := range d.Sources {
@@ -429,7 +443,7 @@ func cmdCluster(ctx context.Context, args []string) error {
 	if *dataDir == "" || *storePath == "" || *trainList == "" {
 		return fmt.Errorf("cluster needs -data, -store and -train")
 	}
-	ctx, cancel := withTimeout(ctx, *timeout)
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, "both/all", *threshold, *seed, *lenient)
 	if err != nil {

@@ -1,0 +1,171 @@
+// Serving: matching as a service. Trains a small model, saves it the way
+// `leapme train` does, serves it over HTTP with the same engine as
+// cmd/leapme-serve, and then acts as a client: scoring pairs, matching
+// whole sources, hot-swapping a retrained model version, and reading the
+// metrics — all against a real localhost listener.
+//
+// Run with:
+//
+//	go run ./examples/serving
+//
+// Against a standalone server (leapme-serve) the client half is the same
+// code pointed at its address.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"leapme"
+)
+
+func main() {
+	// 1. Train and save a model — what `leapme embed` + `leapme train` do.
+	fmt.Println("training embeddings and matcher...")
+	spec := leapme.DefaultEmbeddingSpec()
+	spec.Categories = []string{"cameras"}
+	store, err := leapme.TrainDomainEmbeddings(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := leapme.Generate(leapme.CamerasLite(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "leapme-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.leapme")
+	saveModel(store, data, modelPath, 1)
+	info, err := leapme.LoadModelInfo(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved model: %v\n", info)
+
+	// 2. Serve it. cmd/leapme-serve wraps exactly this with flags and
+	// signal handling; here a test listener keeps the example local.
+	srv, err := leapme.NewMatchServer(leapme.ServeConfig{
+		Store:  store,
+		Models: []leapme.ModelSource{{Name: "cameras", Path: modelPath}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("serving on %s\n\n", ts.URL)
+
+	// 3. Score explicit pairs: POST /v1/match.
+	fmt.Println("POST /v1/match")
+	resp := post(ts.URL+"/v1/match", map[string]any{
+		"pairs": []map[string]any{
+			{
+				"a": map[string]any{"name": "resolution", "values": []string{"20 mp", "24 mp"}},
+				"b": map[string]any{"name": "sensor resolution", "values": []string{"20 megapixels"}},
+			},
+			{
+				"a": map[string]any{"name": "weight", "values": []string{"450 g"}},
+				"b": map[string]any{"name": "color", "values": []string{"black"}},
+			},
+		},
+	})
+	fmt.Printf("  %s\n\n", resp)
+
+	// 4. Match whole sources: POST /v1/match/all with token blocking.
+	fmt.Println("POST /v1/match/all (token blocking)")
+	resp = post(ts.URL+"/v1/match/all", map[string]any{
+		"sources": map[string]any{
+			"shop-a": []map[string]any{
+				{"name": "resolution", "values": []string{"20 mp"}},
+				{"name": "optical zoom", "values": []string{"5x"}},
+			},
+			"shop-b": []map[string]any{
+				{"name": "sensor resolution", "values": []string{"20 mp"}},
+				{"name": "zoom optical", "values": []string{"5 x"}},
+			},
+		},
+		"blocking": "token",
+		"top":      5,
+	})
+	fmt.Printf("  %s\n\n", resp)
+
+	// 5. Hot swap: retrain, overwrite the file, reload. In-flight
+	// requests keep their pinned version; new requests see the new one.
+	fmt.Println("hot-swapping a retrained model...")
+	saveModel(store, data, modelPath, 2)
+	if err := srv.Reload(); err != nil {
+		log.Fatal(err)
+	}
+	list := get(ts.URL + "/v1/models")
+	fmt.Printf("  GET /v1/models → %s\n", list)
+}
+
+// saveModel trains a matcher on the dataset's first sources and writes it
+// to path (seed varies the version).
+func saveModel(store *leapme.Store, data *leapme.Dataset, path string, seed int64) {
+	m, err := leapme.NewMatcher(store, leapme.DefaultOptions(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := m.ComputeFeatures(ctx, data); err != nil {
+		log.Fatal(err)
+	}
+	train := map[string]bool{}
+	for _, s := range data.Sources[:3] {
+		train[s] = true
+	}
+	pairs := leapme.TrainingPairs(data.PropsOfSources(train), 2, rand.New(rand.NewSource(seed)))
+	if _, err := m.Train(ctx, pairs); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.WriteModel(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func post(url string, body any) string {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.String()
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return buf.String()
+}

@@ -1,0 +1,106 @@
+// Package cli holds the flag/IO helpers shared by the leapme binaries
+// (cmd/leapme, cmd/leapme-serve, cmd/benchtab) so conventions — exit
+// codes, -timeout, -lenient quarantine loading, list flags — stay
+// identical across them.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+)
+
+// SignalContext returns a context cancelled by SIGINT/SIGTERM, for
+// cooperative shutdown of long runs.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// WithTimeout derives a command context from a -timeout flag value
+// (0 = no deadline).
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Exit prints err in the binary's standard format and terminates with the
+// conventional code: 0 for nil, 130 for interruption (so shells see the
+// run as signal-terminated), 1 otherwise.
+func Exit(prog string, err error) {
+	os.Exit(Code(prog, err))
+}
+
+// Code returns Exit's code for err, printing the message for non-nil
+// errors without terminating (tests and servers use it directly).
+func Code(prog string, err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", prog)
+		return 130
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	return 1
+}
+
+// LoadStore reads an embedding store file written by `leapme embed`.
+func LoadStore(path string) (*embedding.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return embedding.ReadStore(f)
+}
+
+// LoadData loads a dataset directory. In lenient mode malformed records
+// are quarantined (reported on stderr as prog) instead of failing the
+// load.
+func LoadData(prog, dir string, lenient bool) (*dataset.Dataset, error) {
+	if !lenient {
+		return dataset.LoadDir(dir)
+	}
+	d, dropped, err := dataset.LoadDirQuarantine(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, dr := range dropped {
+		fmt.Fprintf(os.Stderr, "%s: quarantined %s\n", prog, dr)
+	}
+	if len(dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d malformed records quarantined from %s\n", prog, len(dropped), dir)
+	}
+	return d, nil
+}
+
+// SplitList splits a comma-separated flag value, trimming blanks and
+// dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SourceSet turns a comma-separated source list into a membership set.
+func SourceSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, p := range SplitList(s) {
+		set[p] = true
+	}
+	return set
+}

@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestSplitListAndSourceSet(t *testing.T) {
+	got := SplitList(" a, b ,,c,")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("SplitList = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("SplitList = %v, want %v", got, want)
+		}
+	}
+	if SplitList("") != nil {
+		t.Error("SplitList(\"\") != nil")
+	}
+	set := SourceSet("s1, s2")
+	if !set["s1"] || !set["s2"] || set["s3"] || len(set) != 2 {
+		t.Errorf("SourceSet = %v", set)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout set a deadline")
+	}
+	cancel()
+	ctx, cancel = WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Error("timeout did not set a deadline")
+	}
+}
+
+func TestCode(t *testing.T) {
+	if c := Code("t", nil); c != 0 {
+		t.Errorf("Code(nil) = %d", c)
+	}
+	if c := Code("t", context.Canceled); c != 130 {
+		t.Errorf("Code(Canceled) = %d, want 130", c)
+	}
+	if c := Code("t", fmt.Errorf("wrapped: %w", context.Canceled)); c != 130 {
+		t.Errorf("Code(wrapped Canceled) = %d, want 130", c)
+	}
+	if c := Code("t", errors.New("boom")); c != 1 {
+		t.Errorf("Code(err) = %d, want 1", c)
+	}
+}

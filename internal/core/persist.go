@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 
+	"leapme/internal/features"
 	"leapme/internal/nn"
 )
 
@@ -16,26 +17,67 @@ import (
 // standardiser, so a matcher can be trained once and reused (including
 // across datasets — the transfer-learning deployment).
 //
-// On-disk layout (v2, little-endian):
+// On-disk layout (little-endian):
 //
 //	magic "LEAPMEMD" | uint32 version | uint64 payloadLen |
 //	payload | uint32 CRC-32 (IEEE) of payload
 //
-// payload = uint32 standardiser length n | n × (mean f64, invStd f64) |
-// the nn serialisation. The length prefix and trailing checksum let
-// ReadModel reject truncated or bit-flipped files with a descriptive
-// error instead of loading garbage weights.
+// v3 payload = uint32 feature bits | uint32 embedding dim |
+// uint32 standardiser length n | n × (mean f64, invStd f64) |
+// the nn serialisation. The v2 payload is the same without the leading
+// descriptor (feature bits, embedding dim); v2 files remain readable but
+// cannot be described by LoadInfo beyond their network shape. The length
+// prefix and trailing checksum let ReadModel reject truncated or
+// bit-flipped files with a descriptive error instead of loading garbage
+// weights.
 
 const (
 	matcherMagic = "LEAPMEMD"
-	// modelVersion is the current format version. v1 (the unversioned
-	// seed format: magic followed directly by the standardiser) is no
-	// longer readable; retrain and re-save.
-	modelVersion = 2
+	// modelVersion is the current format version, written by WriteModel.
+	// v3 added the feature-config + embedding-dim descriptor so a model
+	// file is self-describing (LoadInfo, the serving model registry).
+	// v2 (standardiser + network only) is still readable. v1 (the
+	// unversioned seed format) is not; retrain and re-save.
+	modelVersion    = 3
+	minModelVersion = 2
 	// maxModelPayload bounds payload allocation when reading untrusted
 	// files: 1 GiB is orders of magnitude beyond any real model here.
 	maxModelPayload = 1 << 30
 )
+
+// Feature-config descriptor bits (v3+).
+const (
+	featBitInstances = 1 << iota
+	featBitNames
+	featBitEmbeddings
+	featBitNonEmbeddings
+)
+
+func featBits(c features.Config) uint32 {
+	var b uint32
+	if c.Instances {
+		b |= featBitInstances
+	}
+	if c.Names {
+		b |= featBitNames
+	}
+	if c.Embeddings {
+		b |= featBitEmbeddings
+	}
+	if c.NonEmbeddings {
+		b |= featBitNonEmbeddings
+	}
+	return b
+}
+
+func featConfig(b uint32) features.Config {
+	return features.Config{
+		Instances:     b&featBitInstances != 0,
+		Names:         b&featBitNames != 0,
+		Embeddings:    b&featBitEmbeddings != 0,
+		NonEmbeddings: b&featBitNonEmbeddings != 0,
+	}
+}
 
 // WriteModel serialises the trained network and standardiser. Property
 // features are not serialised — recompute them with ComputeFeatures on
@@ -48,6 +90,10 @@ func (m *Matcher) WriteModel(w io.Writer) error {
 	// checksum are known before anything hits w.
 	var payload bytes.Buffer
 	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[:4], featBits(m.opts.Features))
+	payload.Write(buf[:4])
+	binary.LittleEndian.PutUint32(buf[:4], uint32(m.ex.EmbeddingDim()))
+	payload.Write(buf[:4])
 	n := 0
 	if m.featMean != nil {
 		n = len(m.featMean)
@@ -84,73 +130,128 @@ func (m *Matcher) WriteModel(w io.Writer) error {
 	return err
 }
 
-// ReadModel loads a model saved by WriteModel into the matcher. The
-// matcher must have been constructed with the same embedding store
-// dimension and feature configuration as the saved model; the network
-// input dimension is checked against the matcher's pair dimension.
-// Unknown format versions and truncated or corrupt payloads (checksum
-// mismatch) are rejected with a descriptive error; the matcher is left
-// unmodified on any failure.
-func (m *Matcher) ReadModel(r io.Reader) error {
+// readEnvelope reads and verifies the model-file envelope: magic, version,
+// length-prefixed payload, CRC-32. It returns the format version and the
+// checksum-verified payload bytes.
+func readEnvelope(r io.Reader) (version int, payload []byte, crc uint32, err error) {
 	buf := make([]byte, 8)
 	magic := make([]byte, len(matcherMagic))
 	if _, err := io.ReadFull(r, magic); err != nil {
-		return fmt.Errorf("core: reading model magic: %w", err)
+		return 0, nil, 0, fmt.Errorf("core: reading model magic: %w", err)
 	}
 	if string(magic) != matcherMagic {
-		return fmt.Errorf("core: bad model magic %q (not a LEAPME model file)", magic)
+		return 0, nil, 0, fmt.Errorf("core: bad model magic %q (not a LEAPME model file)", magic)
 	}
 	if _, err := io.ReadFull(r, buf[:4]); err != nil {
-		return fmt.Errorf("core: reading model version: %w", err)
+		return 0, nil, 0, fmt.Errorf("core: reading model version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(buf[:4]); v != modelVersion {
-		return fmt.Errorf("core: unsupported model format version %d (this build reads v%d; retrain and re-save)",
-			v, modelVersion)
+	v := int(binary.LittleEndian.Uint32(buf[:4]))
+	if v < minModelVersion || v > modelVersion {
+		return 0, nil, 0, fmt.Errorf("core: unsupported model format version %d (this build reads v%d–v%d; retrain and re-save)",
+			v, minModelVersion, modelVersion)
 	}
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("core: reading model payload length: %w", err)
+		return 0, nil, 0, fmt.Errorf("core: reading model payload length: %w", err)
 	}
 	plen := binary.LittleEndian.Uint64(buf)
 	if plen > maxModelPayload {
-		return fmt.Errorf("core: implausible model payload length %d", plen)
+		return 0, nil, 0, fmt.Errorf("core: implausible model payload length %d", plen)
 	}
-	payload := make([]byte, plen)
+	payload = make([]byte, plen)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("core: model payload truncated: %w", err)
+		return 0, nil, 0, fmt.Errorf("core: model payload truncated: %w", err)
 	}
 	if _, err := io.ReadFull(r, buf[:4]); err != nil {
-		return fmt.Errorf("core: reading model checksum: %w", err)
+		return 0, nil, 0, fmt.Errorf("core: reading model checksum: %w", err)
 	}
 	want := binary.LittleEndian.Uint32(buf[:4])
 	if got := crc32.ChecksumIEEE(payload); got != want {
-		return fmt.Errorf("core: model payload corrupt: CRC-32 %08x, want %08x", got, want)
+		return 0, nil, 0, fmt.Errorf("core: model payload corrupt: CRC-32 %08x, want %08x", got, want)
 	}
+	return v, payload, want, nil
+}
 
-	pr := bytes.NewReader(payload)
+// readDescriptor parses the v3 payload descriptor off the front of pr.
+func readDescriptor(pr *bytes.Reader) (fc features.Config, embedDim int, err error) {
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(pr, buf); err != nil {
+		return fc, 0, fmt.Errorf("core: reading model feature config: %w", err)
+	}
+	fc = featConfig(binary.LittleEndian.Uint32(buf))
+	if _, err := io.ReadFull(pr, buf); err != nil {
+		return fc, 0, fmt.Errorf("core: reading model embedding dim: %w", err)
+	}
+	embedDim = int(binary.LittleEndian.Uint32(buf))
+	if embedDim < 0 || embedDim > 1<<20 {
+		return fc, 0, fmt.Errorf("core: implausible model embedding dim %d", embedDim)
+	}
+	return fc, embedDim, nil
+}
+
+// readStandardiser parses the standardiser block off the front of pr.
+// wantDim < 0 skips the dimension check (LoadInfo has no matcher to
+// compare against).
+func readStandardiser(pr *bytes.Reader, wantDim int) (mean, invStd []float64, err error) {
+	buf := make([]byte, 8)
 	if _, err := io.ReadFull(pr, buf[:4]); err != nil {
-		return fmt.Errorf("core: reading standardiser length: %w", err)
+		return nil, nil, fmt.Errorf("core: reading standardiser length: %w", err)
 	}
 	n := int(binary.LittleEndian.Uint32(buf[:4]))
 	if n < 0 || n > 1<<24 {
-		return fmt.Errorf("core: implausible standardiser length %d", n)
+		return nil, nil, fmt.Errorf("core: implausible standardiser length %d", n)
 	}
-	var mean, invStd []float64
-	if n > 0 {
-		if n != m.pairer.Dim() {
-			return fmt.Errorf("core: model standardiser dim %d does not match pair dim %d", n, m.pairer.Dim())
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if wantDim >= 0 && n != wantDim {
+		return nil, nil, fmt.Errorf("core: model standardiser dim %d does not match pair dim %d", n, wantDim)
+	}
+	mean = make([]float64, n)
+	invStd = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(pr, buf); err != nil {
+			return nil, nil, fmt.Errorf("core: reading standardiser: %w", err)
 		}
-		mean = make([]float64, n)
-		invStd = make([]float64, n)
-		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(pr, buf); err != nil {
-				return fmt.Errorf("core: reading standardiser: %w", err)
-			}
-			mean[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
-			if _, err := io.ReadFull(pr, buf); err != nil {
-				return fmt.Errorf("core: reading standardiser: %w", err)
-			}
-			invStd[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		mean[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		if _, err := io.ReadFull(pr, buf); err != nil {
+			return nil, nil, fmt.Errorf("core: reading standardiser: %w", err)
 		}
+		invStd[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return mean, invStd, nil
+}
+
+// ReadModel loads a model saved by WriteModel into the matcher. The
+// matcher must have been constructed with the same embedding store
+// dimension and feature configuration as the saved model; self-describing
+// (v3) files verify both explicitly, and the network input dimension is
+// always checked against the matcher's pair dimension. Unknown format
+// versions and truncated or corrupt payloads (checksum mismatch) are
+// rejected with a descriptive error; the matcher is left unmodified on
+// any failure.
+func (m *Matcher) ReadModel(r io.Reader) error {
+	version, payload, _, err := readEnvelope(r)
+	if err != nil {
+		return err
+	}
+	pr := bytes.NewReader(payload)
+	if version >= 3 {
+		fc, embedDim, err := readDescriptor(pr)
+		if err != nil {
+			return err
+		}
+		if fc != m.opts.Features {
+			return fmt.Errorf("core: model was trained with features %s, matcher configured for %s",
+				fc, m.opts.Features)
+		}
+		if embedDim != m.ex.EmbeddingDim() {
+			return fmt.Errorf("core: model embedding dim %d does not match store dim %d",
+				embedDim, m.ex.EmbeddingDim())
+		}
+	}
+	mean, invStd, err := readStandardiser(pr, m.pairer.Dim())
+	if err != nil {
+		return err
 	}
 	net, err := nn.Read(pr)
 	if err != nil {

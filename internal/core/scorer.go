@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"leapme/internal/features"
+	"leapme/internal/nn"
+)
+
+// Scorer is a self-contained scoring snapshot of a trained Matcher: the
+// network weights, the fitted standardiser and the pair featurizer, with
+// no reference to the matcher's mutable property map. It is what the
+// serving layer holds per model version — a later Train or ReadModel on
+// the source matcher does not affect snapshots already taken, which is
+// what makes hot-swapping a model under live traffic safe.
+//
+// Featurize is safe for concurrent use (the extractor and embedding store
+// are read-only). Score and ScoreBatch are NOT: they reuse the scorer's
+// pair-vector buffer and the network's forward scratch. Concurrent
+// scoring takes one Clone per worker.
+type Scorer struct {
+	ex        *features.Extractor
+	pairer    *features.Pairer
+	net       *nn.Network
+	featMean  []float64
+	featInvStd []float64
+	threshold float64
+	fc        features.Config
+
+	vec []float64 // reused pair-vector buffer
+}
+
+// NewScorer snapshots the matcher's trained state. The network is deep
+// copied; the featurizer and standardiser are shared (both read-only).
+func (m *Matcher) NewScorer() (*Scorer, error) {
+	if m.net == nil {
+		return nil, errors.New("core: NewScorer on untrained matcher")
+	}
+	return &Scorer{
+		ex:         m.ex,
+		pairer:     m.pairer,
+		net:        m.net.Clone(),
+		featMean:   m.featMean,
+		featInvStd: m.featInvStd,
+		threshold:  m.opts.Threshold,
+		fc:         m.opts.Features,
+	}, nil
+}
+
+// Clone returns an independent copy sharing the (read-only) featurizer
+// and standardiser but owning its network scratch, so clones can score
+// concurrently with each other and the original.
+func (s *Scorer) Clone() *Scorer {
+	c := *s
+	c.net = s.net.Clone()
+	c.vec = nil
+	return &c
+}
+
+// PairDim returns the classifier input dimension.
+func (s *Scorer) PairDim() int { return s.pairer.Dim() }
+
+// Threshold returns the score threshold the snapshot was taken with.
+func (s *Scorer) Threshold() float64 { return s.threshold }
+
+// Features returns the feature configuration the model was trained with.
+func (s *Scorer) Features() features.Config { return s.fc }
+
+// Featurize computes the property feature vector for a property given by
+// name and instance values — the serving-path equivalent of
+// ComputeFeatures for one property. Safe for concurrent use; the result
+// is immutable and cacheable across requests.
+func (s *Scorer) Featurize(name string, values []string) *features.Prop {
+	return s.ex.PropertyFeatures(name, values)
+}
+
+// Score classifies one featurized property pair, returning the network's
+// positive-class probability.
+func (s *Scorer) Score(a, b *features.Prop) (float64, error) {
+	if a == nil || b == nil {
+		return 0, errors.New("core: Score on nil property features")
+	}
+	if s.vec == nil {
+		s.vec = make([]float64, s.pairer.Dim())
+	}
+	s.pairer.PairVector(s.vec, a, b)
+	if s.featMean != nil {
+		for i := range s.vec {
+			s.vec[i] = (s.vec[i] - s.featMean[i]) * s.featInvStd[i]
+		}
+	}
+	p, err := s.net.PositiveScore(s.vec)
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return p, nil
+}
+
+// Match applies the snapshot threshold to a score.
+func (s *Scorer) Match(score float64) bool { return score >= s.threshold }
+
+// ScoreBatch scores len(as) pairs (as[i], bs[i]) into dst — the batched
+// forward pass the serving micro-batcher coalesces concurrent requests
+// into. One pair vector buffer and one network are reused across the
+// whole batch, so per-pair overhead is a single gather + forward pass.
+func (s *Scorer) ScoreBatch(dst []float64, as, bs []*features.Prop) error {
+	if len(as) != len(bs) || len(dst) != len(as) {
+		return fmt.Errorf("core: ScoreBatch length mismatch: dst=%d as=%d bs=%d", len(dst), len(as), len(bs))
+	}
+	for i := range as {
+		p, err := s.Score(as[i], bs[i])
+		if err != nil {
+			return fmt.Errorf("core: batch pair %d: %w", i, err)
+		}
+		dst[i] = p
+	}
+	return nil
+}

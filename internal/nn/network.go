@@ -174,6 +174,31 @@ func New(cfg Config) (*Network, error) {
 // InDim returns the expected input dimension.
 func (n *Network) InDim() int { return n.inDim }
 
+// Clone returns a deep copy of the network: independent weights and —
+// crucially — independent forward/backward scratch buffers, so the clone
+// can run Forward concurrently with the original. A Network is not safe
+// for concurrent use by itself (forward passes reuse per-layer scratch);
+// concurrent scorers each take a clone.
+func (n *Network) Clone() *Network {
+	c := &Network{inDim: n.inDim}
+	for _, l := range n.layers {
+		nl := newLayer(l.w.Cols, l.w.Rows, l.act, zeroRand{})
+		copy(nl.w.Data, l.w.Data)
+		copy(nl.b, l.b)
+		c.layers = append(c.layers, nl)
+	}
+	return c
+}
+
+// Hidden returns the hidden-layer widths (all layers but the output).
+func (n *Network) Hidden() []int {
+	out := make([]int, 0, len(n.layers)-1)
+	for _, l := range n.layers[:len(n.layers)-1] {
+		out = append(out, l.w.Rows)
+	}
+	return out
+}
+
 // OutDim returns the number of output classes.
 func (n *Network) OutDim() int { return n.layers[len(n.layers)-1].w.Rows }
 

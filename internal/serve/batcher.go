@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leapme/internal/features"
+	"leapme/internal/guard"
+)
+
+// ErrDraining is returned for scoring work submitted after Close began.
+var ErrDraining = errors.New("serve: server is draining")
+
+// scoreResult is the outcome of one pair.
+type scoreResult struct {
+	score float64
+	err   error
+}
+
+// pending is one enqueued pair awaiting its score. The response channel
+// is buffered so a worker never blocks on a caller that gave up.
+type pending struct {
+	model *Model
+	a, b  *features.Prop
+	unit  string
+	resp  chan scoreResult
+}
+
+// batcher coalesces concurrent pair-scoring requests into micro-batches:
+// a dispatcher collects up to maxBatch pairs, flushing early after
+// maxWait, and a worker pool executes batches on per-model scorer clones.
+// Each pair is one guard unit — a panic poisons only that pair's request.
+type batcher struct {
+	maxBatch int
+	maxWait  time.Duration
+	met      *Metrics
+
+	mu     sync.RWMutex // guards closed vs. queue sends
+	closed bool
+	queue  chan *pending
+	work   chan []*pending
+	wg     sync.WaitGroup // dispatcher + workers
+}
+
+// newBatcher starts the dispatcher and workers worker goroutines.
+func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics) *batcher {
+	if workers <= 0 {
+		workers = 4
+	}
+	if maxBatch <= 0 {
+		maxBatch = 32
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &batcher{
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		met:      met,
+		queue:    make(chan *pending, workers*maxBatch),
+		work:     make(chan []*pending, workers),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	for i := 0; i < workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// Enqueue submits one pair for scoring and returns a handle to await.
+// The model pointer pins the version the pair will be scored with.
+func (b *batcher) Enqueue(ctx context.Context, md *Model, pa, pb *features.Prop, unit string) (*pending, error) {
+	p := &pending{model: md, a: pa, b: pb, unit: unit, resp: make(chan scoreResult, 1)}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return nil, ErrDraining
+	}
+	select {
+	case b.queue <- p:
+		return p, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Await blocks until the pair is scored or ctx ends.
+func (b *batcher) Await(ctx context.Context, p *pending) (float64, error) {
+	select {
+	case r := <-p.resp:
+		return r.score, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Score is Enqueue+Await for a single pair.
+func (b *batcher) Score(ctx context.Context, md *Model, pa, pb *features.Prop, unit string) (float64, error) {
+	p, err := b.Enqueue(ctx, md, pa, pb, unit)
+	if err != nil {
+		return 0, err
+	}
+	return b.Await(ctx, p)
+}
+
+// dispatch implements the size-or-deadline batching policy.
+func (b *batcher) dispatch() {
+	defer b.wg.Done()
+	defer close(b.work)
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*pending{first}
+		timer := time.NewTimer(b.maxWait)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case p, ok := <-b.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		b.work <- batch
+	}
+}
+
+// worker executes batches: contiguous same-model runs share one checked-
+// out scorer clone, so a coalesced batch is a true batched pass through
+// one network.
+func (b *batcher) worker() {
+	defer b.wg.Done()
+	for batch := range b.work {
+		b.runBatch(batch)
+	}
+}
+
+func (b *batcher) runBatch(batch []*pending) {
+	if b.met != nil {
+		b.met.Batches.Add(1)
+		b.met.BatchPairs.Add(int64(len(batch)))
+	}
+	for i := 0; i < len(batch); {
+		j := i
+		for j < len(batch) && batch[j].model == batch[i].model {
+			j++
+		}
+		sc := batch[i].model.acquire()
+		for _, p := range batch[i:j] {
+			var s float64
+			err := guard.Run(func() error {
+				var e error
+				s, e = sc.Score(p.a, p.b)
+				return e
+			})
+			if err != nil {
+				err = fmt.Errorf("serve: scoring %s: %w", p.unit, err)
+				if b.met != nil {
+					b.met.ScoreFailures.Add(1)
+				}
+			} else if b.met != nil {
+				b.met.PairsScored.Add(1)
+			}
+			p.resp <- scoreResult{score: s, err: err}
+		}
+		batch[i].model.release(sc)
+		i = j
+	}
+}
+
+// Close stops admitting work, drains queued pairs through the workers and
+// waits for them — every already-enqueued pair still gets its answer.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}

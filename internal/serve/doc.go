@@ -1,0 +1,66 @@
+// Package serve turns a trained LEAPME matcher into a long-lived
+// matching service: an HTTP JSON API backed by a hot-swappable model
+// registry, a micro-batching scorer and a per-model feature cache. It is
+// the deployment shape the paper's downstream consumers (schema and
+// entity integration pipelines) assume — a match oracle that stays warm
+// instead of re-loading the model and re-featurizing every property on
+// each invocation.
+//
+// # Endpoints
+//
+//	POST /v1/match      score explicit property pairs
+//	POST /v1/match/all  cross-source matching with optional blocking
+//	GET  /v1/models     list loaded models (core.ModelInfo per model)
+//	POST /v1/models     {"activate": name} or {"reload": true}
+//	GET  /healthz       liveness (always 200 while the process runs)
+//	GET  /readyz        readiness (200 once a model is active, 503 when
+//	                    draining)
+//	GET  /metrics       Prometheus text exposition
+//
+// # Model registry
+//
+// The Registry maps names to immutable *Model values. A Model bundles a
+// core.Scorer snapshot (weights deep-copied out of the matcher), a pool
+// of per-worker scorer clones, the file's core.ModelInfo and a feature
+// cache. Handlers resolve their Model pointer once at request arrival;
+// Load and Activate replace map entries and swing an atomic active
+// pointer, so a hot swap never mutates a model an in-flight request is
+// holding — old versions serve until their last request finishes, then
+// fall to the garbage collector. Reload re-reads every model's file from
+// disk (the SIGHUP path); a model that fails to re-load keeps serving its
+// previous version and the error is reported, never a gap in service.
+//
+// # Micro-batching scorer
+//
+// Concurrent pair-scoring requests are coalesced by a dispatcher into
+// batches of at most MaxBatch pairs, flushed early after MaxWait (the
+// classic size-or-deadline micro-batch policy, default 32 pairs / 2 ms).
+// A pool of workers executes batches; each worker checks a scorer clone
+// out of the request's model, so batched pairs share one pair-vector
+// buffer and one network forward scratch — the batched forward pass —
+// while distinct workers score in parallel on independent clones. Every
+// pair runs as one guard unit: a panic while scoring (a poisoned input)
+// is recovered by internal/guard, fails only that request with a 500,
+// and is counted in the metrics; the server and the rest of the batch
+// keep going.
+//
+// # Feature cache
+//
+// Featurizing a property is the expensive half of serving (hundreds of
+// dimensions aggregated over instance values plus name embeddings), and
+// real workloads repeat properties across requests. Each Model owns an
+// LRU cache of *features.Prop keyed by the SHA-256 digest of the
+// property's content (name and values, length-framed). Keying the cache
+// per model version — a fresh cache per load — keeps cached vectors
+// trivially consistent with the active featurizer; cached and uncached
+// scoring are bit-identical because the cache stores the immutable Prop
+// itself, not a recomputation.
+//
+// # Shutdown
+//
+// Close flips readiness off, stops admitting scoring work, drains queued
+// batches and waits for workers — the counterpart to http.Server's
+// connection drain. cmd/leapme-serve wires both to SIGINT/SIGTERM with a
+// drain deadline and exits 130 on signal, matching the CLI convention
+// established in cmd/leapme.
+package serve

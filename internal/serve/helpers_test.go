@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"leapme/internal/core"
+	"leapme/internal/dataset"
+	"leapme/internal/domain"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+)
+
+// The fixture trains one GloVe store and two model versions once and
+// shares them across the package's tests (training dominates test time).
+var (
+	fixOnce  sync.Once
+	fixErr   error
+	fixStore *embedding.Store
+	fixData  *dataset.Dataset
+	// fixModelA and fixModelB are two serialised trained models (different
+	// seeds) over fixStore — B stands in for "a newer version" in hot-swap
+	// tests.
+	fixModelA, fixModelB []byte
+)
+
+func trainModelBytes(store *embedding.Store, d *dataset.Dataset, seed int64) ([]byte, error) {
+	m, err := core.NewMatcher(store, core.DefaultOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ComputeFeatures(context.Background(), d); err != nil {
+		return nil, err
+	}
+	pairs := core.TrainingPairs(d.Props, 2, mathx.NewRand(seed))
+	if _, err := m.Train(context.Background(), pairs); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func fixture(t *testing.T) {
+	t.Helper()
+	fixOnce.Do(func() {
+		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
+			domain.CorpusConfig{SentencesPerProp: 60, Seed: 1})
+		cfg := embedding.DefaultGloVeConfig()
+		cfg.Dim = 32
+		cfg.Epochs = 25
+		fixStore, fixErr = embedding.TrainGloVe(corpus, cfg)
+		if fixErr != nil {
+			return
+		}
+		fixData, fixErr = dataset.Generate(dataset.GenConfig{
+			Name:           "serve-test",
+			Category:       domain.Cameras(),
+			NumSources:     4,
+			SharedPresence: 0.8,
+			CanonicalBias:  0.55,
+			SplitProb:      0.05,
+			NoiseProps:     6,
+			MinEntities:    10,
+			MaxEntities:    14,
+			MissingRate:    0.3,
+			Seed:           7,
+		})
+		if fixErr != nil {
+			return
+		}
+		if fixModelA, fixErr = trainModelBytes(fixStore, fixData, 41); fixErr != nil {
+			return
+		}
+		fixModelB, fixErr = trainModelBytes(fixStore, fixData, 42)
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture: %v", fixErr)
+	}
+}
+
+// writeModelFile writes model bytes into dir and returns the path.
+func writeModelFile(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newTestServer builds a Server over a fresh temp copy of model A (named
+// "default") and registers cleanup. Returns the server and the model path
+// (so tests can overwrite it to simulate a new version landing on disk).
+func newTestServer(t *testing.T, mut func(*Config)) (*Server, string) {
+	t.Helper()
+	fixture(t)
+	path := writeModelFile(t, t.TempDir(), "model.leapme", fixModelA)
+	cfg := Config{
+		Store:  fixStore,
+		Models: []ModelSource{{Name: "default", Path: path}},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, path
+}
+
+// somePairs returns up to n cross-source (name, values) pairs from the
+// fixture dataset, as wire-level pairSpecs.
+func somePairs(t *testing.T, n int) []pairSpec {
+	t.Helper()
+	fixture(t)
+	values := fixData.InstancesByProperty()
+	var out []pairSpec
+	dataset.CrossSourcePairs(fixData.Props, func(a, b dataset.Property) bool {
+		out = append(out, pairSpec{
+			A: propSpec{Name: a.Name, Values: values[a.Key()]},
+			B: propSpec{Name: b.Name, Values: values[b.Key()]},
+		})
+		return len(out) < n
+	})
+	if len(out) == 0 {
+		t.Fatal("fixture dataset produced no cross-source pairs")
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the server's cumulative counters, exposed in Prometheus
+// text format on /metrics. All fields are atomics; the struct is shared
+// freely between handlers, the batcher and the registry.
+type Metrics struct {
+	start time.Time
+
+	MatchRequests    atomic.Int64 // /v1/match requests admitted
+	MatchAllRequests atomic.Int64 // /v1/match/all requests admitted
+	RequestErrors    atomic.Int64 // requests answered 4xx/5xx
+	PairsScored      atomic.Int64 // pairs scored successfully
+	ScoreFailures    atomic.Int64 // pairs failed (isolated panics/errors)
+	Batches          atomic.Int64 // micro-batches executed
+	BatchPairs       atomic.Int64 // pairs across all batches
+	ModelSwaps       atomic.Int64 // activate/load/reload swaps
+}
+
+func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// WriteTo renders the exposition; reg contributes per-model cache and
+// identity series.
+func (m *Metrics) WriteTo(w io.Writer, reg *Registry, ready bool) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("leapme_match_requests_total", "Admitted /v1/match requests.", m.MatchRequests.Load())
+	counter("leapme_match_all_requests_total", "Admitted /v1/match/all requests.", m.MatchAllRequests.Load())
+	counter("leapme_request_errors_total", "Requests answered with an error status.", m.RequestErrors.Load())
+	counter("leapme_pairs_scored_total", "Property pairs scored.", m.PairsScored.Load())
+	counter("leapme_score_failures_total", "Pairs whose scoring failed (isolated).", m.ScoreFailures.Load())
+	counter("leapme_batches_total", "Micro-batches executed.", m.Batches.Load())
+	counter("leapme_batch_pairs_total", "Pairs coalesced into micro-batches.", m.BatchPairs.Load())
+	counter("leapme_model_swaps_total", "Model load/activate/reload swaps.", m.ModelSwaps.Load())
+
+	readyV := 0
+	if ready {
+		readyV = 1
+	}
+	fmt.Fprintf(w, "# HELP leapme_ready Whether the server is accepting scoring work.\n# TYPE leapme_ready gauge\nleapme_ready %d\n", readyV)
+	fmt.Fprintf(w, "# HELP leapme_uptime_seconds Seconds since server start.\n# TYPE leapme_uptime_seconds gauge\nleapme_uptime_seconds %.0f\n", time.Since(m.start).Seconds())
+
+	if reg == nil {
+		return
+	}
+	active := reg.Active()
+	fmt.Fprint(w, "# HELP leapme_feature_cache_hits_total Feature cache hits per model.\n# TYPE leapme_feature_cache_hits_total counter\n")
+	for _, md := range reg.List() {
+		fmt.Fprintf(w, "leapme_feature_cache_hits_total{model=%q} %d\n", md.Name, md.cache.Hits())
+	}
+	fmt.Fprint(w, "# HELP leapme_feature_cache_misses_total Feature cache misses per model.\n# TYPE leapme_feature_cache_misses_total counter\n")
+	for _, md := range reg.List() {
+		fmt.Fprintf(w, "leapme_feature_cache_misses_total{model=%q} %d\n", md.Name, md.cache.Misses())
+	}
+	fmt.Fprint(w, "# HELP leapme_feature_cache_entries Feature cache occupancy per model.\n# TYPE leapme_feature_cache_entries gauge\n")
+	for _, md := range reg.List() {
+		fmt.Fprintf(w, "leapme_feature_cache_entries{model=%q} %d\n", md.Name, md.cache.Len())
+	}
+	fmt.Fprint(w, "# HELP leapme_model_info Loaded models (value 1; active model labelled).\n# TYPE leapme_model_info gauge\n")
+	for _, md := range reg.List() {
+		isActive := 0
+		if md == active {
+			isActive = 1
+		}
+		fmt.Fprintf(w, "leapme_model_info{model=%q,crc=\"%08x\",features=%q,active=\"%d\"} 1\n",
+			md.Name, md.Info.CRC, featuresLabel(md), isActive)
+	}
+}
+
+func featuresLabel(md *Model) string {
+	if !md.Info.HasDescriptor {
+		return "unknown"
+	}
+	return md.Info.Features.String()
+}

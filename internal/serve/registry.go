@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leapme/internal/core"
+	"leapme/internal/embedding"
+	"leapme/internal/features"
+)
+
+// ModelSource names a model file to load.
+type ModelSource struct {
+	Name string
+	Path string
+}
+
+// ParseModelList parses the -model flag syntax: a comma-separated list of
+// name=path entries. A bare path gets the name "default" when it is the
+// only entry, otherwise it is an error.
+func ParseModelList(s string) ([]ModelSource, error) {
+	var out []ModelSource
+	parts := strings.Split(s, ",")
+	var bare []string
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if name, path, ok := strings.Cut(p, "="); ok {
+			name, path = strings.TrimSpace(name), strings.TrimSpace(path)
+			if name == "" || path == "" {
+				return nil, fmt.Errorf("serve: bad model entry %q (want name=path)", p)
+			}
+			out = append(out, ModelSource{Name: name, Path: path})
+		} else {
+			bare = append(bare, p)
+		}
+	}
+	if len(bare) > 1 || (len(bare) == 1 && len(out) > 0) {
+		return nil, errors.New("serve: multiple models need explicit names (name=path,...)")
+	}
+	if len(bare) == 1 {
+		out = append(out, ModelSource{Name: "default", Path: bare[0]})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("serve: no models given")
+	}
+	return out, nil
+}
+
+// Model is one immutable loaded model version: its scorer snapshot, a
+// pool of per-worker scorer clones, the file metadata and a feature
+// cache. A Model is never mutated after Load publishes it; hot swaps
+// replace the whole value.
+type Model struct {
+	Name     string
+	Path     string
+	Info     core.ModelInfo
+	LoadedAt time.Time
+
+	// template serves concurrent-safe featurization and describes the
+	// snapshot (threshold, pair dim); scoring checks clones out of pool.
+	template *core.Scorer
+	pool     chan *core.Scorer
+	cache    *featureCache
+}
+
+// Threshold returns the model's default match threshold.
+func (m *Model) Threshold() float64 { return m.template.Threshold() }
+
+// CacheStats returns the model's feature-cache hit/miss/occupancy counts.
+func (m *Model) CacheStats() (hits, misses int64, entries int) {
+	return m.cache.Hits(), m.cache.Misses(), m.cache.Len()
+}
+
+// Featurize computes (or recalls) the feature vector for a property given
+// by name and values, through the model's LRU cache. Safe for concurrent
+// use; the returned Prop is shared and must not be mutated.
+func (m *Model) Featurize(name string, values []string) *features.Prop {
+	key := propDigest(name, values)
+	if p, ok := m.cache.Get(key); ok {
+		return p
+	}
+	p := m.template.Featurize(name, values)
+	m.cache.Put(key, p)
+	return p
+}
+
+// acquire checks a scorer clone out of the pool, blocking until one is
+// free; release returns it.
+func (m *Model) acquire() *core.Scorer  { return <-m.pool }
+func (m *Model) release(s *core.Scorer) { m.pool <- s }
+
+// RegistryOptions configures how the registry builds models.
+type RegistryOptions struct {
+	// Workers sizes each model's scorer pool (default 4). It should match
+	// the batcher's worker count: a batch worker never waits for a scorer.
+	Workers int
+	// CacheSize bounds each model's feature cache in entries (default
+	// 4096; 0 after defaulting still means 4096, use -1 to disable).
+	CacheSize int
+	// Threshold overrides the match threshold baked into model snapshots
+	// (0 keeps each model's own).
+	Threshold float64
+	// MaxValues caps instance values aggregated per served property
+	// (0 = all), mirroring core.Options.MaxValues.
+	MaxValues int
+}
+
+func (o RegistryOptions) withDefaults() RegistryOptions {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	return o
+}
+
+// Registry holds named models over one embedding store and tracks the
+// active one. All methods are safe for concurrent use; readers resolve a
+// *Model pointer once and keep using it regardless of later swaps.
+type Registry struct {
+	store *embedding.Store
+	opts  RegistryOptions
+	met   *Metrics
+
+	mu         sync.RWMutex
+	models     map[string]*Model
+	activeName string
+	active     atomic.Pointer[Model]
+}
+
+// NewRegistry returns an empty registry over the store.
+func NewRegistry(store *embedding.Store, opts RegistryOptions) (*Registry, error) {
+	if store == nil {
+		return nil, errors.New("serve: nil embedding store")
+	}
+	return &Registry{
+		store:  store,
+		opts:   opts.withDefaults(),
+		models: map[string]*Model{},
+	}, nil
+}
+
+// build loads path into a fresh Model without publishing it.
+func (r *Registry) build(name, path string) (*Model, error) {
+	info, err := core.LoadInfoFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: describing model %s (%s): %w", name, path, err)
+	}
+	opts := core.DefaultOptions(0)
+	if info.HasDescriptor {
+		opts.Features = info.Features
+		if info.EmbeddingDim != r.store.Dim() {
+			return nil, fmt.Errorf("serve: model %s was trained against embedding dim %d, store has %d",
+				name, info.EmbeddingDim, r.store.Dim())
+		}
+	}
+	if r.opts.Threshold > 0 {
+		opts.Threshold = r.opts.Threshold
+	}
+	opts.MaxValues = r.opts.MaxValues
+	m, err := core.NewMatcher(r.store, opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %s: %w", name, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %s: %w", name, err)
+	}
+	defer f.Close()
+	if err := m.ReadModel(f); err != nil {
+		return nil, fmt.Errorf("serve: loading model %s (%s): %w", name, path, err)
+	}
+	sc, err := m.NewScorer()
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %s: %w", name, err)
+	}
+	md := &Model{
+		Name:     name,
+		Path:     path,
+		Info:     info,
+		LoadedAt: time.Now(),
+		template: sc,
+		pool:     make(chan *core.Scorer, r.opts.Workers),
+		cache:    newFeatureCache(r.opts.CacheSize),
+	}
+	for i := 0; i < r.opts.Workers; i++ {
+		md.pool <- sc.Clone()
+	}
+	return md, nil
+}
+
+// Load reads a model file and publishes it under name, replacing any
+// previous version atomically. The first loaded model becomes active; a
+// reload of the currently active name swings the active pointer to the
+// new version. In-flight requests holding the old *Model are unaffected.
+func (r *Registry) Load(name, path string) (*Model, error) {
+	if name == "" {
+		return nil, errors.New("serve: empty model name")
+	}
+	md, err := r.build(name, path)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.models[name] = md
+	if r.activeName == "" || r.activeName == name {
+		r.activeName = name
+		r.active.Store(md)
+	}
+	r.mu.Unlock()
+	if r.met != nil {
+		r.met.ModelSwaps.Add(1)
+	}
+	return md, nil
+}
+
+// Activate makes the named model the default for requests that do not
+// name one.
+func (r *Registry) Activate(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	md, ok := r.models[name]
+	if !ok {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	r.activeName = name
+	r.active.Store(md)
+	if r.met != nil {
+		r.met.ModelSwaps.Add(1)
+	}
+	return nil
+}
+
+// Active returns the current default model (nil before the first Load).
+func (r *Registry) Active() *Model { return r.active.Load() }
+
+// Get resolves a request's model: the named one, or the active model for
+// an empty name.
+func (r *Registry) Get(name string) (*Model, error) {
+	if name == "" {
+		if md := r.Active(); md != nil {
+			return md, nil
+		}
+		return nil, errors.New("serve: no active model")
+	}
+	r.mu.RLock()
+	md, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return md, nil
+}
+
+// List returns the loaded models sorted by name.
+func (r *Registry) List() []*Model {
+	r.mu.RLock()
+	out := make([]*Model, 0, len(r.models))
+	for _, md := range r.models {
+		out = append(out, md)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Reload re-reads every model from its file — the SIGHUP path. A model
+// whose file fails to load keeps serving its previous version; the
+// returned error joins all failures.
+func (r *Registry) Reload() error {
+	var errs []error
+	for _, md := range r.List() {
+		if _, err := r.Load(md.Name, md.Path); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"os"
+	"testing"
+)
+
+func TestParseModelList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []ModelSource
+		err  bool
+	}{
+		{in: "m.leapme", want: []ModelSource{{Name: "default", Path: "m.leapme"}}},
+		{in: "a=x.leapme, b=y.leapme", want: []ModelSource{{Name: "a", Path: "x.leapme"}, {Name: "b", Path: "y.leapme"}}},
+		{in: "a=x.leapme,,", want: []ModelSource{{Name: "a", Path: "x.leapme"}}},
+		{in: "x.leapme,y.leapme", err: true}, // two bare paths: ambiguous names
+		{in: "a=x.leapme,y.leapme", err: true},
+		{in: "=x.leapme", err: true},
+		{in: "a=", err: true},
+		{in: "", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseModelList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseModelList(%q): expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseModelList(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseModelList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseModelList(%q)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestRegistryLoadActivateGet(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	pa := writeModelFile(t, dir, "a.leapme", fixModelA)
+	pb := writeModelFile(t, dir, "b.leapme", fixModelB)
+	reg, err := NewRegistry(fixStore, RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get(""); err == nil {
+		t.Error("empty registry resolved an active model")
+	}
+	ma, err := reg.Load("a", pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Active() != ma {
+		t.Error("first load is not active")
+	}
+	mb, err := reg.Load("b", pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Active() != ma {
+		t.Error("second load stole the active slot")
+	}
+	if err := reg.Activate("b"); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Active() != mb {
+		t.Error("Activate did not swing the active pointer")
+	}
+	if err := reg.Activate("nope"); err == nil {
+		t.Error("activated unknown model")
+	}
+	if got, _ := reg.Get(""); got != mb {
+		t.Error(`Get("") != active`)
+	}
+	if got, _ := reg.Get("a"); got != ma {
+		t.Error(`Get("a") wrong`)
+	}
+	if _, err := reg.Get("nope"); err == nil {
+		t.Error("Get of unknown model succeeded")
+	}
+	ls := reg.List()
+	if len(ls) != 2 || ls[0].Name != "a" || ls[1].Name != "b" {
+		t.Errorf("List = %v", ls)
+	}
+	if ls[0].Info.FormatVersion < 3 || !ls[0].Info.HasDescriptor {
+		t.Errorf("loaded model missing v3 descriptor: %+v", ls[0].Info)
+	}
+}
+
+func TestRegistryHotSwapKeepsOldPointer(t *testing.T) {
+	fixture(t)
+	path := writeModelFile(t, t.TempDir(), "m.leapme", fixModelA)
+	reg, err := NewRegistry(fixStore, RegistryOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := reg.Load("m", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new version lands on disk; reload publishes it.
+	if err := os.WriteFile(path, fixModelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	now := reg.Active()
+	if now == old {
+		t.Fatal("reload did not swap the active model")
+	}
+	if now.Info.CRC == old.Info.CRC {
+		t.Fatal("swapped model has identical CRC — fixture models not distinct")
+	}
+	// The pinned old version still scores: in-flight requests are safe.
+	p := somePairs(t, 1)[0]
+	sc := old.acquire()
+	defer old.release(sc)
+	if _, err := sc.Score(
+		old.Featurize(p.A.Name, p.A.Values),
+		old.Featurize(p.B.Name, p.B.Values)); err != nil {
+		t.Fatalf("old model broken after swap: %v", err)
+	}
+}
+
+func TestRegistryLoadErrors(t *testing.T) {
+	fixture(t)
+	reg, err := NewRegistry(fixStore, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("m", "/nonexistent/model.leapme"); err == nil {
+		t.Error("loaded nonexistent file")
+	}
+	bad := writeModelFile(t, t.TempDir(), "bad.leapme", []byte("not a model"))
+	if _, err := reg.Load("m", bad); err == nil {
+		t.Error("loaded garbage file")
+	}
+	if _, err := reg.Load("", bad); err == nil {
+		t.Error("loaded empty-named model")
+	}
+	if reg.Active() != nil {
+		t.Error("failed loads published a model")
+	}
+	if _, err := NewRegistry(nil, RegistryOptions{}); err == nil {
+		t.Error("NewRegistry accepted nil store")
+	}
+}

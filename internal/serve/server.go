@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"leapme/internal/blocking"
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+	"leapme/internal/features"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the embedding store every model featurizes against.
+	Store *embedding.Store
+	// Models are the model files to load at startup.
+	Models []ModelSource
+	// Active names the initially active model (default: the first one).
+	Active string
+	// Workers sizes the batch-scoring worker pool (default 4).
+	Workers int
+	// MaxBatch caps pairs per micro-batch (default 32).
+	MaxBatch int
+	// MaxWait is the micro-batch flush deadline (default 2ms).
+	MaxWait time.Duration
+	// CacheSize bounds each model's feature cache in entries (default
+	// 4096, -1 disables).
+	CacheSize int
+	// Threshold overrides every model's match threshold (0 keeps each
+	// model's own).
+	Threshold float64
+	// MaxValues caps instance values per served property (0 = all).
+	MaxValues int
+	// MaxPairs caps pairs per /v1/match request and candidate pairs per
+	// /v1/match/all request (default 4096).
+	MaxPairs int
+	// MaxProps caps properties per /v1/match/all request (default 2048).
+	MaxProps int
+}
+
+// Server is the matching-as-a-service HTTP server: a model registry, a
+// micro-batching scorer and the /v1 handlers. Create with New, mount
+// Handler, and Close on shutdown.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	batch *batcher
+	met   *Metrics
+	mux   *http.ServeMux
+	ready atomic.Bool
+}
+
+// New loads every configured model and starts the batching workers.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("serve: no models configured")
+	}
+	if cfg.MaxPairs <= 0 {
+		cfg.MaxPairs = 4096
+	}
+	if cfg.MaxProps <= 0 {
+		cfg.MaxProps = 2048
+	}
+	met := newMetrics()
+	reg, err := NewRegistry(cfg.Store, RegistryOptions{
+		Workers:   cfg.Workers,
+		CacheSize: cfg.CacheSize,
+		Threshold: cfg.Threshold,
+		MaxValues: cfg.MaxValues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg.met = met
+	for _, ms := range cfg.Models {
+		if _, err := reg.Load(ms.Name, ms.Path); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Active != "" {
+		if err := reg.Activate(cfg.Active); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		batch: newBatcher(cfg.Workers, cfg.MaxBatch, cfg.MaxWait, met),
+		met:   met,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/match", s.handleMatch)
+	s.mux.HandleFunc("/v1/match/all", s.handleMatchAll)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the model registry (listing, activation, reload).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the server counters.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Reload re-reads every model from disk — the SIGHUP hook.
+func (s *Server) Reload() error { return s.reg.Reload() }
+
+// Close drains the scoring pipeline: readiness flips off, already-
+// enqueued pairs finish, new scoring work gets ErrDraining. Call after
+// http.Server.Shutdown has drained connections (or with it; in-flight
+// handlers race Close only for enqueueing, never for losing answers).
+func (s *Server) Close() {
+	s.ready.Store(false)
+	s.batch.Close()
+}
+
+// --- request/response schema ---
+
+// propSpec is a property as it appears on the wire: its name and
+// instance values.
+type propSpec struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values,omitempty"`
+}
+
+type pairSpec struct {
+	A propSpec `json:"a"`
+	B propSpec `json:"b"`
+}
+
+type matchRequest struct {
+	Model     string     `json:"model,omitempty"`
+	Threshold *float64   `json:"threshold,omitempty"`
+	Pairs     []pairSpec `json:"pairs"`
+}
+
+type pairResult struct {
+	Score float64 `json:"score"`
+	Match bool    `json:"match"`
+	Error string  `json:"error,omitempty"`
+}
+
+type cacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+type matchResponse struct {
+	Model   string       `json:"model"`
+	CRC     string       `json:"model_crc"`
+	Results []pairResult `json:"results"`
+	Cache   cacheStats   `json:"cache"`
+}
+
+type matchAllRequest struct {
+	Model     string                `json:"model,omitempty"`
+	Threshold *float64              `json:"threshold,omitempty"`
+	Sources   map[string][]propSpec `json:"sources"`
+	Blocking  string                `json:"blocking,omitempty"` // none|token|embedding|union
+	Top       int                   `json:"top,omitempty"`
+}
+
+type matchAllMatch struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Score float64 `json:"score"`
+}
+
+type matchAllResponse struct {
+	Model      string          `json:"model"`
+	Properties int             `json:"properties"`
+	Candidates int             `json:"candidates"`
+	Scored     int             `json:"scored"`
+	Failures   int             `json:"failures"`
+	Matches    []matchAllMatch `json:"matches"`
+	Cache      cacheStats      `json:"cache"`
+}
+
+type modelDesc struct {
+	Name         string    `json:"name"`
+	Path         string    `json:"path"`
+	Active       bool      `json:"active"`
+	LoadedAt     time.Time `json:"loaded_at"`
+	Format       int       `json:"format_version"`
+	Features     string    `json:"features"`
+	EmbeddingDim int       `json:"embedding_dim,omitempty"`
+	InDim        int       `json:"in_dim"`
+	Hidden       []int     `json:"hidden"`
+	CRC          string    `json:"crc"`
+	Threshold    float64   `json:"threshold"`
+	Cache        cacheStats `json:"cache"`
+}
+
+type modelsAction struct {
+	Activate string `json:"activate,omitempty"`
+	Reload   bool   `json:"reload,omitempty"`
+}
+
+// --- handlers ---
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.met.RequestErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.ready.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req matchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.fail(w, http.StatusBadRequest, "no pairs")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxPairs {
+		s.fail(w, http.StatusBadRequest, "%d pairs exceeds limit %d", len(req.Pairs), s.cfg.MaxPairs)
+		return
+	}
+	for i, p := range req.Pairs {
+		if p.A.Name == "" || p.B.Name == "" {
+			s.fail(w, http.StatusBadRequest, "pair %d: both properties need a name", i)
+			return
+		}
+	}
+	md, err := s.reg.Get(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.met.MatchRequests.Add(1)
+
+	threshold := md.Threshold()
+	if req.Threshold != nil {
+		threshold = *req.Threshold
+	}
+	ctx := r.Context()
+	// Featurize (through the cache), then enqueue every pair before
+	// awaiting any — that is what lets the dispatcher coalesce one
+	// request's pairs, and concurrent requests' pairs, into batches.
+	handles := make([]*pending, len(req.Pairs))
+	for i, p := range req.Pairs {
+		pa := md.Featurize(p.A.Name, p.A.Values)
+		pb := md.Featurize(p.B.Name, p.B.Values)
+		h, err := s.batch.Enqueue(ctx, md, pa, pb, fmt.Sprintf("pair %d (%s × %s)", i, p.A.Name, p.B.Name))
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "enqueue: %v", err)
+			return
+		}
+		handles[i] = h
+	}
+	results := make([]pairResult, len(handles))
+	failed := 0
+	for i, h := range handles {
+		score, err := s.batch.Await(ctx, h)
+		if err != nil {
+			results[i] = pairResult{Error: err.Error()}
+			failed++
+			continue
+		}
+		results[i] = pairResult{Score: score, Match: score >= threshold}
+	}
+	if failed == len(results) {
+		// Every pair failed — a poisoned request. The guard kept the
+		// server alive; this request alone answers 500.
+		s.met.RequestErrors.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(matchResponse{Model: md.Name, CRC: fmt.Sprintf("%08x", md.Info.CRC), Results: results, Cache: cacheOf(md)})
+		return
+	}
+	writeJSON(w, matchResponse{Model: md.Name, CRC: fmt.Sprintf("%08x", md.Info.CRC), Results: results, Cache: cacheOf(md)})
+}
+
+func cacheOf(md *Model) cacheStats {
+	h, m, n := md.CacheStats()
+	return cacheStats{Hits: h, Misses: m, Entries: n}
+}
+
+func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.ready.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req matchAllRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Sources) < 2 {
+		s.fail(w, http.StatusBadRequest, "need at least 2 sources, got %d", len(req.Sources))
+		return
+	}
+	md, err := s.reg.Get(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	// Materialise the request's properties, rejecting duplicates — each
+	// (source, name) must identify one property.
+	var props []dataset.Property
+	feats := map[dataset.Key]*features.Prop{}
+	total := 0
+	for src, specs := range req.Sources {
+		for _, spec := range specs {
+			if spec.Name == "" {
+				s.fail(w, http.StatusBadRequest, "source %q: property without a name", src)
+				return
+			}
+			k := dataset.Key{Source: src, Name: spec.Name}
+			if _, dup := feats[k]; dup {
+				s.fail(w, http.StatusBadRequest, "duplicate property %s", k)
+				return
+			}
+			total++
+			if total > s.cfg.MaxProps {
+				s.fail(w, http.StatusBadRequest, "more than %d properties", s.cfg.MaxProps)
+				return
+			}
+			props = append(props, dataset.Property{Source: src, Name: spec.Name})
+			feats[k] = md.Featurize(spec.Name, spec.Values)
+		}
+	}
+	sort.Slice(props, func(i, j int) bool {
+		if props[i].Source != props[j].Source {
+			return props[i].Source < props[j].Source
+		}
+		return props[i].Name < props[j].Name
+	})
+
+	var cands []dataset.Pair
+	switch req.Blocking {
+	case "", "none":
+		dataset.CrossSourcePairs(props, func(a, b dataset.Property) bool {
+			cands = append(cands, dataset.Pair{A: a.Key(), B: b.Key()})
+			return len(cands) <= s.cfg.MaxPairs
+		})
+	case "token":
+		cands = blocking.NewTokenBlocker().Candidates(props)
+	case "embedding":
+		cands = blocking.NewEmbeddingBlocker(s.cfg.Store).Candidates(props)
+	case "union":
+		cands = blocking.Union([]blocking.Blocker{
+			blocking.NewTokenBlocker(),
+			blocking.NewEmbeddingBlocker(s.cfg.Store),
+		}).Candidates(props)
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown blocking %q (none|token|embedding|union)", req.Blocking)
+		return
+	}
+	if len(cands) > s.cfg.MaxPairs {
+		s.fail(w, http.StatusBadRequest, "%d candidate pairs exceeds limit %d (add blocking or split the request)",
+			len(cands), s.cfg.MaxPairs)
+		return
+	}
+	s.met.MatchAllRequests.Add(1)
+
+	threshold := md.Threshold()
+	if req.Threshold != nil {
+		threshold = *req.Threshold
+	}
+	ctx := r.Context()
+	handles := make([]*pending, len(cands))
+	for i, c := range cands {
+		h, err := s.batch.Enqueue(ctx, md, feats[c.A], feats[c.B], c.A.String()+" × "+c.B.String())
+		if err != nil {
+			s.fail(w, http.StatusServiceUnavailable, "enqueue: %v", err)
+			return
+		}
+		handles[i] = h
+	}
+	resp := matchAllResponse{
+		Model:      md.Name,
+		Properties: len(props),
+		Candidates: len(cands),
+	}
+	for i, h := range handles {
+		score, err := s.batch.Await(ctx, h)
+		if err != nil {
+			resp.Failures++
+			continue
+		}
+		resp.Scored++
+		if score >= threshold {
+			resp.Matches = append(resp.Matches, matchAllMatch{A: cands[i].A.String(), B: cands[i].B.String(), Score: score})
+		}
+	}
+	sort.Slice(resp.Matches, func(i, j int) bool { return resp.Matches[i].Score > resp.Matches[j].Score })
+	if req.Top > 0 && len(resp.Matches) > req.Top {
+		resp.Matches = resp.Matches[:req.Top]
+	}
+	resp.Cache = cacheOf(md)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		active := s.reg.Active()
+		var out []modelDesc
+		for _, md := range s.reg.List() {
+			out = append(out, modelDesc{
+				Name:         md.Name,
+				Path:         md.Path,
+				Active:       md == active,
+				LoadedAt:     md.LoadedAt,
+				Format:       md.Info.FormatVersion,
+				Features:     featuresLabel(md),
+				EmbeddingDim: md.Info.EmbeddingDim,
+				InDim:        md.Info.InDim,
+				Hidden:       md.Info.Hidden,
+				CRC:          fmt.Sprintf("%08x", md.Info.CRC),
+				Threshold:    md.Threshold(),
+				Cache:        cacheOf(md),
+			})
+		}
+		writeJSON(w, out)
+	case http.MethodPost:
+		var act modelsAction
+		if !s.decode(w, r, &act) {
+			return
+		}
+		switch {
+		case act.Activate != "":
+			if err := s.reg.Activate(act.Activate); err != nil {
+				s.fail(w, http.StatusNotFound, "%v", err)
+				return
+			}
+			writeJSON(w, map[string]string{"active": act.Activate})
+		case act.Reload:
+			if err := s.reg.Reload(); err != nil {
+				s.fail(w, http.StatusInternalServerError, "reload: %v", err)
+				return
+			}
+			writeJSON(w, map[string]string{"status": "reloaded"})
+		default:
+			s.fail(w, http.StatusBadRequest, `want {"activate": name} or {"reload": true}`)
+		}
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.ready.Load() && s.reg.Active() != nil {
+		w.Write([]byte("ready\n"))
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.WriteTo(w, s.reg, s.ready.Load())
+}

@@ -51,6 +51,7 @@ import (
 	"leapme/internal/guard"
 	"leapme/internal/integrate"
 	"leapme/internal/nn"
+	"leapme/internal/serve"
 	"leapme/internal/tapon"
 )
 
@@ -141,6 +142,25 @@ type (
 	Phase = nn.Phase
 )
 
+// Serving (package serve) and model introspection (package core).
+type (
+	// MatchServer is the matching-as-a-service HTTP server: model
+	// registry with hot swap, micro-batching scorer, feature cache.
+	MatchServer = serve.Server
+	// ServeConfig configures a MatchServer.
+	ServeConfig = serve.Config
+	// ModelSource names a saved model file to serve.
+	ModelSource = serve.ModelSource
+	// ModelRegistry holds named model versions and the active pointer.
+	ModelRegistry = serve.Registry
+	// ModelInfo describes a saved model file (LoadModelInfo) without
+	// instantiating a matcher.
+	ModelInfo = core.ModelInfo
+	// Scorer is an immutable scoring snapshot of a trained Matcher,
+	// detached from later retraining (Matcher.NewScorer).
+	Scorer = core.Scorer
+)
+
 // NewMatcher builds a LEAPME matcher over the given embedding store.
 func NewMatcher(store *Store, opts Options) (*Matcher, error) {
 	return core.NewMatcher(store, opts)
@@ -159,6 +179,18 @@ func AllFeatureConfigs() []FeatureConfig { return features.AllConfigs() }
 // PaperSchedule returns the LR schedule of Section IV-D (10 epochs at
 // 1e-3, 5 at 1e-4, 5 at 1e-5).
 func PaperSchedule() []Phase { return nn.PaperSchedule() }
+
+// NewMatchServer loads the configured models and starts the serving
+// pipeline (see cmd/leapme-serve for the standalone binary).
+func NewMatchServer(cfg ServeConfig) (*MatchServer, error) { return serve.New(cfg) }
+
+// ParseModelList parses the -model flag syntax: "path" or
+// "name=path,name=path,...".
+func ParseModelList(s string) ([]ModelSource, error) { return serve.ParseModelList(s) }
+
+// LoadModelInfo describes a model file saved by Matcher.WriteModel (or
+// `leapme train`) without loading it into a matcher.
+func LoadModelInfo(path string) (ModelInfo, error) { return core.LoadInfoFile(path) }
 
 // TrainingPairs builds a labeled training set in the paper's regime:
 // every cross-source ground-truth match among props is a positive, plus
