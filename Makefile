@@ -1,11 +1,11 @@
 GO ?= go
 
 PACKAGES := ./...
-# Packages touched by the robustness and serving work; -race is slow, so
-# restrict it.
-RACE_PACKAGES := ./internal/core ./internal/nn ./internal/guard ./internal/dataset ./internal/eval ./internal/serve ./internal/cli
+# Packages with new parallel paths; test-determinism re-runs their
+# determinism suites under different scheduler conditions.
+DETERMINISM_PACKAGES := ./internal/nn ./internal/features ./internal/core ./internal/eval ./internal/tapon
 
-.PHONY: all build test vet test-race fuzz bench-json clean
+.PHONY: all build test vet test-race test-determinism fuzz bench-json clean
 
 all: build vet test
 
@@ -19,19 +19,31 @@ vet:
 	$(GO) vet $(PACKAGES)
 
 test-race:
-	$(GO) test -race $(RACE_PACKAGES)
+	$(GO) test -race $(PACKAGES)
 
-# Short fuzz pass over the dataset loaders; extend -fuzztime for real runs.
+# The determinism suites compare Workers=1 against Workers=N inside each
+# test; running them at two GOMAXPROCS settings additionally varies how
+# the scheduler interleaves the workers. Results must be bit-identical
+# in every configuration.
+test-determinism:
+	GOMAXPROCS=1 $(GO) test -count=1 -run 'Determinism' $(DETERMINISM_PACKAGES)
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'Determinism' $(DETERMINISM_PACKAGES)
+
+# Short fuzz pass over the dataset loaders and the serving JSON API;
+# extend -fuzztime for real runs.
 fuzz:
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadJSON$$' -fuzztime=10s
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadJSONQuarantine$$' -fuzztime=10s
 	$(GO) test ./internal/dataset -run='^$$' -fuzz='^FuzzReadInstancesCSV$$' -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz='^FuzzMatchRequest$$' -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz='^FuzzMatchAllRequest$$' -fuzztime=10s
 
-# Machine-readable performance baselines for the serving and training
-# pipelines (committed as BENCH_serve.json / BENCH_train.json).
+# Machine-readable performance baselines for the serving, training and
+# parallel pipelines (committed as BENCH_*.json).
 bench-json:
 	$(GO) run ./cmd/benchtab -bench serve -out BENCH_serve.json
 	$(GO) run ./cmd/benchtab -bench train -out BENCH_train.json
+	$(GO) run ./cmd/benchtab -bench parallel -out BENCH_parallel.json
 
 clean:
 	$(GO) clean -testcache

@@ -96,8 +96,9 @@ func newBenchFixture(seed int64, dim int) (*benchFixture, error) {
 	return &benchFixture{seed: seed, dim: dim, store: store, data: d, pairs: pairs, model: buf.Bytes()}, nil
 }
 
-// runBench runs the serve or train suite and writes the JSON report.
-func runBench(suite, out string, seed int64, dim int) error {
+// runBench runs the serve, train or parallel suite and writes the JSON
+// report.
+func runBench(suite, out string, seed int64, dim, workers int) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "bench %s: preparing fixture (embeddings dim=%d, lite cameras, trained model)...\n", suite, dim)
 	fx, err := newBenchFixture(seed, dim)
@@ -124,8 +125,10 @@ func runBench(suite, out string, seed int64, dim int) error {
 		err = benchServe(fx, &rep)
 	case "train":
 		err = benchTrain(fx, &rep)
+	case "parallel":
+		err = benchParallel(fx, &rep, workers)
 	default:
-		return fmt.Errorf("unknown bench suite %q (serve|train)", suite)
+		return fmt.Errorf("unknown bench suite %q (serve|train|parallel)", suite)
 	}
 	if err != nil {
 		return err

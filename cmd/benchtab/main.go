@@ -17,6 +17,7 @@
 //
 //	benchtab -bench serve -out BENCH_serve.json
 //	benchtab -bench train -out BENCH_train.json
+//	benchtab -bench parallel -out BENCH_parallel.json [-workers N]
 package main
 
 import (
@@ -40,15 +41,16 @@ func main() {
 	names := flag.String("datasets", "cameras,headphones,phones,tvs", "datasets to include")
 	dim := flag.Int("dim", 50, "embedding dimension")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
-	bench := flag.String("bench", "", "emit a JSON benchmark report instead of a table: serve|train")
+	bench := flag.String("bench", "", "emit a JSON benchmark report instead of a table: serve|train|parallel")
 	out := flag.String("out", "", "output file for -bench (default BENCH_<suite>.json)")
+	workers := flag.Int("workers", 0, "worker count for the parallel arms and eval repetitions (0 = all CPUs)")
 	flag.Parse()
 
 	if *bench != "" {
 		if *out == "" {
 			*out = "BENCH_" + *bench + ".json"
 		}
-		if err := runBench(*bench, *out, *seed, 32); err != nil {
+		if err := runBench(*bench, *out, *seed, 32, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}

@@ -100,6 +100,8 @@ func usage() {
 train/match/eval/cluster/label also accept:
   -lenient       quarantine malformed dataset records instead of failing the load
   -timeout DUR   abort the run after DUR (e.g. 90s); Ctrl-C cancels cooperatively
+  -workers N     parallelism: 0 = legacy serial training, N ≥ 1 = deterministic
+                 N-worker pipeline (bit-identical for every N), -1 = all CPUs
 
 serve saved models over HTTP with the leapme-serve binary:
   leapme-serve -store store.bin -model model.leapme [-addr :8080]`)
@@ -172,6 +174,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 	featStr := fs.String("features", "both/all", "feature config level/kind")
 	threshold := fs.Float64("threshold", 0.5, "match threshold")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -180,7 +183,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
-	m, _, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *lenient)
+	m, _, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *workers, *lenient)
 	if err != nil {
 		return err
 	}
@@ -208,7 +211,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 
 // trainedMatcher loads data+store, trains on the given sources and
 // returns the matcher plus the held-out test properties.
-func trainedMatcher(ctx context.Context, dataDir, storePath, trainList, featStr string, threshold float64, seed int64, lenient bool) (*core.Matcher, []dataset.Property, *dataset.Dataset, error) {
+func trainedMatcher(ctx context.Context, dataDir, storePath, trainList, featStr string, threshold float64, seed int64, workers int, lenient bool) (*core.Matcher, []dataset.Property, *dataset.Dataset, error) {
 	store, err := loadStore(storePath)
 	if err != nil {
 		return nil, nil, nil, err
@@ -243,6 +246,7 @@ func trainedMatcher(ctx context.Context, dataDir, storePath, trainList, featStr 
 	opts := core.DefaultOptions(seed)
 	opts.Features = fc
 	opts.Threshold = threshold
+	opts.Workers = workers
 	m, err := core.NewMatcher(store, opts)
 	if err != nil {
 		return nil, nil, nil, err
@@ -271,6 +275,7 @@ func cmdMatch(ctx context.Context, args []string) error {
 	top := fs.Int("top", 0, "print only the top N matches by score (0 = all)")
 	explain := fs.Bool("explain", false, "attribute each printed match to its feature groups")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -279,7 +284,7 @@ func cmdMatch(ctx context.Context, args []string) error {
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
-	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *lenient)
+	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, *featStr, *threshold, *seed, *workers, *lenient)
 	if err != nil {
 		return err
 	}
@@ -315,6 +320,7 @@ func cmdEval(ctx context.Context, args []string) error {
 	runs := fs.Int("runs", 5, "number of random splits")
 	featStr := fs.String("features", "both/all", "feature config")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -337,6 +343,8 @@ func cmdEval(ctx context.Context, args []string) error {
 	}
 	h := eval.NewHarness(store, *seed)
 	h.Runs = *runs
+	h.Workers = *workers
+	h.Options.Workers = *workers
 	h.Ctx = ctx
 	h.OnRun = func(run int, m eval.PRF) {
 		fmt.Fprintf(os.Stderr, "run %d: %v\n", run, m)
@@ -357,6 +365,7 @@ func cmdLabel(ctx context.Context, args []string) error {
 	trainList := fs.String("train", "", "comma-separated training sources (ground truth used)")
 	top := fs.Int("top", 20, "print only the N most confident labels (0 = all)")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -405,14 +414,16 @@ func cmdLabel(ctx context.Context, args []string) error {
 			testData.Instances = append(testData.Instances, in)
 		}
 	}
-	l, err := tapon.New(store, classes, tapon.DefaultOptions(*seed))
+	topts := tapon.DefaultOptions(*seed)
+	topts.Workers = *workers
+	l, err := tapon.New(store, classes, topts)
 	if err != nil {
 		return err
 	}
 	if err := l.Train(ctx, trainData); err != nil {
 		return err
 	}
-	preds, err := l.Label(testData)
+	preds, err := l.Label(ctx, testData)
 	if err != nil {
 		return err
 	}
@@ -437,6 +448,7 @@ func cmdCluster(ctx context.Context, args []string) error {
 	scheme := fs.String("scheme", "components", "clustering scheme: components|star|correlation")
 	threshold := fs.Float64("threshold", 0.5, "match threshold")
 	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -445,7 +457,7 @@ func cmdCluster(ctx context.Context, args []string) error {
 	}
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
-	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, "both/all", *threshold, *seed, *lenient)
+	m, testProps, _, err := trainedMatcher(ctx, *dataDir, *storePath, *trainList, "both/all", *threshold, *seed, *workers, *lenient)
 	if err != nil {
 		return err
 	}

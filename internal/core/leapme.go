@@ -58,6 +58,15 @@ type Options struct {
 	NoStandardize bool
 	// Seed drives weight init, shuffling, and negative sampling.
 	Seed int64
+	// Workers sets the parallelism of featurization and training. 0 (the
+	// default) keeps the legacy behaviour: featurization fans out over
+	// all CPUs (it is a pure map with an ordered merge, so the result is
+	// worker-count independent), while nn.Fit stays on the serial path
+	// that historical seeds reproduce. Any value ≥ 1 additionally
+	// switches training to the deterministic chunked gradient path, which
+	// is bit-identical across all worker counts (Workers=1 ≡ Workers=8).
+	// Negative means one worker per CPU.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -125,6 +134,7 @@ func NewMatcher(store *embedding.Store, opts Options) (*Matcher, error) {
 	}
 	ex := features.NewExtractor(store)
 	ex.MaxValues = opts.MaxValues
+	ex.Workers = opts.Workers
 	pairer, err := features.NewPairer(ex, opts.Features)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -160,7 +170,7 @@ func (m *Matcher) ComputeFeatures(ctx context.Context, d *dataset.Dataset) error
 	}
 	values := d.InstancesByProperty()
 	out := make([]*features.Prop, len(d.Props))
-	rep, err := guard.ForEach(ctx, 0, len(d.Props),
+	rep, err := guard.ForEach(ctx, m.opts.Workers, len(d.Props),
 		func(i int) string { return "featurize " + d.Props[i].Key().String() },
 		func(i int) error {
 			out[i] = m.ex.PropertyFeatures(d.Props[i].Name, values[d.Props[i].Key()])
@@ -260,6 +270,7 @@ func (m *Matcher) Train(ctx context.Context, pairs []LabeledPair) (float64, erro
 		Optimizer:   nn.NewAdam(),
 		WeightDecay: m.opts.WeightDecay,
 		Seed:        m.opts.Seed,
+		Workers:     m.opts.Workers,
 	}
 	loss, err := net.Fit(ctx, xs, ys, cfg)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"leapme/internal/baselines"
 	"leapme/internal/core"
@@ -21,6 +22,7 @@ import (
 	"leapme/internal/embedding"
 	"leapme/internal/features"
 	"leapme/internal/mathx"
+	"leapme/internal/parallel"
 )
 
 // PRF is a precision/recall/F1 triple.
@@ -153,8 +155,15 @@ type Harness struct {
 	// Options templates the LEAPME matcher; Features is overridden per
 	// evaluation.
 	Options core.Options
+	// Workers runs the repeated splits concurrently when > 1 (negative =
+	// one worker per CPU, 0/1 = the legacy serial loop). Each run derives
+	// its RNG from the master seed and the run index alone and results
+	// are collected in run order, so the reported Stats are bit-identical
+	// for every setting. Runs are panic-isolated via internal/guard.
+	Workers int
 	// OnRun, if non-nil, is called after each run with the run index and
-	// its metrics — for progress reporting in the CLI.
+	// its metrics — for progress reporting in the CLI. With Workers > 1
+	// the calls are serialised but may arrive out of run order.
 	OnRun func(run int, m PRF)
 	// Ctx, if non-nil, cancels the scenario loop: it is checked before
 	// each run and threaded into feature computation, training and
@@ -254,31 +263,28 @@ func (h *Harness) EvalLEAPMEStats(d *dataset.Dataset, fcfg features.Config, trai
 		return Stats{}, err
 	}
 
-	var ms []PRF
-	for run := 0; run < runs; run++ {
-		if err := ctx.Err(); err != nil {
-			return Stats{}, err
-		}
+	runOne := func(run int) (*PRF, error) {
 		rng := mathx.NewRand(h.Seed + int64(run)*7919)
 		sp, err := SplitSources(d.Sources, trainFrac, rng)
 		if err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		trainProps := d.PropsOfSources(sp.Train)
 		pairs := core.TrainingPairs(trainProps, h.negRatio(), rng)
 		if countPositives(pairs) == 0 {
-			continue // degenerate split: no positive training pairs
+			return nil, nil // degenerate split: no positive training pairs
 		}
-		opts.Seed = h.Seed + int64(run)
-		m, err := core.NewMatcher(h.Store, opts)
+		o := opts // per-run copy: the seed differs per run
+		o.Seed = h.Seed + int64(run)
+		m, err := core.NewMatcher(h.Store, o)
 		if err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		if err := m.AdoptFeatures(base); err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		if _, err := m.Train(ctx, pairs); err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		truth := testTruth(d.Props, sp.Train)
 		var pred []dataset.Pair
@@ -287,18 +293,78 @@ func (h *Harness) EvalLEAPMEStats(d *dataset.Dataset, fcfg features.Config, trai
 				pred = append(pred, dataset.Pair{A: sp.A, B: sp.B}.Canonical())
 			}
 		}); err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		prf := scorePairs(pred, truth)
-		ms = append(ms, prf)
-		if h.OnRun != nil {
-			h.OnRun(run, prf)
-		}
+		return &prf, nil
+	}
+	ms, err := h.collectRuns(ctx, runs, runOne)
+	if err != nil {
+		return Stats{}, err
 	}
 	if len(ms) == 0 {
 		return Stats{}, errors.New("eval: every split was degenerate (no training positives)")
 	}
 	return statsOf(ms), nil
+}
+
+// collectRuns executes runOne for every run index — serially in run order
+// when h.Workers ≤ 1, or on a worker pool otherwise — and returns the
+// non-degenerate metrics in run order either way, so Stats do not depend
+// on the worker count. Each run is responsible for deriving all of its
+// randomness from the run index. Parallel runs are panic-isolated: a
+// panicking run surfaces as an error after the pool drains rather than
+// tearing the process down.
+func (h *Harness) collectRuns(ctx context.Context, runs int, runOne func(run int) (*PRF, error)) ([]PRF, error) {
+	workers := parallel.Resolve(h.Workers)
+	if workers <= 1 {
+		var ms []PRF
+		for run := 0; run < runs; run++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			prf, err := runOne(run)
+			if err != nil {
+				return nil, err
+			}
+			if prf == nil {
+				continue
+			}
+			ms = append(ms, *prf)
+			if h.OnRun != nil {
+				h.OnRun(run, *prf)
+			}
+		}
+		return ms, nil
+	}
+	var mu sync.Mutex
+	res, rep, err := parallel.Map(ctx, workers, runs,
+		func(i int) string { return fmt.Sprintf("run %d", i) },
+		func(run int) (*PRF, error) {
+			prf, err := runOne(run)
+			if err != nil {
+				return nil, err
+			}
+			if prf != nil && h.OnRun != nil {
+				mu.Lock()
+				h.OnRun(run, *prf)
+				mu.Unlock()
+			}
+			return prf, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Failed() > 0 {
+		return nil, rep.Err()
+	}
+	var ms []PRF
+	for _, p := range res {
+		if p != nil {
+			ms = append(ms, *p)
+		}
+	}
+	return ms, nil
 }
 
 // EvalBaseline evaluates a baseline matcher under the paper's protocol.
@@ -318,15 +384,11 @@ func (h *Harness) EvalBaselineStats(d *dataset.Dataset, mk func() baselines.Matc
 	}
 	values := d.InstancesByProperty()
 	ctx := h.context()
-	var ms []PRF
-	for run := 0; run < runs; run++ {
-		if err := ctx.Err(); err != nil {
-			return Stats{}, err
-		}
+	runOne := func(run int) (*PRF, error) {
 		rng := mathx.NewRand(h.Seed + int64(run)*7919)
 		sp, err := SplitSources(d.Sources, trainFrac, rng)
 		if err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		matcher := mk()
 		if tr, ok := matcher.(baselines.Trainable); ok {
@@ -342,10 +404,10 @@ func (h *Harness) EvalBaselineStats(d *dataset.Dataset, mk func() baselines.Matc
 				}
 			}
 			if len(pos) == 0 {
-				continue
+				return nil, nil
 			}
 			if err := tr.Train(baselines.Input{Props: trainProps, Values: values}, pos, neg); err != nil {
-				return Stats{}, err
+				return nil, err
 			}
 		}
 		// Baselines see all properties; predictions are scored on the
@@ -353,7 +415,7 @@ func (h *Harness) EvalBaselineStats(d *dataset.Dataset, mk func() baselines.Matc
 		// mirroring the LEAPME protocol.
 		matches, err := matcher.Match(baselines.Input{Props: d.Props, Values: values})
 		if err != nil {
-			return Stats{}, err
+			return nil, err
 		}
 		var pred []dataset.Pair
 		for _, m := range matches {
@@ -364,10 +426,11 @@ func (h *Harness) EvalBaselineStats(d *dataset.Dataset, mk func() baselines.Matc
 			pred = append(pred, p)
 		}
 		prf := scorePairs(pred, testTruth(d.Props, sp.Train))
-		ms = append(ms, prf)
-		if h.OnRun != nil {
-			h.OnRun(run, prf)
-		}
+		return &prf, nil
+	}
+	ms, err := h.collectRuns(ctx, runs, runOne)
+	if err != nil {
+		return Stats{}, err
 	}
 	if len(ms) == 0 {
 		return Stats{}, errors.New("eval: every split was degenerate")

@@ -1,36 +1,11 @@
-// Package features implements Table I of the paper: the instance,
-// property and property-pair features LEAPME feeds its classifier.
-//
-// Instance features (per property value, rows 1–4):
-//
-//	row 1: fraction and count of 9 character types (uppercase letters,
-//	       lowercase letters, letters of either case, marks, numbers,
-//	       punctuation, symbols, separators, other)        → 18 features
-//	row 2: fraction and count of 5 token types (words, lowercase-initial
-//	       words, capitalized words, uppercase words, numeric strings)
-//	                                                        → 10 features
-//	row 3: the numeric value of the instance, −1 if not a number → 1
-//	row 4: the average embedding vector of the instance's words → D
-//
-// yielding 29 + D per instance (29 + 300 = 329 with the paper's GloVe
-// dimension, matching the paper's count).
-//
-// Property features (rows 5–6): the element-wise average of the property's
-// instance features (29 + D) plus the average embedding of the property
-// *name*'s words (D), for 29 + 2D per property.
-//
-// Property-pair features (rows 7–15): the absolute element-wise difference
-// of the two property vectors (29 + 2D) followed by eight string distances
-// between the property names (optimal string alignment, Levenshtein, full
-// Damerau–Levenshtein, longest common substring, 3-gram, cosine over
-// 3-gram profiles, Jaccard over 3-gram profiles, Jaro–Winkler). The edit
-// distances are normalised by max string length so all features share the
-// [0, 1] scale regardless of name length.
 package features
 
 import (
+	"context"
+
 	"leapme/internal/embedding"
 	"leapme/internal/mathx"
+	"leapme/internal/parallel"
 	"leapme/internal/text"
 )
 
@@ -47,6 +22,10 @@ type Extractor struct {
 	// (0 = no cap). The paper computes features for every instance; the
 	// cap exists for very large sources and is off by default.
 	MaxValues int
+	// Workers fans the per-value featurisation of PropertyFeatures across
+	// a worker pool when > 1 (negative = one per CPU, 0/1 = serial). The
+	// result is bit-identical for every setting — see the package doc.
+	Workers int
 }
 
 // NewExtractor returns an Extractor over the given embedding store.
@@ -188,16 +167,53 @@ func (e *Extractor) PropertyFeatures(name string, values []string) *Prop {
 	vec := make([]float64, e.PropertyDim())
 	instPart := vec[:e.InstanceDim()]
 	if len(values) > 0 {
-		tmp := make([]float64, e.InstanceDim())
-		for _, v := range values {
-			e.instanceFeaturesInto(tmp, v)
-			mathx.AddTo(instPart, instPart, tmp)
+		if w := parallel.Resolve(e.Workers); w > 1 && len(values) >= parValuesThreshold {
+			e.sumInstanceFeatures(instPart, values, w)
+		} else {
+			tmp := make([]float64, e.InstanceDim())
+			for _, v := range values {
+				e.instanceFeaturesInto(tmp, v)
+				mathx.AddTo(instPart, instPart, tmp)
+			}
 		}
 		mathx.ScaleTo(instPart, instPart, 1/float64(len(values)))
 	}
 	copy(vec[e.InstanceDim():], e.store.EncodePhrase(name))
 	norm := text.NormalizeName(name)
 	return &Prop{Name: name, Vec: vec, norm: norm, tri: text.TriGrams(norm)}
+}
+
+// parValuesThreshold is the minimum number of values before
+// PropertyFeatures bothers spinning up the worker pool; below it the
+// pool overhead dwarfs the work.
+const parValuesThreshold = 64
+
+// featureWindow bounds the scratch the parallel aggregation holds at
+// once: values are featurised in windows of this many vectors.
+const featureWindow = 256
+
+// sumInstanceFeatures adds every value's instance-feature vector into dst
+// using workers goroutines. Workers only compute vectors — a pure
+// per-value map; the summation folds them in value order on this
+// goroutine, so the bits match the serial loop exactly regardless of
+// worker count (the ordered merge of the package doc).
+func (e *Extractor) sumInstanceFeatures(dst []float64, values []string, workers int) {
+	dim := e.InstanceDim()
+	buf := make([]float64, featureWindow*dim)
+	for lo := 0; lo < len(values); lo += featureWindow {
+		hi := lo + featureWindow
+		if hi > len(values) {
+			hi = len(values)
+		}
+		n := hi - lo
+		parallel.ForEach(context.Background(), workers, n, nil, func(i int) error {
+			e.instanceFeaturesInto(buf[i*dim:(i+1)*dim], values[lo+i])
+			return nil
+		})
+		for i := 0; i < n; i++ {
+			mathx.AddTo(dst, dst, buf[i*dim:(i+1)*dim])
+		}
+	}
 }
 
 // PairDistances computes the eight name string distances (rows 8–15) into

@@ -1,0 +1,69 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"leapme/internal/embedding"
+)
+
+func parStore(t *testing.T) *embedding.Store {
+	t.Helper()
+	words := []string{"alpha", "beta", "gamma", "price", "name", "model"}
+	var vecs [][]float64
+	for i := range words {
+		vecs = append(vecs, []float64{float64(i) * 0.25, 1 - float64(i)*0.1, 0.5, -float64(i)})
+	}
+	s, err := embedding.NewStore(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPropertyFeaturesDeterminismAcrossWorkerCounts: the parallel
+// aggregation must be bit-identical to the serial loop for any worker
+// count — the ordered-merge guarantee of the package doc.
+func TestPropertyFeaturesDeterminismAcrossWorkerCounts(t *testing.T) {
+	store := parStore(t)
+	// Enough values to clear parValuesThreshold and span several windows.
+	var values []string
+	for i := 0; i < 3*featureWindow+17; i++ {
+		values = append(values, fmt.Sprintf("alpha beta %d gamma-%d price", i, i*31%97))
+	}
+	serial := NewExtractor(store)
+	ref := serial.PropertyFeatures("model name", values)
+	for _, w := range []int{2, 4, 8, -1} {
+		par := NewExtractor(store)
+		par.Workers = w
+		got := par.PropertyFeatures("model name", values)
+		if len(got.Vec) != len(ref.Vec) {
+			t.Fatalf("workers=%d: dim %d, want %d", w, len(got.Vec), len(ref.Vec))
+		}
+		for i := range ref.Vec {
+			if math.Float64bits(got.Vec[i]) != math.Float64bits(ref.Vec[i]) {
+				t.Fatalf("workers=%d: Vec[%d] = %x, want %x (bit mismatch)",
+					w, i, got.Vec[i], ref.Vec[i])
+			}
+		}
+	}
+}
+
+// TestPropertyFeaturesSmallInputStaysSerial: below the threshold the
+// worker pool must not engage (behaviour identical, and no goroutine
+// overhead for tiny properties).
+func TestPropertyFeaturesSmallInputStaysSerial(t *testing.T) {
+	store := parStore(t)
+	values := []string{"alpha", "beta 12", "gamma"}
+	serial := NewExtractor(store)
+	par := NewExtractor(store)
+	par.Workers = 8
+	a := serial.PropertyFeatures("price", values)
+	b := par.PropertyFeatures("price", values)
+	for i := range a.Vec {
+		if math.Float64bits(a.Vec[i]) != math.Float64bits(b.Vec[i]) {
+			t.Fatalf("Vec[%d] differs on small input", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"sync"
+
+	"leapme/internal/mathx"
+	"leapme/internal/parallel"
+)
+
+// Data-parallel mini-batch gradients.
+//
+// The batch is split into fixed-size chunks (gradChunkSize examples);
+// each chunk's gradients are accumulated serially, in example order, into
+// a private gradSlot, and the chunk partials are folded with a fixed
+// binary-tree reduction. Both the chunk structure and the reduction order
+// are pure functions of the batch size — the worker count only decides
+// how many chunks are in flight at once — so training with 1 worker and
+// with 8 produces bit-identical weights (the determinism gate in
+// parallel_test.go and `make test-determinism`).
+//
+// Note the grouping of floating-point additions differs from the legacy
+// serial loop (Workers == 0), which accumulates all examples into one
+// buffer; the two paths can therefore differ in the last ulps. Workers=0
+// is kept as the historical path; any Workers >= 1 is the deterministic
+// chunked path.
+
+// gradChunkSize is the number of examples accumulated serially into one
+// gradient slot. A constant — never derived from the worker count.
+const gradChunkSize = 8
+
+// gradSlot is one chunk's private forward/backward state: per-layer
+// scratch plus gradient accumulators. Slots let chunks run concurrently
+// against the shared network weights, which are read-only for the
+// duration of a batch.
+type gradSlot struct {
+	ins    [][]float64 // per-layer input copies
+	outs   [][]float64 // per-layer activations
+	deltas [][]float64 // per-layer dL/d(pre-activation)
+	gw     []*mathx.Matrix
+	gb     [][]float64
+	probs  []float64
+	loss   float64
+}
+
+func (n *Network) newGradSlot() *gradSlot {
+	s := &gradSlot{probs: make([]float64, n.OutDim())}
+	for _, l := range n.layers {
+		s.ins = append(s.ins, make([]float64, l.w.Cols))
+		s.outs = append(s.outs, make([]float64, l.w.Rows))
+		s.deltas = append(s.deltas, make([]float64, l.w.Rows))
+		s.gw = append(s.gw, mathx.NewMatrix(l.w.Rows, l.w.Cols))
+		s.gb = append(s.gb, make([]float64, l.w.Rows))
+	}
+	return s
+}
+
+func (s *gradSlot) zero() {
+	for i := range s.gw {
+		s.gw[i].Zero()
+		mathx.Zero(s.gb[i])
+	}
+	s.loss = 0
+}
+
+// merge folds src's gradient sums and loss into s.
+func (s *gradSlot) merge(src *gradSlot) {
+	for i := range s.gw {
+		s.gw[i].AddScaled(1, src.gw[i])
+		mathx.AddTo(s.gb[i], s.gb[i], src.gb[i])
+	}
+	s.loss += src.loss
+}
+
+// forwardSlot runs the network on x using the slot's scratch, mirroring
+// layer.forward operation for operation so per-example results are
+// bit-identical to the serial path.
+func (n *Network) forwardSlot(s *gradSlot, x []float64) []float64 {
+	h := x
+	for li, l := range n.layers {
+		copy(s.ins[li], h)
+		out := s.outs[li]
+		l.w.MulVec(out, h)
+		for i := range out {
+			out[i] = l.act.apply(out[i] + l.b[i])
+		}
+		h = out
+	}
+	return h
+}
+
+// backwardSlot accumulates one example's gradients into the slot given
+// the softmax probabilities in s.probs, returning the cross-entropy loss.
+// It mirrors Network.backward with the slot's buffers in place of the
+// layers' shared scratch.
+func (n *Network) backwardSlot(s *gradSlot, label int) float64 {
+	last := len(n.layers) - 1
+	for i := range s.deltas[last] {
+		s.deltas[last][i] = s.probs[i]
+		if i == label {
+			s.deltas[last][i] -= 1
+		}
+	}
+	for li := last; li > 0; li-- {
+		cur := n.layers[li]
+		s.gw[li].AddOuterTo(1, s.deltas[li], s.ins[li])
+		mathx.AddTo(s.gb[li], s.gb[li], s.deltas[li])
+		cur.w.MulVecT(s.deltas[li-1], s.deltas[li])
+		prevAct := n.layers[li-1].act
+		for i := range s.deltas[li-1] {
+			s.deltas[li-1][i] *= prevAct.derivFromOutput(s.outs[li-1][i])
+		}
+	}
+	s.gw[0].AddOuterTo(1, s.deltas[0], s.ins[0])
+	mathx.AddTo(s.gb[0], s.gb[0], s.deltas[0])
+
+	p := s.probs[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}
+
+// parTrainer owns the per-chunk gradient slots for one Fit run; slots are
+// allocated once and reused across batches.
+type parTrainer struct {
+	n       *Network
+	workers int
+	slots   []*gradSlot
+}
+
+func newParTrainer(n *Network, workers, batchSize int) *parTrainer {
+	numSlots := (batchSize + gradChunkSize - 1) / gradChunkSize
+	t := &parTrainer{n: n, workers: workers}
+	for i := 0; i < numSlots; i++ {
+		t.slots = append(t.slots, n.newGradSlot())
+	}
+	return t
+}
+
+// batchGrads computes the gradient sum of the examples idx (indices into
+// xs/ys) into the network's gradient buffers, which must be zeroed by the
+// caller, and returns the batch's summed loss. Chunks run on up to
+// t.workers goroutines; the merge is worker-count independent.
+func (t *parTrainer) batchGrads(xs [][]float64, ys []int, idx []int) float64 {
+	chunks := parallel.Chunks(len(idx), gradChunkSize)
+	workers := t.workers
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	run := func(ci int) {
+		c := chunks[ci]
+		s := t.slots[ci]
+		s.zero()
+		for _, ei := range idx[c.Lo:c.Hi] {
+			h := t.n.forwardSlot(s, xs[ei])
+			softmax(s.probs, h)
+			s.loss += t.n.backwardSlot(s, ys[ei])
+		}
+	}
+	if workers <= 1 {
+		for ci := range chunks {
+			run(ci)
+		}
+	} else {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range ch {
+					run(ci)
+				}
+			}()
+		}
+		for ci := range chunks {
+			ch <- ci
+		}
+		close(ch)
+		wg.Wait()
+	}
+	parallel.TreeReduce(len(chunks), func(dst, src int) { t.slots[dst].merge(t.slots[src]) })
+	s0 := t.slots[0]
+	for li, l := range t.n.layers {
+		l.gw.AddScaled(1, s0.gw[li])
+		mathx.AddTo(l.gb, l.gb, s0.gb[li])
+	}
+	return s0.loss
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"leapme/internal/mathx"
+	"leapme/internal/parallel"
 )
 
 // Phase is one stage of the learning-rate schedule.
@@ -38,6 +39,13 @@ type TrainConfig struct {
 	// OnEpoch, if non-nil, receives (epochIndex, meanLoss) after each
 	// epoch — useful for logging and learning curves.
 	OnEpoch func(epoch int, loss float64)
+	// Workers selects the gradient computation path. 0 (the default) is
+	// the legacy serial loop, preserved bit-for-bit so historical seeds
+	// keep reproducing. Any value ≥ 1 switches to the deterministic
+	// chunked path (see parallel.go), whose results are bit-identical
+	// across ALL worker counts — Workers=1 and Workers=8 train the exact
+	// same network. Negative means one worker per CPU.
+	Workers int
 
 	// MaxPhaseRetries bounds divergence recoveries per schedule phase
 	// (default 3). When an epoch produces a non-finite loss or the
@@ -127,6 +135,14 @@ func (n *Network) Fit(ctx context.Context, xs [][]float64, ys []int, cfg TrainCo
 		order[i] = i
 	}
 	probs := make([]float64, out)
+	workers := 0
+	if cfg.Workers != 0 {
+		workers = parallel.Resolve(cfg.Workers)
+	}
+	var pt *parTrainer
+	if workers > 0 {
+		pt = newParTrainer(n, workers, cfg.BatchSize)
+	}
 
 	var lastLoss float64
 	epoch := 0
@@ -148,13 +164,17 @@ func (n *Network) Fit(ctx context.Context, xs [][]float64, ys []int, cfg TrainCo
 					end = len(order)
 				}
 				n.zeroGrads()
-				for _, idx := range order[start:end] {
-					h := xs[idx]
-					for _, l := range n.layers {
-						h = l.forward(h)
+				if pt != nil {
+					epochLoss += pt.batchGrads(xs, ys, order[start:end])
+				} else {
+					for _, idx := range order[start:end] {
+						h := xs[idx]
+						for _, l := range n.layers {
+							h = l.forward(h)
+						}
+						softmax(probs, h)
+						epochLoss += n.backward(probs, ys[idx])
 					}
-					softmax(probs, h)
-					epochLoss += n.backward(probs, ys[idx])
 				}
 				n.scaleGrads(float64(end - start))
 				cfg.Optimizer.Step(n, lr)

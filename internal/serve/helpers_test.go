@@ -47,7 +47,7 @@ func trainModelBytes(store *embedding.Store, d *dataset.Dataset, seed int64) ([]
 	return buf.Bytes(), nil
 }
 
-func fixture(t *testing.T) {
+func fixture(t testing.TB) {
 	t.Helper()
 	fixOnce.Do(func() {
 		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
@@ -86,7 +86,7 @@ func fixture(t *testing.T) {
 }
 
 // writeModelFile writes model bytes into dir and returns the path.
-func writeModelFile(t *testing.T, dir, name string, data []byte) string {
+func writeModelFile(t testing.TB, dir, name string, data []byte) string {
 	t.Helper()
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, data, 0o644); err != nil {
@@ -98,7 +98,7 @@ func writeModelFile(t *testing.T, dir, name string, data []byte) string {
 // newTestServer builds a Server over a fresh temp copy of model A (named
 // "default") and registers cleanup. Returns the server and the model path
 // (so tests can overwrite it to simulate a new version landing on disk).
-func newTestServer(t *testing.T, mut func(*Config)) (*Server, string) {
+func newTestServer(t testing.TB, mut func(*Config)) (*Server, string) {
 	t.Helper()
 	fixture(t)
 	path := writeModelFile(t, t.TempDir(), "model.leapme", fixModelA)
@@ -119,7 +119,7 @@ func newTestServer(t *testing.T, mut func(*Config)) (*Server, string) {
 
 // somePairs returns up to n cross-source (name, values) pairs from the
 // fixture dataset, as wire-level pairSpecs.
-func somePairs(t *testing.T, n int) []pairSpec {
+func somePairs(t testing.TB, n int) []pairSpec {
 	t.Helper()
 	fixture(t)
 	values := fixData.InstancesByProperty()

@@ -31,6 +31,7 @@ import (
 	"leapme/internal/embedding"
 	"leapme/internal/features"
 	"leapme/internal/nn"
+	"leapme/internal/parallel"
 )
 
 // Options configures the labeler.
@@ -45,6 +46,11 @@ type Options struct {
 	MaxValues int
 	// Seed drives initialisation and shuffling.
 	Seed int64
+	// Workers parallelises featurization, training and labeling. The
+	// semantics follow core.Options.Workers: 0 keeps the legacy serial
+	// training path, ≥ 1 uses the deterministic chunked path (results
+	// bit-identical across worker counts), negative means one per CPU.
+	Workers int
 }
 
 // DefaultOptions returns sensible defaults.
@@ -87,6 +93,7 @@ func New(store *embedding.Store, classes []string, opts Options) (*Labeler, erro
 	}
 	ex := features.NewExtractor(store)
 	ex.MaxValues = opts.MaxValues
+	ex.Workers = opts.Workers
 	l := &Labeler{
 		opts:    opts,
 		ex:      ex,
@@ -114,13 +121,18 @@ type slot struct {
 // of d that has at least one instance value. Property *names* are
 // deliberately not used: TAPON labels slots whose names are unreliable or
 // machine-generated (the scenario the paper cites it for).
-func (l *Labeler) baseFeatures(d *dataset.Dataset, labeled bool) ([]slot, []dataset.Key, error) {
+//
+// Candidate properties are featurized on a worker pool (Options.Workers)
+// with results merged in property order, so the slot list is identical
+// for every worker count.
+func (l *Labeler) baseFeatures(ctx context.Context, d *dataset.Dataset, labeled bool) ([]slot, []dataset.Key, error) {
 	values := d.InstancesByProperty()
-	var slots []slot
-	var keys []dataset.Key
-	for _, p := range d.Props {
-		vals := values[p.Key()]
-		if len(vals) == 0 {
+	// Select candidates first so the parallel stage is a pure map over a
+	// fixed index set.
+	var cand []int
+	var labels []int
+	for i, p := range d.Props {
+		if len(values[p.Key()]) == 0 {
 			continue
 		}
 		lbl := -1
@@ -131,12 +143,30 @@ func (l *Labeler) baseFeatures(d *dataset.Dataset, labeled bool) ([]slot, []data
 			}
 			lbl = id
 		}
-		prop := l.ex.PropertyFeatures(p.Name, vals)
-		// Use only the instance block (rows 1–4 aggregated); the name
-		// embedding block is dropped.
-		base := append([]float64(nil), prop.Vec[:l.ex.InstanceDim()]...)
-		slots = append(slots, slot{source: p.Source, base: base, label: lbl})
-		keys = append(keys, p.Key())
+		cand = append(cand, i)
+		labels = append(labels, lbl)
+	}
+	bases, rep, err := parallel.Map(ctx, parallel.Resolve(l.opts.Workers), len(cand),
+		func(i int) string { return "featurize " + d.Props[cand[i]].Key().String() },
+		func(i int) ([]float64, error) {
+			p := d.Props[cand[i]]
+			prop := l.ex.PropertyFeatures(p.Name, values[p.Key()])
+			// Use only the instance block (rows 1–4 aggregated); the name
+			// embedding block is dropped.
+			return append([]float64(nil), prop.Vec[:l.ex.InstanceDim()]...), nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep.Failed() > 0 {
+		return nil, nil, rep.Err()
+	}
+	slots := make([]slot, len(cand))
+	keys := make([]dataset.Key, len(cand))
+	for i, pi := range cand {
+		p := d.Props[pi]
+		slots[i] = slot{source: p.Source, base: bases[i], label: labels[i]}
+		keys[i] = p.Key()
 	}
 	return slots, keys, nil
 }
@@ -182,7 +212,7 @@ func (l *Labeler) hints(slots []slot, probs [][]float64) [][]float64 {
 // is one of the labeler's classes and that carry instance values). ctx
 // cancels training between mini-batches; nil means context.Background().
 func (l *Labeler) Train(ctx context.Context, d *dataset.Dataset) error {
-	slots, _, err := l.baseFeatures(d, true)
+	slots, _, err := l.baseFeatures(ctx, d, true)
 	if err != nil {
 		return err
 	}
@@ -208,7 +238,7 @@ func (l *Labeler) Train(ctx context.Context, d *dataset.Dataset) error {
 	}
 	cfg := nn.TrainConfig{
 		Schedule: l.opts.Schedule, BatchSize: l.opts.BatchSize,
-		Optimizer: nn.NewAdam(), Seed: l.opts.Seed,
+		Optimizer: nn.NewAdam(), Seed: l.opts.Seed, Workers: l.opts.Workers,
 	}
 	if _, err := net1.Fit(ctx, xs1, ys, cfg); err != nil {
 		return fmt.Errorf("tapon: phase 1: %w", err)
@@ -216,13 +246,9 @@ func (l *Labeler) Train(ctx context.Context, d *dataset.Dataset) error {
 	l.phase1 = net1
 
 	// Phase-1 probabilities on the training slots feed phase-2 hints.
-	probs := make([][]float64, len(slots))
-	for i, s := range slots {
-		p, err := net1.Forward(s.base)
-		if err != nil {
-			return err
-		}
-		probs[i] = p
+	probs, err := l.forwardAll(ctx, net1, slots, nil)
+	if err != nil {
+		return err
 	}
 	hints := l.hints(slots, probs)
 	xs2 := make([][]float64, len(slots))
@@ -259,35 +285,88 @@ type Prediction struct {
 	Phase1Label string
 }
 
-// Label classifies every property of d that has instance values.
-func (l *Labeler) Label(d *dataset.Dataset) ([]Prediction, error) {
+// forwardChunkSize is how many slots one worker scores per network clone
+// during parallel forward passes.
+const forwardChunkSize = 64
+
+// forwardAll runs net on every slot input (xs[i] when xs is non-nil,
+// otherwise slots[i].base) and returns the probability vectors in slot
+// order. With Workers > 1, chunks of slots are scored concurrently, each
+// chunk against its own clone of the network (forward scratch is
+// per-network); Forward is a pure function of the weights, so the output
+// is bit-identical to the serial loop for every worker count.
+func (l *Labeler) forwardAll(ctx context.Context, net *nn.Network, slots []slot, xs [][]float64) ([][]float64, error) {
+	input := func(i int) []float64 {
+		if xs != nil {
+			return xs[i]
+		}
+		return slots[i].base
+	}
+	probs := make([][]float64, len(slots))
+	workers := parallel.Resolve(l.opts.Workers)
+	if workers <= 1 {
+		for i := range probs {
+			p, err := net.Forward(input(i))
+			if err != nil {
+				return nil, err
+			}
+			probs[i] = p
+		}
+		return probs, nil
+	}
+	chunks := parallel.Chunks(len(probs), forwardChunkSize)
+	rep, err := parallel.ForEach(ctx, workers, len(chunks), nil, func(ci int) error {
+		clone := net.Clone()
+		for i := chunks[ci].Lo; i < chunks[ci].Hi; i++ {
+			p, err := clone.Forward(input(i))
+			if err != nil {
+				return err
+			}
+			probs[i] = p
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Failed() > 0 {
+		return nil, rep.Err()
+	}
+	return probs, nil
+}
+
+// Label classifies every property of d that has instance values. ctx
+// cancels featurization and scoring; nil means context.Background().
+func (l *Labeler) Label(ctx context.Context, d *dataset.Dataset) ([]Prediction, error) {
 	if !l.Trained() {
 		return nil, errors.New("tapon: labeler is not trained")
 	}
-	slots, keys, err := l.baseFeatures(d, false)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	slots, keys, err := l.baseFeatures(ctx, d, false)
 	if err != nil {
 		return nil, err
 	}
 	for i := range slots {
 		l.standardize(slots[i].base)
 	}
-	probs := make([][]float64, len(slots))
-	for i, s := range slots {
-		p, err := l.phase1.Forward(s.base)
-		if err != nil {
-			return nil, err
-		}
-		probs[i] = p
+	probs, err := l.forwardAll(ctx, l.phase1, slots, nil)
+	if err != nil {
+		return nil, err
 	}
 	hints := l.hints(slots, probs)
-	out := make([]Prediction, len(slots))
+	xs2 := make([][]float64, len(slots))
 	for i, s := range slots {
-		x := append(append([]float64(nil), s.base...), hints[i]...)
-		p2, err := l.phase2.Forward(x)
-		if err != nil {
-			return nil, err
-		}
-		best, conf := argmax(p2)
+		xs2[i] = append(append([]float64(nil), s.base...), hints[i]...)
+	}
+	p2s, err := l.forwardAll(ctx, l.phase2, slots, xs2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, len(slots))
+	for i := range slots {
+		best, conf := argmax(p2s[i])
 		p1best, _ := argmax(probs[i])
 		out[i] = Prediction{
 			Key:         keys[i],

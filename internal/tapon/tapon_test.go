@@ -70,7 +70,7 @@ func TestLabelBeforeTrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Label(genData(t, 1, 3)); err == nil {
+	if _, err := l.Label(nil, genData(t, 1, 3)); err == nil {
 		t.Error("Label before Train accepted")
 	}
 }
@@ -98,7 +98,7 @@ func TestSemanticLabelling(t *testing.T) {
 	if err := l.Train(context.Background(), train); err != nil {
 		t.Fatal(err)
 	}
-	preds, err := l.Label(test)
+	preds, err := l.Label(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestPredictionsHaveConfidence(t *testing.T) {
 	if err := l.Train(context.Background(), d); err != nil {
 		t.Fatal(err)
 	}
-	preds, err := l.Label(d)
+	preds, err := l.Label(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
