@@ -5,9 +5,15 @@ PACKAGES := ./...
 # determinism suites under different scheduler conditions.
 DETERMINISM_PACKAGES := ./internal/nn ./internal/features ./internal/core ./internal/eval ./internal/tapon
 
-.PHONY: all build test vet test-race test-determinism fuzz bench-json clean
+# External analyzers run by lint-ext. Pinned here (not in go.mod: the
+# repo builds offline, and `go run pkg@version` resolves these only on
+# machines/CI with network access). Bump deliberately.
+STATICCHECK_VERSION := 2025.1
+GOVULNCHECK_VERSION := v1.1.4
 
-all: build vet test
+.PHONY: all build test vet lint lint-ext test-race test-determinism fuzz bench-json clean
+
+all: build vet lint test
 
 build:
 	$(GO) build $(PACKAGES)
@@ -17,6 +23,19 @@ test:
 
 vet:
 	$(GO) vet $(PACKAGES)
+
+# The repository's own invariants, machine-enforced: determinism,
+# guard isolation, ctx cancellation, float comparison, feature layout.
+# See internal/analysis/doc.go for the catalogue and the
+# //lint:allow <analyzer> <reason> suppression syntax.
+lint:
+	$(GO) run ./cmd/leapme-lint $(PACKAGES)
+
+# General-purpose external analyzers; needs network to fetch the pinned
+# tools, so it is a separate CI job rather than part of `make all`.
+lint-ext:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) $(PACKAGES)
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) $(PACKAGES)
 
 test-race:
 	$(GO) test -race $(PACKAGES)

@@ -1,0 +1,96 @@
+// Command leapme-lint is the repository's multichecker: it runs the
+// domain-specific analyzers in internal/analysis over the given package
+// patterns and exits non-zero when any invariant is violated.
+//
+//	leapme-lint ./...          # what `make lint` runs
+//	leapme-lint -list          # show the analyzers and their invariants
+//	leapme-lint -only determinism,guardgo ./internal/nn
+//
+// Findings print as file:line:col: message (analyzer). A finding is
+// suppressed by an inline annotation on the offending line (or the line
+// above):
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; malformed or unknown-analyzer annotations
+// are themselves findings. See internal/analysis for the catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leapme/internal/analysis"
+	"leapme/internal/analysis/lintkit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("leapme-lint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Parse(args)
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		sel := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			sel[strings.TrimSpace(name)] = true
+		}
+		var kept []*lintkit.Analyzer
+		for _, a := range analyzers {
+			if sel[a.Name] {
+				kept = append(kept, a)
+				delete(sel, a.Name)
+			}
+		}
+		for name := range sel {
+			fmt.Fprintf(stderr, "leapme-lint: unknown analyzer %q (try -list)\n", name)
+			return 2
+		}
+		analyzers = kept
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lintkit.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "leapme-lint: %v\n", err)
+		return 2
+	}
+	findings, err := lintkit.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "leapme-lint: %v\n", err)
+		return 2
+	}
+	wd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Position
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s: %s (%s)\n", pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "leapme-lint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -28,10 +28,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"leapme/internal/cli"
+	"leapme/internal/guard"
 	"leapme/internal/serve"
 )
 
@@ -91,11 +93,17 @@ func run(args []string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	// Background goroutines run under guard so a panic in either lands
+	// in the report (logged at shutdown) instead of killing the server
+	// with an unattributed stack.
+	bg := guard.NewReport()
+	var bgWG sync.WaitGroup
+
 	// SIGHUP hot-reloads every model file; load failures keep the old
 	// version serving.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
-	go func() {
+	guard.Go(&bgWG, bg, "sighup-reload", func() error {
 		for range hup {
 			if err := s.Reload(); err != nil {
 				fmt.Fprintf(os.Stderr, "leapme-serve: reload: %v\n", err)
@@ -103,17 +111,19 @@ func run(args []string) error {
 				fmt.Fprintln(os.Stderr, "leapme-serve: models reloaded")
 			}
 		}
-	}()
+		return nil
+	})
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
 	errc := make(chan error, 1)
-	go func() {
+	guard.Go(&bgWG, bg, "http-listen", func() error {
 		fmt.Fprintf(os.Stderr, "leapme-serve: listening on %s\n", *addr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
-	}()
+		return nil
+	})
 
 	select {
 	case err := <-errc:
@@ -129,6 +139,9 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "leapme-serve: forced shutdown: %v\n", err)
 	}
 	s.Close()
+	if bg.Failed() > 0 {
+		fmt.Fprintf(os.Stderr, "leapme-serve: background goroutines: %s\n", bg)
+	}
 	// cli.Exit maps context.Canceled to exit code 130, the conventional
 	// "terminated by signal" status.
 	return context.Canceled

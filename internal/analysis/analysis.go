@@ -1,0 +1,21 @@
+package analysis
+
+import (
+	"leapme/internal/analysis/ctxflow"
+	"leapme/internal/analysis/determinism"
+	"leapme/internal/analysis/featdim"
+	"leapme/internal/analysis/floateq"
+	"leapme/internal/analysis/guardgo"
+	"leapme/internal/analysis/lintkit"
+)
+
+// All returns every analyzer leapme-lint runs, in report order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		featdim.Analyzer,
+		floateq.Analyzer,
+		guardgo.Analyzer,
+	}
+}

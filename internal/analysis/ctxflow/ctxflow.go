@@ -1,0 +1,213 @@
+// Package ctxflow enforces the cancellation discipline PR 1 threaded
+// through the pipeline: long-running work must stay stoppable.
+//
+// Three rules:
+//
+//  1. A function that names a context.Context parameter must consult a
+//     context somewhere in its body — ctx.Done()/ctx.Err(), a select
+//     case, or forwarding ctx to a callee. A dead ctx parameter is how
+//     cancellation support silently rots: callers believe the work is
+//     stoppable, the function never looks. (Discarding ctx explicitly
+//     with `_ context.Context` stays legal: the signature says so.)
+//
+//  2. Inside a ctx-holding function, a loop that can block or spin
+//     forever — `for { … }` with no condition, a loop doing channel
+//     sends/receives, or ranging over a channel — must consult a
+//     context inside the loop. These are exactly the "select-less
+//     loops" that turn Ctrl-C and HTTP client disconnects into hung
+//     workers. Bounded data loops (validation, aggregation) are not
+//     flagged: their cancellation point is the enclosing pipeline
+//     stage.
+//
+//  3. context.Background()/context.TODO() must not be minted inside a
+//     loop, nor anywhere in an exported function that does not take a
+//     ctx itself: both detach the work from its caller's cancellation.
+//     True roots (main, signal wiring) annotate //lint:allow ctxflow.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"leapme/internal/analysis/lintkit"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "ctxflow",
+	Doc: "named ctx parameters must be consulted; unbounded/channel loops in ctx functions " +
+		"must check ctx; Background/TODO must not be minted in loops or exported non-ctx functions",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	named, hasCtx := ctxParam(pass, fd)
+
+	// Rule 1: a named ctx that the body never consults.
+	if named && !consultsContext(pass, fd.Body) {
+		pass.Reportf(fd.Name.Pos(), "%s takes a context.Context but never consults or forwards it; "+
+			"cancellation silently stops here (use _ context.Context to discard deliberately)", fd.Name.Name)
+	}
+
+	// Rule 2: unbounded loops in ctx-holding functions. Loops inside
+	// nested func literals belong to the literal's own lifecycle
+	// (typically a guarded goroutine) and are skipped.
+	if hasCtx {
+		inspectOutsideFuncLits(fd.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if (n.Cond == nil || loopHasChannelOp(pass, n.Body)) && !consultsContext(pass, n) {
+					pass.Reportf(n.Pos(), "unbounded loop ignores the function's ctx: add a ctx.Done() "+
+						"select case or a ctx.Err() check so cancellation can stop it")
+				}
+			case *ast.RangeStmt:
+				if (rangesOverChannel(pass, n) || loopHasChannelOp(pass, n.Body)) && !consultsContext(pass, n) {
+					pass.Reportf(n.Pos(), "channel loop ignores the function's ctx: add a ctx.Done() "+
+						"select case so cancellation can stop it")
+				}
+			}
+		})
+	}
+
+	// Rule 3: minted root contexts.
+	exported := fd.Name.IsExported()
+	var loops []ast.Node
+	inspectOutsideFuncLits(fd.Body, func(n ast.Node) {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pass.QualifiedCallee(call.Fun)
+		if !ok || path != "context" || (name != "Background" && name != "TODO") {
+			return true
+		}
+		inLoop := false
+		for _, lp := range loops {
+			if call.Pos() >= lp.Pos() && call.Pos() < lp.End() {
+				inLoop = true
+				break
+			}
+		}
+		switch {
+		case inLoop:
+			pass.Reportf(call.Pos(), "context.%s() minted inside a loop detaches every iteration from caller "+
+				"cancellation; hoist it or accept a ctx (annotate //lint:allow ctxflow <reason> for true roots)", name)
+		case exported && !hasCtx:
+			pass.Reportf(call.Pos(), "context.%s() in exported %s, which takes no ctx: callers cannot cancel "+
+				"this work; accept a ctx and pass it through (annotate //lint:allow ctxflow <reason> for true roots)", name, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// ctxParam reports whether fd has a context.Context parameter, and
+// whether that parameter is named (bindable, hence consultable).
+func ctxParam(pass *lintkit.Pass, fd *ast.FuncDecl) (named, has bool) {
+	if fd.Type.Params == nil {
+		return false, false
+	}
+	for _, field := range fd.Type.Params.List {
+		if !lintkit.IsContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		has = true
+		for _, nm := range field.Names {
+			if nm.Name != "_" {
+				named = true
+			}
+		}
+	}
+	return named, has
+}
+
+// inspectOutsideFuncLits walks n depth-first but does not descend into
+// function literals.
+func inspectOutsideFuncLits(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}
+
+// consultsContext reports whether any identifier of type context.Context
+// is used under n — covering ctx.Done()/ctx.Err() checks, select cases,
+// and passing ctx to a callee (which owns cancellation from there).
+func consultsContext(pass *lintkit.Pass, n ast.Node) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if lintkit.IsContextType(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasChannelOp reports whether the loop body performs a channel
+// send or receive outside nested function literals.
+func loopHasChannelOp(pass *lintkit.Pass, body ast.Node) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	inspectOutsideFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func rangesOverChannel(pass *lintkit.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"leapme/internal/analysis/ctxflow"
+	"leapme/internal/analysis/lintkit/lintest"
+)
+
+func TestPositiveFixtures(t *testing.T) {
+	lintest.Run(t, ctxflow.Analyzer, "testdata/pos", "leapme/internal/core")
+}
+
+func TestNegativeFixtures(t *testing.T) {
+	lintest.Run(t, ctxflow.Analyzer, "testdata/neg", "leapme/internal/core")
+}

@@ -1,0 +1,40 @@
+// Negative ctxflow fixtures: cancellation-correct code that must stay
+// silent.
+package fixture
+
+import "context"
+
+func pump(ctx context.Context, in <-chan int, out chan<- int) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case v, ok := <-in:
+			if !ok {
+				return nil
+			}
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+func aggregate(ctx context.Context, xs []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum, nil
+}
+
+// Exported and ctx-less, so rule 3 would fire — the annotation
+// documents the root and suppresses it.
+//
+//lint:allow ctxflow fixture process root: the one place a context is minted
+func AnnotatedRoot() context.Context { return context.Background() }

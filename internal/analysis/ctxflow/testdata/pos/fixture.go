@@ -1,0 +1,81 @@
+// Positive ctxflow fixtures. Each rule has a violating form (want) and
+// a sanctioned form that must stay silent.
+package fixture
+
+import "context"
+
+// Rule 1: a named ctx parameter the body never consults.
+func deadParam(ctx context.Context, n int) int { // want `deadParam takes a context\.Context but never consults`
+	return n * 2
+}
+
+// Discarding explicitly with _ says so in the signature: legal.
+func discards(_ context.Context, n int) int { return n }
+
+// Forwarding ctx to a callee counts as consulting it.
+func forwards(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func work(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// Rule 2: unbounded and channel loops in ctx-holding functions.
+func spinner(ctx context.Context, ch chan int) {
+	_ = ctx.Err() // rule 1 satisfied; the loop below still ignores ctx
+	for {         // want `unbounded loop ignores the function's ctx`
+		<-ch
+	}
+}
+
+func drain(ctx context.Context, ch chan int) int {
+	_ = ctx.Err()
+	total := 0
+	for v := range ch { // want `channel loop ignores the function's ctx`
+		total += v
+	}
+	return total
+}
+
+// The sanctioned shape: select on ctx.Done inside the loop.
+func polite(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// Bounded data loops are not flagged: cancellation lives at the
+// enclosing pipeline stage.
+func bounded(ctx context.Context, xs []int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum, nil
+}
+
+// Rule 3: minted root contexts.
+func mintsInLoop(ids []int, f func(context.Context, int)) {
+	for _, id := range ids {
+		f(context.Background(), id) // want `context\.Background\(\) minted inside a loop`
+	}
+}
+
+func Detached(n int) error { // exported, takes no ctx
+	return work(context.Background(), n) // want `context\.Background\(\) in exported Detached`
+}
+
+// Unexported, outside a loop: a process-root idiom, legal.
+func root(n int) error {
+	return work(context.Background(), n)
+}

@@ -1,0 +1,23 @@
+// Negative determinism fixtures: the same constructs are legal outside
+// the deterministic packages (this directory is analyzed under a
+// non-deterministic import path), so nothing here may be reported.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocksElsewhere() time.Duration {
+	start := time.Now() // serving code may read the clock freely
+	_ = rand.Intn(10)
+	return time.Since(start)
+}
+
+func mapSumElsewhere(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

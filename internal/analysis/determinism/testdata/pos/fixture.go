@@ -1,0 +1,59 @@
+// Positive determinism fixtures: every want line must be reported when
+// this package is analyzed under a deterministic import path.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func clocks() time.Time {
+	t := time.Now()           // want `time\.Now reads the wall clock`
+	_ = time.Since(t)         // want `time\.Since reads the wall clock`
+	_ = time.After(time.Hour) // want `time\.After reads the wall clock`
+	time.Sleep(0)             // Sleep delays but never changes a value: legal.
+	return t
+}
+
+func globalRand() float64 {
+	_ = rand.Intn(10)                  // want `global rand source`
+	_ = randv2.IntN(10)                // want `global rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand source`
+
+	// Seeded sources are the sanctioned pattern.
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Intn(10)
+	pcg := randv2.New(randv2.NewPCG(1, 2))
+	_ = pcg.IntN(10)
+
+	//lint:allow determinism demonstration that suppression works in fixtures
+	return rand.Float64()
+}
+
+func mapAccumulation(m map[string]float64) ([]string, float64) {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation over map iteration order`
+	}
+
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `append of a map \*value\*`
+	}
+	_ = vals
+
+	// Collect-keys-then-sort is the sanctioned pattern and stays legal.
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+
+	// Counting is order-insensitive: integer addition commutes exactly.
+	n := 0
+	for range m {
+		n++
+	}
+	_ = n
+	return keys, sum
+}

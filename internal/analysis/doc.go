@@ -1,0 +1,68 @@
+// Package analysis is the catalogue of leapme's domain-specific static
+// analyzers, run by cmd/leapme-lint (`make lint`, and the "Lint
+// (leapme-lint)" CI step). Each analyzer turns one of the repository's
+// documented runtime invariants into a compile-time check:
+//
+//	determinism  wall-clock reads, the global math/rand source and
+//	             map-iteration-order accumulation are forbidden inside
+//	             the packages behind the -workers reproducibility
+//	             guarantee (nn, features, eval, tapon, core, parallel).
+//	             Seeded *rand.Rand values (mathx.NewRand,
+//	             parallel.SeedStream) and the collect-keys-then-sort
+//	             map pattern stay legal.
+//	guardgo      goroutine launches must route through internal/guard
+//	             (guard.Go / guard.ForEach) so panics land in a
+//	             guard.Report instead of killing the process.
+//	ctxflow      a named context.Context parameter must be consulted;
+//	             unbounded or channel loops in ctx-holding functions
+//	             must check ctx; context.Background()/TODO() must not
+//	             be minted in loops or in exported functions that take
+//	             no ctx.
+//	floateq      == and != on floating-point expressions are flagged;
+//	             compare through mathx.AlmostEqual, use math.IsNaN, or
+//	             document exactness at the comparison site. Integral
+//	             constants (x == 0, n != -1) and the x != x NaN probe
+//	             are exempt.
+//	featdim      the Table I feature layout: internal/features must
+//	             declare MetaDim=29 and NumPairDistances=8, and the
+//	             derived sizes 29/329/629/637 may not appear as naked
+//	             literals in sizing positions anywhere else — use
+//	             features.MetaDim and the Extractor/Pairer dimension
+//	             methods.
+//
+// # Suppressing a finding
+//
+// A finding is suppressed by an annotation on the offending line, or on
+// the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory and should say why the invariant holds anyway
+// (e.g. "sort tie-break must be an exact total order"). A missing
+// reason, or a directive naming an unknown analyzer, is itself reported
+// under the pseudo-analyzer "lintdirective" and fails the gate — stale
+// suppressions cannot accumulate silently. Type-check errors are
+// likewise surfaced as "typecheck" findings.
+//
+// # Adding an analyzer
+//
+// 1. Create internal/analysis/<name>/<name>.go declaring a
+// *lintkit.Analyzer with a Name (the //lint:allow token), a one-line
+// Doc, and a Run func. Walk files with pass.Inspect/InspectStack and
+// report with pass.Reportf. If the check is package-scoped, expose the
+// scope as a package-level var so fixtures can retarget it.
+//
+// 2. Add fixtures under internal/analysis/<name>/testdata/ and a test
+// calling lintest.Run. Lines that must trigger carry a trailing
+// "// want `regexp`" comment; every other line must stay silent.
+//
+// 3. Register the analyzer in All() below, then run `make lint` on the
+// whole tree and triage: fix real violations, annotate intentional ones
+// with a reason, and only then merge — the gate must stay green.
+//
+// The framework (loader, suppressor, runner, fixture harness) lives in
+// internal/analysis/lintkit. It is a deliberately small, stdlib-only
+// mimic of golang.org/x/tools/go/analysis: the build is offline, so the
+// x/tools module is unavailable; the analyzer surface (Pass, Reportf,
+// Inspect) matches closely enough that a future migration is mechanical.
+package analysis

@@ -1,0 +1,214 @@
+// Package featdim pins the Table I feature layout so train and serve
+// cannot silently disagree about vector shapes.
+//
+// The layout contract (internal/features/doc.go) is mirrored here as
+// machine-readable numbers: 29 meta features per instance (18 character
+// + 10 token + 1 numeric), 8 pair name distances, and the paper's
+// D = 300 GloVe dimension giving the well-known derived sizes
+// 329 = 29+300 (instance), 629 = 29+2·300 (property) and
+// 637 = 29+2·300+8 (pair). Two checks follow:
+//
+//  1. Inside leapme/internal/features the declared constants (MetaDim,
+//     NumPairDistances) must equal the mirror. Changing the layout then
+//     requires touching doc.go, the constants AND this analyzer in one
+//     reviewed commit — a conscious migration, never drift.
+//
+//  2. Everywhere else the derived sizes may not appear as naked integer
+//     literals in sizing positions (make() arguments, array lengths,
+//     len() comparisons, *Dim struct fields or consts): a hardcoded 329
+//     keeps compiling when the layout moves and desyncs whatever wrote
+//     it. Use features.MetaDim and the Extractor/Pairer dimension
+//     methods, which a model file's descriptor is validated against at
+//     load time.
+package featdim
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"leapme/internal/analysis/lintkit"
+)
+
+// Documented layout, mirrored from internal/features/doc.go (Table I of
+// the paper).
+const (
+	docMetaFeatures   = 18 + 10 + 1 // char-class, token-class, numeric rows
+	docPairDistances  = 8           // property-name string distances
+	docPaperEmbedding = 300         // GloVe dimension used throughout the paper
+)
+
+// FeaturesPath is the package whose constants carry the layout. Var so
+// fixture tests can retarget it.
+var FeaturesPath = "leapme/internal/features"
+
+// selfPathPrefix exempts the analysis tree itself: its layout mirror is
+// the reference the rest of the repo is checked against.
+const selfPathPrefix = "leapme/internal/analysis"
+
+// magicSizes are the derived dimensions that must never be hardcoded.
+var magicSizes = map[int64]string{
+	docMetaFeatures:                                          "features.MetaDim",
+	docMetaFeatures + docPaperEmbedding:                      "Extractor.InstanceDim()",
+	docMetaFeatures + 2*docPaperEmbedding:                    "Extractor.PropertyDim()",
+	docMetaFeatures + 2*docPaperEmbedding + docPairDistances: "Pairer.Dim()",
+}
+
+// layoutConsts are the constants the features package must declare,
+// with their documented values.
+var layoutConsts = map[string]int64{
+	"MetaDim":          docMetaFeatures,
+	"NumPairDistances": docPairDistances,
+}
+
+// Analyzer is the featdim check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "featdim",
+	Doc: "feature-vector sizes must come from the named layout constants/methods; " +
+		"verifies internal/features constants against the documented Table I layout " +
+		"and flags hardcoded derived dimensions (29/329/629/637) in sizing positions",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	if pass.Pkg == nil {
+		return nil, nil
+	}
+	path := pass.Pkg.Path()
+	if strings.HasPrefix(path, selfPathPrefix) {
+		return nil, nil
+	}
+	if path == FeaturesPath {
+		checkLayoutConstants(pass)
+	}
+	checkMagicLiterals(pass)
+	return nil, nil
+}
+
+// checkLayoutConstants verifies the features package still declares the
+// documented layout.
+func checkLayoutConstants(pass *lintkit.Pass) {
+	found := make(map[string]bool)
+	for id, obj := range pass.TypesInfo.Defs {
+		c, ok := obj.(*types.Const)
+		if !ok || c.Parent() != pass.Pkg.Scope() {
+			continue
+		}
+		want, tracked := layoutConsts[id.Name]
+		if !tracked {
+			continue
+		}
+		found[id.Name] = true
+		got, exact := constInt(c)
+		if !exact || got != want {
+			pass.Reportf(id.Pos(), "%s = %s disagrees with the documented Table I layout (%d); "+
+				"update internal/features/doc.go and internal/analysis/featdim together if the layout really changed",
+				id.Name, c.Val().String(), want)
+		}
+	}
+	for name, want := range layoutConsts {
+		if !found[name] {
+			pass.Reportf(pass.Files[0].Pos(), "layout constant %s (= %d) is missing from %s; "+
+				"the documented Table I layout requires it", name, want, FeaturesPath)
+		}
+	}
+}
+
+func constInt(c *types.Const) (int64, bool) {
+	v := c.Val()
+	if v == nil {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(v.String(), 10, 64)
+	return n, err == nil
+}
+
+// checkMagicLiterals flags derived dimensions written as naked literals
+// in sizing positions.
+func checkMagicLiterals(pass *lintkit.Pass) {
+	pass.InspectStack(func(n ast.Node, stack []ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.INT {
+			return true
+		}
+		v, err := strconv.ParseInt(lit.Value, 0, 64)
+		if err != nil {
+			return true
+		}
+		name, magic := magicSizes[v]
+		if !magic {
+			return true
+		}
+		if ctx := sizingContext(pass, lit, stack); ctx != "" {
+			pass.Reportf(lit.Pos(), "hardcoded feature dimension %d in %s keeps compiling when the Table I layout moves; "+
+				"use %s (layout contract: internal/features/doc.go)", v, ctx, name)
+		}
+		return true
+	})
+}
+
+// sizingContext classifies whether the literal sits in a position that
+// sizes or compares a feature vector. Returns "" for innocuous uses
+// (loop bounds, ports, arbitrary arithmetic) to keep the check quiet
+// outside its domain.
+func sizingContext(pass *lintkit.Pass, lit *ast.BasicLit, stack []ast.Node) string {
+	if len(stack) < 2 {
+		return ""
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "make" {
+				return "make()"
+			}
+		}
+	case *ast.ArrayType:
+		if p.Len == ast.Expr(lit) {
+			return "an array length"
+		}
+	case *ast.BinaryExpr:
+		if isComparison(p.Op) && (containsLenCall(pass, p.X) || containsLenCall(pass, p.Y)) {
+			return "a len() comparison"
+		}
+	case *ast.KeyValueExpr:
+		if id, ok := p.Key.(*ast.Ident); ok && strings.Contains(id.Name, "Dim") && p.Value == ast.Expr(lit) {
+			return "field " + id.Name
+		}
+	case *ast.ValueSpec:
+		for _, nm := range p.Names {
+			if strings.Contains(nm.Name, "Dim") {
+				return "declaration of " + nm.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func containsLenCall(pass *lintkit.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

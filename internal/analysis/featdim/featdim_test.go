@@ -1,0 +1,24 @@
+package featdim_test
+
+import (
+	"testing"
+
+	"leapme/internal/analysis/featdim"
+	"leapme/internal/analysis/lintkit/lintest"
+)
+
+func TestMagicLiterals(t *testing.T) {
+	lintest.Run(t, featdim.Analyzer, "testdata/pos", "leapme/internal/serve")
+}
+
+func TestSelfPathExempt(t *testing.T) {
+	lintest.Run(t, featdim.Analyzer, "testdata/self", "leapme/internal/analysis/featdim/testdata")
+}
+
+func TestLayoutMismatchAndMissing(t *testing.T) {
+	lintest.Run(t, featdim.Analyzer, "testdata/layoutpos", featdim.FeaturesPath)
+}
+
+func TestLayoutClean(t *testing.T) {
+	lintest.Run(t, featdim.Analyzer, "testdata/layoutneg", featdim.FeaturesPath)
+}

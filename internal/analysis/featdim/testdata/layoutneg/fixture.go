@@ -1,0 +1,8 @@
+// Layout fixture matching the documented Table I contract exactly:
+// analyzed under the features package's import path, must stay silent.
+package fixture
+
+const (
+	MetaDim          = 18 + 10 + 1
+	NumPairDistances = 8
+)

@@ -1,0 +1,6 @@
+package fixture // want `layout constant NumPairDistances \(= 8\) is missing`
+
+// Analyzed under the features package's import path: MetaDim disagrees
+// with the documented Table I layout and NumPairDistances is absent.
+
+const MetaDim = 30 // want `MetaDim = 30 disagrees with the documented Table I layout \(29\)`

@@ -1,0 +1,35 @@
+// Positive featdim fixtures: derived Table I dimensions hardcoded in
+// sizing positions must be reported; innocuous uses stay silent.
+package fixture
+
+type descriptor struct {
+	InstanceDim int
+	Rows        int
+}
+
+func sized(dim int) {
+	_ = make([]float64, 329) // want `hardcoded feature dimension 329 in make\(\)`
+
+	var arr [29]float64 // want `hardcoded feature dimension 29 in an array length`
+	_ = arr
+
+	v := make([]float64, dim) // a named dimension: legal
+	if len(v) != 637 {        // want `hardcoded feature dimension 637 in a len\(\) comparison`
+		return
+	}
+
+	d := descriptor{InstanceDim: 329, Rows: 300} // want `hardcoded feature dimension 329 in field InstanceDim`
+	_ = d
+
+	const pairDim = 637 // want `hardcoded feature dimension 637 in declaration of pairDim`
+	_ = pairDim
+
+	// Innocuous positions stay silent: loop bounds, plain arithmetic,
+	// and numbers that are not derived layout sizes.
+	for i := 0; i < 329; i++ {
+		_ = i
+	}
+	x := 29 + 300
+	_ = x
+	_ = make([]float64, 300)
+}

@@ -1,0 +1,9 @@
+// Self-exemption fixture: under the analysis tree's own import path the
+// mirror constants are the reference, so nothing here may be reported.
+package fixture
+
+func sized() {
+	_ = make([]float64, 329)
+	var arr [29]float64
+	_ = arr
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"leapme/internal/analysis/floateq"
+	"leapme/internal/analysis/lintkit/lintest"
+)
+
+func TestFixtures(t *testing.T) {
+	lintest.Run(t, floateq.Analyzer, "testdata/pos", "leapme/internal/ml")
+}

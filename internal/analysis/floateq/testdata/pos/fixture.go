@@ -1,0 +1,29 @@
+// Positive floateq fixtures: exact float comparisons must be reported;
+// the documented exemptions must stay silent.
+package fixture
+
+func compare(a, b float64, n int) bool {
+	if a == b { // want `floating-point == compares exact bits`
+		return true
+	}
+	matched := a != 0.7 // want `floating-point != compares exact bits`
+	_ = matched
+
+	// Exemptions. Integral constants are exact in IEEE 754:
+	if a == 0 || b != -1 || a == 1e3 {
+		return false
+	}
+	// The NaN probe compares a value with itself, exact by construction:
+	if a != a {
+		return false
+	}
+	// Both operands constant folds at compile time:
+	const half = 0.5
+	_ = half == 0.5
+	// Integer comparisons are not floats at all:
+	if n == 3 {
+		return false
+	}
+	//lint:allow floateq fixture documenting an exact-representation contract
+	return a == b*1
+}

@@ -1,0 +1,56 @@
+// Package guardgo requires every goroutine launch to route through the
+// internal/guard primitives (guard.Go, guard.ForEach, the serve worker
+// pool built on them) so that a panic in any concurrent unit lands in a
+// guard.Report — surfaced via Matcher.LastReport() and the serve
+// metrics — instead of killing the whole process or, worse, vanishing.
+//
+// PR 1 made panic isolation a system property; a single bare `go`
+// statement re-opens the hole. Launches that genuinely must bypass
+// guard (a tight gradient worker pool whose panic should crash
+// training, a service loop with its own isolation) document themselves
+// with //lint:allow guardgo <reason>.
+package guardgo
+
+import (
+	"go/ast"
+
+	"leapme/internal/analysis/lintkit"
+)
+
+// ExemptPackages may use bare go statements: guard itself is where the
+// primitives live. Var, not const, so fixture tests can retarget it.
+var ExemptPackages = []string{
+	"leapme/internal/guard",
+}
+
+// Analyzer is the guardgo check.
+var Analyzer = &lintkit.Analyzer{
+	Name: "guardgo",
+	Doc: "require goroutine launches to go through internal/guard (guard.Go / guard.ForEach) " +
+		"so panics are isolated into reports; annotate intentional bare launches with //lint:allow guardgo <reason>",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	if pass.Pkg != nil {
+		for _, p := range ExemptPackages {
+			if pass.Pkg.Path() == p {
+				return nil, nil
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		what := "goroutine"
+		if _, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+			what = "go func literal"
+		}
+		pass.Reportf(g.Pos(), "bare %s outside internal/guard: panics escape LastReport(); "+
+			"use guard.Go/guard.ForEach or annotate //lint:allow guardgo <why isolation is handled>", what)
+		return true
+	})
+	return nil, nil
+}

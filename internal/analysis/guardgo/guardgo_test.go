@@ -1,0 +1,16 @@
+package guardgo_test
+
+import (
+	"testing"
+
+	"leapme/internal/analysis/guardgo"
+	"leapme/internal/analysis/lintkit/lintest"
+)
+
+func TestPositiveFixtures(t *testing.T) {
+	lintest.Run(t, guardgo.Analyzer, "testdata/pos", "leapme/internal/serve")
+}
+
+func TestNegativeFixturesExemptPackage(t *testing.T) {
+	lintest.Run(t, guardgo.Analyzer, "testdata/neg", "leapme/internal/guard")
+}

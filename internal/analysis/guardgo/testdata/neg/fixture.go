@@ -1,0 +1,8 @@
+// Negative guardgo fixtures: this directory is analyzed under the guard
+// package's own import path, where bare launches are the implementation.
+package fixture
+
+func launches(work func()) {
+	go work()
+	go func() { work() }()
+}

@@ -1,0 +1,22 @@
+// Positive guardgo fixtures: bare goroutine launches outside the guard
+// package must be reported; guard.Go and annotated launches stay legal.
+package fixture
+
+import (
+	"sync"
+
+	"leapme/internal/guard"
+)
+
+func launches(work func()) {
+	go work()              // want `bare goroutine outside internal/guard`
+	go func() { work() }() // want `bare go func literal outside internal/guard`
+
+	var wg sync.WaitGroup
+	rep := guard.NewReport()
+	guard.Go(&wg, rep, "worker", func() error { work(); return nil })
+	wg.Wait()
+
+	//lint:allow guardgo fixture demonstrating a documented intentional bypass
+	go work()
+}

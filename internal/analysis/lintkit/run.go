@@ -1,0 +1,100 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one surviving (non-suppressed) diagnostic, positioned and
+// attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// DirectiveCheckName is the pseudo-analyzer name under which malformed
+// or unknown //lint:allow directives are reported. It cannot itself be
+// suppressed.
+const DirectiveCheckName = "lintdirective"
+
+// RunAnalyzers applies every analyzer to every package, filters
+// diagnostics through //lint:allow directives, validates the directives
+// themselves, and returns the surviving findings sorted by position.
+//
+// Type-check errors in an analysed package are returned as findings too
+// (under pseudo-analyzer "typecheck"): a tree that does not compile must
+// fail the lint gate, not sneak past it.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		sup, directives := newSuppressor(p.Fset, p.Files)
+		for _, d := range directives {
+			switch {
+			case d.Malformed != "":
+				findings = append(findings, Finding{
+					Analyzer: DirectiveCheckName,
+					Position: p.Fset.Position(d.Pos),
+					Message:  "malformed //lint:allow: " + d.Malformed,
+				})
+			case !known[d.Analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: DirectiveCheckName,
+					Position: p.Fset.Position(d.Pos),
+					Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", d.Analyzer),
+				})
+			}
+		}
+		for _, te := range p.TypeErrors {
+			findings = append(findings, Finding{
+				Analyzer: "typecheck",
+				Message:  te.Error(),
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lintkit: analyzer %s on %s: %w", a.Name, p.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				if sup.allows(a.Name, d.Pos) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Position: p.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,99 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Pos token.Pos
+	// Analyzer is the analyzer name being suppressed.
+	Analyzer string
+	// Reason is the mandatory human justification.
+	Reason string
+	// Malformed explains what is wrong with the directive ("" when ok).
+	Malformed string
+}
+
+const directivePrefix = "//lint:allow"
+
+// ParseDirectives extracts every //lint:allow directive from a file's
+// comments. A directive must name an analyzer and give a reason:
+//
+//	//lint:allow guardgo worker panics are isolated per batch in runBatch
+//
+// It suppresses matching diagnostics reported on its own line (trailing
+// comment) or on the line directly below (standalone comment above the
+// offending statement).
+func ParseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			d := Directive{Pos: c.Pos()}
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				// e.g. //lint:allowed — some other marker, not ours.
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.Malformed = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.Analyzer = fields[0]
+				d.Malformed = "missing reason: write //lint:allow " + fields[0] + " <why this is safe>"
+			default:
+				d.Analyzer = fields[0]
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressor answers "is this diagnostic covered by an allow directive?"
+// for one package.
+type suppressor struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzer names allowed on that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) (*suppressor, []Directive) {
+	s := &suppressor{fset: fset, byLine: make(map[string]map[int]map[string]bool)}
+	var all []Directive
+	for _, f := range files {
+		for _, d := range ParseDirectives(fset, f) {
+			all = append(all, d)
+			if d.Malformed != "" {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			lines := s.byLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				s.byLine[pos.Filename] = lines
+			}
+			// A directive covers its own line (trailing form) and the
+			// next line (standalone form above the statement).
+			for _, ln := range []int{pos.Line, pos.Line + 1} {
+				if lines[ln] == nil {
+					lines[ln] = make(map[string]bool)
+				}
+				lines[ln][d.Analyzer] = true
+			}
+		}
+	}
+	return s, all
+}
+
+func (s *suppressor) allows(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	return s.byLine[p.Filename][p.Line][analyzer]
+}

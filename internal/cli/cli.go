@@ -21,6 +21,7 @@ import (
 // SignalContext returns a context cancelled by SIGINT/SIGTERM, for
 // cooperative shutdown of long runs.
 func SignalContext() (context.Context, context.CancelFunc) {
+	//lint:allow ctxflow this is the process root: the one place a command mints its context
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 

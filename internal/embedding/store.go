@@ -130,6 +130,7 @@ func (s *Store) Nearest(w string, k int) []Neighbor {
 		out = append(out, Neighbor{Word: s.words[i], Sim: mathx.CosineSimilarity(q, v)})
 	}
 	sort.Slice(out, func(a, b int) bool {
+		//lint:allow floateq sort tie-break must be an exact total order; a tolerance comparator is not a strict weak ordering
 		if out[a].Sim != out[b].Sim {
 			return out[a].Sim > out[b].Sim
 		}

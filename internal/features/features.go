@@ -200,13 +200,17 @@ const featureWindow = 256
 func (e *Extractor) sumInstanceFeatures(dst []float64, values []string, workers int) {
 	dim := e.InstanceDim()
 	buf := make([]float64, featureWindow*dim)
+	// Each window is bounded (featureWindow values) so cancellation
+	// between windows is the per-property ctx check in internal/core;
+	// the fan-out itself never blocks long enough to need its own.
+	ctx := context.Background()
 	for lo := 0; lo < len(values); lo += featureWindow {
 		hi := lo + featureWindow
 		if hi > len(values) {
 			hi = len(values)
 		}
 		n := hi - lo
-		parallel.ForEach(context.Background(), workers, n, nil, func(i int) error {
+		parallel.ForEach(ctx, workers, n, nil, func(i int) error {
 			e.instanceFeaturesInto(buf[i*dim:(i+1)*dim], values[lo+i])
 			return nil
 		})

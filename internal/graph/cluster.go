@@ -66,6 +66,7 @@ func (g *SimilarityGraph) StarClustering() Clustering {
 		cands[i] = cand{idx: i, degree: deg}
 	}
 	sort.Slice(cands, func(a, b int) bool {
+		//lint:allow floateq sort tie-break must be an exact total order; a tolerance comparator is not a strict weak ordering
 		if cands[a].degree != cands[b].degree {
 			return cands[a].degree > cands[b].degree
 		}
@@ -114,6 +115,7 @@ func (g *SimilarityGraph) CorrelationClustering(minWeight float64) Clustering {
 		}
 	}
 	sort.Slice(order, func(a, b int) bool {
+		//lint:allow floateq sort tie-break must be an exact total order; a tolerance comparator is not a strict weak ordering
 		if degree[order[a]] != degree[order[b]] {
 			return degree[order[a]] > degree[order[b]]
 		}

@@ -89,6 +89,7 @@ func (a *AdaBoost) Fit(xs [][]float64, ys []int) error {
 				} else {
 					e += w[i]
 				}
+				//lint:allow floateq identical feature values admit no threshold between them; exact identity is the point
 				if k+1 < n && xs[idx[k]][f] == xs[idx[k+1]][f] {
 					continue
 				}

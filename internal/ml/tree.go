@@ -70,6 +70,7 @@ func (t *DecisionTree) build(xs [][]float64, ys []int, idx []int, depth int) *tr
 		for k := 0; k < len(sorted)-1; k++ {
 			leftPos += ys[sorted[k]]
 			leftN++
+			//lint:allow floateq identical feature values admit no split point between them; exact identity is the point
 			if xs[sorted[k]][f] == xs[sorted[k+1]][f] {
 				continue // can't split between equal values
 			}

@@ -167,6 +167,7 @@ func (t *parTrainer) batchGrads(xs [][]float64, ys []int, idx []int) float64 {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//lint:allow guardgo a panicking gradient chunk must crash Fit loudly; guard isolation would return a silently partial gradient sum
 			go func() {
 				defer wg.Done()
 				for ci := range ch {

@@ -64,9 +64,11 @@ func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics) *bat
 		work:     make(chan []*pending, workers),
 	}
 	b.wg.Add(1)
+	//lint:allow guardgo scoring panics are guard.Run-isolated per pair in runBatch; a panic in the pool skeleton itself must crash rather than hang Close on a dead dispatcher
 	go b.dispatch()
 	for i := 0; i < workers; i++ {
 		b.wg.Add(1)
+		//lint:allow guardgo same contract as the dispatcher: per-pair isolation lives in runBatch
 		go b.worker()
 	}
 	return b

@@ -1,0 +1,24 @@
+//go:build tools
+
+// Package tools records the external analyzer dependencies of `make
+// lint-ext`, in the spirit of the tools.go convention.
+//
+// The usual form — blank imports pinned through go.mod — is not
+// available here: this repository builds fully offline (no module
+// proxy, no checksum database), so go.mod must not reference modules
+// the build cannot fetch. The single source of truth for tool versions
+// is therefore the Makefile:
+//
+//	STATICCHECK_VERSION  honnef.co/go/tools/cmd/staticcheck
+//	GOVULNCHECK_VERSION  golang.org/x/vuln/cmd/govulncheck
+//
+// `make lint-ext` runs them via `go run <pkg>@<version>`, which
+// resolves and verifies the pinned version on network-connected
+// machines (CI's lint-ext job) and is deliberately NOT part of `make
+// all`. The repository's own invariants are enforced by the offline
+// multichecker `cmd/leapme-lint` (`make lint`) instead.
+//
+// When bumping a version: change the Makefile variable, run `make
+// lint-ext` on a connected machine, and update this comment if a tool
+// is added or dropped.
+package tools
