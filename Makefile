@@ -11,7 +11,7 @@ DETERMINISM_PACKAGES := ./internal/nn ./internal/features ./internal/core ./inte
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test vet lint lint-ext test-race test-determinism fuzz bench-json clean
+.PHONY: all build test vet lint lint-ext test-race test-determinism test-chaos fuzz bench-json clean
 
 all: build vet lint test
 
@@ -47,6 +47,14 @@ test-race:
 test-determinism:
 	GOMAXPROCS=1 $(GO) test -count=1 -run 'Determinism' $(DETERMINISM_PACKAGES)
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'Determinism' $(DETERMINISM_PACKAGES)
+
+# The overload/fault-injection suite: the chaos and client packages in
+# full, plus the serve-layer chaos and reload-failure tests, all under
+# -race — injected panics, stalls and corrupt reloads must never
+# surface as data races or dropped requests.
+test-chaos:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/client
+	$(GO) test -race -count=1 -run 'Chaos|ReloadFailure|Admission|DeadlineHeader' ./internal/serve
 
 # Short fuzz pass over the dataset loaders and the serving JSON API;
 # extend -fuzztime for real runs.

@@ -33,12 +33,17 @@ type benchResult struct {
 
 // benchReport is the BENCH_serve.json / BENCH_train.json document.
 type benchReport struct {
-	Suite     string             `json:"suite"`
-	Go        string             `json:"go"`
-	Timestamp string             `json:"timestamp"`
-	Config    map[string]any     `json:"config"`
-	Results   []benchResult      `json:"results"`
-	Derived   map[string]float64 `json:"derived,omitempty"`
+	Suite     string `json:"suite"`
+	Go        string `json:"go"`
+	Timestamp string `json:"timestamp"`
+	// DegradedEnv marks numbers taken on a crippled runtime — currently
+	// GOMAXPROCS=1, where parallel suites measure scheduling overhead, not
+	// speedup. Readers (and CI diffing) must not compare degraded reports
+	// against healthy ones.
+	DegradedEnv bool               `json:"degraded_env,omitempty"`
+	Config      map[string]any     `json:"config"`
+	Results     []benchResult      `json:"results"`
+	Derived     map[string]float64 `json:"derived,omitempty"`
 }
 
 func resultOf(name string, pairsPerOp int, r testing.BenchmarkResult) benchResult {
@@ -108,9 +113,10 @@ func runBench(suite, out string, seed int64, dim, workers int) error {
 	fmt.Fprintf(os.Stderr, "bench %s: fixture ready in %v\n", suite, time.Since(start).Round(time.Millisecond))
 
 	rep := benchReport{
-		Suite:     suite,
-		Go:        runtime.Version(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Suite:       suite,
+		Go:          runtime.Version(),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		DegradedEnv: runtime.GOMAXPROCS(0) == 1,
 		Config: map[string]any{
 			"seed":           fx.seed,
 			"embedding_dim":  fx.dim,

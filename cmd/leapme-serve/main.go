@@ -18,6 +18,15 @@
 // requests pick one with "model", others use the active one. SIGHUP (or
 // POST {"reload":true}) re-reads every model file and hot-swaps without
 // dropping in-flight requests. SIGINT/SIGTERM drains and exits 130.
+//
+// Overload and failure behavior: admitted-but-unanswered pairs are
+// bounded by -max-queue — beyond it requests shed with a typed 429 and
+// Retry-After, and /readyz degrades to 503 above -high-water of the
+// bound. Every request runs under a deadline budget (-deadline, or the
+// client's X-Leapme-Deadline-Ms header clamped to -max-deadline); an
+// expired budget answers a typed 504 without stalling the scorer pool.
+// See the README's "Overload & failure behavior" section for the full
+// semantics and internal/client for a retrying client.
 package main
 
 import (
@@ -54,6 +63,14 @@ func run(args []string) error {
 	threshold := fs.Float64("threshold", 0, "override every model's match threshold (0 keeps each model's own)")
 	maxValues := fs.Int("max-values", 0, "cap instance values per served property (0 = all)")
 	maxPairs := fs.Int("max-pairs", 4096, "max pairs per request")
+	maxQueue := fs.Int("max-queue", 0, "max admitted-but-unanswered pairs before shedding 429s (0 = 4×workers×max-batch)")
+	highWater := fs.Float64("high-water", 0.75, "fraction of -max-queue above which /readyz degrades to 503")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After advice attached to shed (429) responses")
+	deadline := fs.Duration("deadline", 10*time.Second, "default per-request scoring budget (-1 disables; clients override via X-Leapme-Deadline-Ms)")
+	maxDeadline := fs.Duration("max-deadline", 60*time.Second, "upper clamp on client-requested scoring budgets")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (full request read)")
+	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "http.Server WriteTimeout (must exceed -max-deadline)")
+	idleTimeout := fs.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout (keep-alive connections)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	fs.Parse(args)
 	if *storePath == "" || *modelList == "" {
@@ -69,16 +86,21 @@ func run(args []string) error {
 		return err
 	}
 	s, err := serve.New(serve.Config{
-		Store:     store,
-		Models:    models,
-		Active:    *active,
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
-		MaxWait:   *maxWait,
-		CacheSize: *cacheSize,
-		Threshold: *threshold,
-		MaxValues: *maxValues,
-		MaxPairs:  *maxPairs,
+		Store:           store,
+		Models:          models,
+		Active:          *active,
+		Workers:         *workers,
+		MaxBatch:        *maxBatch,
+		MaxWait:         *maxWait,
+		CacheSize:       *cacheSize,
+		Threshold:       *threshold,
+		MaxValues:       *maxValues,
+		MaxPairs:        *maxPairs,
+		MaxQueuedPairs:  *maxQueue,
+		HighWaterFrac:   *highWater,
+		RetryAfter:      *retryAfter,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
 	})
 	if err != nil {
 		return err
@@ -87,10 +109,17 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "leapme-serve: loaded %s from %s (%v)\n", md.Name, md.Path, md.Info)
 	}
 
+	// Full server timeouts, not just the header read: a slow-loris body
+	// or a client that never drains its response must not pin a
+	// connection forever. WriteTimeout bounds the whole handler, so keep
+	// it above -max-deadline or budgeted requests lose their typed 504.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	// Background goroutines run under guard so a panic in either lands

@@ -31,6 +31,10 @@ var Packages = []string{
 	"leapme/internal/tapon",
 	"leapme/internal/core",
 	"leapme/internal/parallel",
+	// The fault-injection layer and the retrying client promise seeded,
+	// replayable schedules — same rules, same analyzer.
+	"leapme/internal/chaos",
+	"leapme/internal/client",
 }
 
 // clockFuncs are the time package functions that read the wall clock or
@@ -57,7 +61,7 @@ var randConstructors = map[string]bool{
 var Analyzer = &lintkit.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, global math/rand and map-order accumulation " +
-		"inside the deterministic packages (nn, features, eval, tapon, core, parallel)",
+		"inside the deterministic packages (nn, features, eval, tapon, core, parallel, chaos, client)",
 	Run: run,
 }
 

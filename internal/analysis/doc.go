@@ -6,10 +6,11 @@
 //	determinism  wall-clock reads, the global math/rand source and
 //	             map-iteration-order accumulation are forbidden inside
 //	             the packages behind the -workers reproducibility
-//	             guarantee (nn, features, eval, tapon, core, parallel).
-//	             Seeded *rand.Rand values (mathx.NewRand,
-//	             parallel.SeedStream) and the collect-keys-then-sort
-//	             map pattern stay legal.
+//	             guarantee (nn, features, eval, tapon, core, parallel)
+//	             and the packages promising seeded, replayable
+//	             schedules (chaos, client). Seeded *rand.Rand values
+//	             (mathx.NewRand, parallel.SeedStream) and the
+//	             collect-keys-then-sort map pattern stay legal.
 //	guardgo      goroutine launches must route through internal/guard
 //	             (guard.Go / guard.ForEach) so panics land in a
 //	             guard.Report instead of killing the process.

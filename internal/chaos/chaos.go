@@ -1,0 +1,304 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// serving layer. A *chaos.Injector is armed with a set of Fault specs —
+// scorer panics, batch latency, stalled workers, injected errors,
+// corrupted model bytes — and wired into production code through
+// build-tag-free runtime hooks: the hooked code calls Inject (or wraps a
+// reader with Reader) unconditionally, and a nil injector is completely
+// inert, so the hooks cost one nil check when chaos is off.
+//
+// Determinism is the point: every stochastic firing decision draws from
+// one seeded *rand.Rand (mathx.NewRand) under a mutex, and the
+// Skip/Count windows are plain counters, so a fixed seed plus a fixed
+// visit sequence reproduces the exact same fault schedule. The chaos
+// test suite (`make test-chaos`) leans on this to assert precise
+// outcomes — "the first batch stalls, the second does not" — instead of
+// flaky probabilistic ones.
+//
+// The package is in the determinism analyzer's scope (see
+// internal/analysis/determinism): no wall-clock reads, no global rand.
+// Injected delays use time.Sleep, which the analyzer permits because a
+// sleep delays work without changing any computed value.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"leapme/internal/mathx"
+)
+
+// Point names a hook site. The serving layer's sites are declared here
+// so injector configs and hooked code agree on the vocabulary; tests may
+// mint their own.
+type Point string
+
+const (
+	// PointScore fires inside the batcher's per-pair guard unit, just
+	// before the scorer runs: a Panic here must be isolated to the one
+	// pair (the guard invariant), an Error fails just that pair.
+	PointScore Point = "score"
+	// PointBatch fires at the start of each micro-batch execution, on
+	// the worker goroutine: Delay/Stall here simulate a slow or hung
+	// worker holding a scorer clone.
+	PointBatch Point = "batch"
+	// PointReload fires while the registry reads model bytes during
+	// Load/Reload: a Corrupt fault flips bits so the CRC check rejects
+	// the file — the old snapshot must keep serving.
+	PointReload Point = "reload"
+)
+
+// Mode is what a fault does when it fires.
+type Mode int
+
+const (
+	// Panic panics with a *PanicValue. Only inject at points that run
+	// under guard isolation (PointScore); elsewhere it crashes on
+	// purpose.
+	Panic Mode = iota
+	// Delay sleeps for Fault.Delay, then lets the visit proceed.
+	Delay
+	// Stall sleeps until the injector is disarmed (or Fault.Delay has
+	// elapsed, when set — the safety cap for tests that forget Disarm).
+	Stall
+	// Error makes Inject return an error wrapping ErrInjected.
+	Error
+	// Corrupt makes Reader wrap its argument in a bit-flipping reader.
+	// Inject ignores Corrupt faults; Reader ignores every other mode.
+	Corrupt
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Stall:
+		return "stall"
+	case Error:
+		return "error"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Fault is one armed failure: where it fires, what it does, and a
+// deterministic window of visits it applies to.
+type Fault struct {
+	Point Point
+	Mode  Mode
+	// Prob is the per-visit firing probability. Outside (0,1) the fault
+	// fires on every visit in its window — the fully deterministic
+	// setting the chaos tests prefer.
+	Prob float64
+	// Delay is the sleep for Delay mode and the optional cap for Stall.
+	Delay time.Duration
+	// Skip lets the first Skip visits to the point pass unharmed (e.g.
+	// skip the startup Load so only the Reload is corrupted).
+	Skip int
+	// Count caps how many times the fault fires (0 = unlimited).
+	Count int
+}
+
+// ErrInjected is the sentinel wrapped by every Error-mode injection.
+var ErrInjected = errors.New("chaos: injected error")
+
+// PanicValue is what Panic-mode faults panic with, so guard reports
+// attribute the failure to injection rather than a real scorer bug.
+type PanicValue struct{ Point Point }
+
+func (p *PanicValue) String() string { return fmt.Sprintf("chaos: injected panic at %s", p.Point) }
+
+// Injector holds armed faults and the seeded decision source. The zero
+// value is not useful; build with New. All methods are safe for
+// concurrent use and safe on a nil receiver (inert).
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	faults   []*armedFault
+	disarmed bool
+	visits   map[Point]int
+	fired    map[Point]int
+}
+
+type armedFault struct {
+	Fault
+	seen  int // visits to the point observed by this fault
+	count int // times this fault fired
+}
+
+// New arms the faults over one generator seeded with seed.
+func New(seed int64, faults ...Fault) *Injector {
+	in := &Injector{
+		rng:    mathx.NewRand(seed),
+		visits: map[Point]int{},
+		fired:  map[Point]int{},
+	}
+	for _, f := range faults {
+		in.faults = append(in.faults, &armedFault{Fault: f})
+	}
+	return in
+}
+
+// decide records one visit to p and returns the first armed fault whose
+// window and coin admit it, restricted to the given modes.
+func (in *Injector) decide(p Point, modes ...Mode) *armedFault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.visits[p]++
+	if in.disarmed {
+		return nil
+	}
+	for _, f := range in.faults {
+		if f.Point != p || !modeIn(f.Mode, modes) {
+			continue
+		}
+		f.seen++
+		if f.seen <= f.Skip {
+			continue
+		}
+		if f.Count > 0 && f.count >= f.Count {
+			continue
+		}
+		if 0 < f.Prob && f.Prob < 1 && in.rng.Float64() >= f.Prob {
+			continue
+		}
+		f.count++
+		in.fired[p]++
+		return f
+	}
+	return nil
+}
+
+func modeIn(m Mode, modes []Mode) bool {
+	for _, x := range modes {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// Inject visits point p and executes whatever fault fires there: Panic
+// panics with a *PanicValue, Delay sleeps, Stall sleeps until Disarm (or
+// the fault's Delay cap), Error returns a wrapped ErrInjected. Corrupt
+// faults are Reader's business and never fire here. Inert on nil.
+func (in *Injector) Inject(p Point) error {
+	if in == nil {
+		return nil
+	}
+	f := in.decide(p, Panic, Delay, Stall, Error)
+	if f == nil {
+		return nil
+	}
+	switch f.Mode {
+	case Panic:
+		panic(&PanicValue{Point: p})
+	case Delay:
+		time.Sleep(f.Delay)
+	case Stall:
+		for waited := time.Duration(0); !in.isDisarmed(); waited += time.Millisecond {
+			if f.Delay > 0 && waited >= f.Delay {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	case Error:
+		return fmt.Errorf("%w at %s", ErrInjected, p)
+	}
+	return nil
+}
+
+// Reader visits point p and, when a Corrupt fault fires, wraps r so that
+// the bytes read through it are deterministically bit-flipped (every
+// corruptStride-th byte, starting past the header prefix, has its low
+// bit inverted — enough to fail any CRC). Otherwise r is returned
+// untouched. Inert on nil.
+func (in *Injector) Reader(p Point, r io.Reader) io.Reader {
+	if in == nil {
+		return r
+	}
+	if f := in.decide(p, Corrupt); f != nil {
+		return &corruptingReader{r: r}
+	}
+	return r
+}
+
+const (
+	// corruptSkip leaves the leading bytes (magic + version header)
+	// intact so corruption is caught by the checksum, the interesting
+	// path, rather than the magic check.
+	corruptSkip = 16
+	// corruptStride spaces the flipped bytes.
+	corruptStride = 97
+)
+
+type corruptingReader struct {
+	r   io.Reader
+	off int
+}
+
+func (c *corruptingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	for i := 0; i < n; i++ {
+		pos := c.off + i
+		if pos >= corruptSkip && (pos-corruptSkip)%corruptStride == 0 {
+			p[i] ^= 0x01
+		}
+	}
+	c.off += n
+	return n, err
+}
+
+// Disarm stops all future injection: armed faults stop firing, stalled
+// visits return. The convergence tests flip this to prove recovery.
+func (in *Injector) Disarm() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.disarmed = true
+	in.mu.Unlock()
+}
+
+// Rearm re-enables injection after a Disarm (fault windows keep their
+// prior counters).
+func (in *Injector) Rearm() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.disarmed = false
+	in.mu.Unlock()
+}
+
+func (in *Injector) isDisarmed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.disarmed
+}
+
+// Fired returns how many faults have fired at p.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[p]
+}
+
+// Visits returns how many times p has been visited (fired or not).
+func (in *Injector) Visits(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.visits[p]
+}

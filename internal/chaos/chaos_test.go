@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"leapme/internal/guard"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Inject(PointScore); err != nil {
+		t.Fatalf("nil Inject = %v", err)
+	}
+	r := strings.NewReader("abc")
+	if got := in.Reader(PointReload, r); got != io.Reader(r) {
+		t.Fatal("nil Reader did not pass the reader through")
+	}
+	in.Disarm()
+	in.Rearm()
+	if in.Fired(PointScore) != 0 || in.Visits(PointScore) != 0 {
+		t.Fatal("nil counters non-zero")
+	}
+}
+
+func TestErrorModeAndWindows(t *testing.T) {
+	in := New(1, Fault{Point: PointScore, Mode: Error, Skip: 2, Count: 3})
+	var errs int
+	for i := 0; i < 10; i++ {
+		if err := in.Inject(PointScore); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("visit %d: error %v does not wrap ErrInjected", i, err)
+			}
+			errs++
+			// The window is visits 3,4,5 — deterministic, not probabilistic.
+			if i < 2 || i > 4 {
+				t.Errorf("fault fired on visit %d, outside the Skip/Count window", i)
+			}
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("fired %d times, want 3", errs)
+	}
+	if in.Fired(PointScore) != 3 || in.Visits(PointScore) != 10 {
+		t.Fatalf("Fired/Visits = %d/%d, want 3/10", in.Fired(PointScore), in.Visits(PointScore))
+	}
+}
+
+func TestSeededDecisionsReproduce(t *testing.T) {
+	pattern := func(seed int64) string {
+		in := New(seed, Fault{Point: PointScore, Mode: Error, Prob: 0.5})
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if in.Inject(PointScore) != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(42), pattern(42)
+	if a != b {
+		t.Fatalf("same seed, different fault schedules:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("schedule %q is degenerate; Prob=0.5 should mix", a)
+	}
+	if pattern(43) == a {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+}
+
+func TestPanicModeIsGuardIsolatable(t *testing.T) {
+	in := New(1, Fault{Point: PointScore, Mode: Panic, Count: 1})
+	err := guard.Run(func() error { return in.Inject(PointScore) })
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("guard.Run returned %v, want *guard.PanicError", err)
+	}
+	pv, ok := pe.Value.(*PanicValue)
+	if !ok || pv.Point != PointScore {
+		t.Fatalf("panic value = %#v, want *PanicValue{score}", pe.Value)
+	}
+	// Count=1 exhausted: the next visit passes.
+	if err := in.Inject(PointScore); err != nil {
+		t.Fatalf("second visit after Count=1: %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	const d = 30 * time.Millisecond
+	in := New(1, Fault{Point: PointBatch, Mode: Delay, Delay: d, Count: 1})
+	start := time.Now()
+	if err := in.Inject(PointBatch); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < d {
+		t.Fatalf("Delay slept %v, want >= %v", got, d)
+	}
+}
+
+func TestStallUntilDisarm(t *testing.T) {
+	in := New(1, Fault{Point: PointBatch, Mode: Stall, Delay: 5 * time.Second})
+	done := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		in.Inject(PointBatch)
+		done <- time.Since(start)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case d := <-done:
+		t.Fatalf("stall returned after %v before Disarm", d)
+	default:
+	}
+	in.Disarm()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall did not return after Disarm")
+	}
+	// Disarmed: nothing fires any more.
+	if err := in.Inject(PointBatch); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Fired(PointBatch); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestStallDelayCap(t *testing.T) {
+	in := New(1, Fault{Point: PointBatch, Mode: Stall, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	in.Inject(PointBatch) // never disarmed: the cap must release it
+	if got := time.Since(start); got < 20*time.Millisecond || got > 2*time.Second {
+		t.Fatalf("capped stall lasted %v", got)
+	}
+}
+
+func TestCorruptReader(t *testing.T) {
+	orig := bytes.Repeat([]byte{0xAA}, 4096)
+	in := New(1, Fault{Point: PointReload, Mode: Corrupt, Count: 1})
+	r := in.Reader(PointReload, bytes.NewReader(orig))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("length changed: %d != %d", len(got), len(orig))
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("corrupting reader changed nothing")
+	}
+	if !bytes.Equal(got[:corruptSkip], orig[:corruptSkip]) {
+		t.Fatal("header prefix was corrupted; CRC, not magic, should catch this")
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diffs++
+			if got[i]^orig[i] != 0x01 {
+				t.Fatalf("byte %d: flip is not the low bit", i)
+			}
+		}
+	}
+	if want := 1 + (len(orig)-1-corruptSkip)/corruptStride; diffs != want {
+		t.Fatalf("%d bytes flipped, want %d", diffs, want)
+	}
+
+	// Count exhausted: the second wrap is a pass-through.
+	r2 := in.Reader(PointReload, bytes.NewReader(orig))
+	got2, _ := io.ReadAll(r2)
+	if !bytes.Equal(got2, orig) {
+		t.Fatal("second Reader corrupted despite Count=1")
+	}
+	// Inject never fires Corrupt faults.
+	in2 := New(1, Fault{Point: PointScore, Mode: Corrupt})
+	if err := in2.Inject(PointScore); err != nil {
+		t.Fatalf("Inject fired a Corrupt fault: %v", err)
+	}
+}

@@ -1,0 +1,237 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func matchOK(w http.ResponseWriter, score float64) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(MatchResponse{
+		Model:   "default",
+		CRC:     "deadbeef",
+		Results: []PairResult{{Score: score, Match: score >= 0.5}},
+	})
+}
+
+func typedError(w http.ResponseWriter, status int, code, msg string, retryAfterMs int64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": msg, "code": code, "retry_after_ms": retryAfterMs,
+	})
+}
+
+func newClient(t *testing.T, ts *httptest.Server, mut func(*Config)) *Client {
+	t.Helper()
+	cfg := Config{
+		BaseURL:     ts.URL,
+		HTTPClient:  ts.Client(),
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+var oneReq = &MatchRequest{Pairs: []Pair{{A: PropSpec{Name: "a"}, B: PropSpec{Name: "b"}}}}
+
+func TestMatchSuccess(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/match" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		var req MatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Pairs) != 1 {
+			t.Errorf("bad request body: %v %+v", err, req)
+		}
+		matchOK(w, 0.9)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts, nil)
+	resp, err := c.Match(context.Background(), oneReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Score != 0.9 || !resp.Results[0].Match {
+		t.Fatalf("response = %+v", resp)
+	}
+	if s := c.Stats(); s.Attempts != 1 || s.Retries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetriesOn429HonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			typedError(w, http.StatusTooManyRequests, "overloaded", "queue full", 10)
+			return
+		}
+		matchOK(w, 0.7)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts, nil)
+	start := time.Now()
+	if _, err := c.Match(context.Background(), oneReq); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	s := c.Stats()
+	if s.Throttled != 2 || s.Retries != 2 {
+		t.Fatalf("stats = %+v, want 2 throttled / 2 retries", s)
+	}
+	// Two waits, each at least the 10ms retry_after_ms advice.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("finished in %v; Retry-After advice ignored", elapsed)
+	}
+}
+
+func TestRetriesOn503And504(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		code   string
+	}{
+		{http.StatusServiceUnavailable, "draining"},
+		{http.StatusGatewayTimeout, "deadline_exceeded"},
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if calls.Add(1) == 1 {
+				typedError(w, tc.status, tc.code, "transient", 0)
+				return
+			}
+			matchOK(w, 0.6)
+		}))
+		c := newClient(t, ts, nil)
+		if _, err := c.Match(context.Background(), oneReq); err != nil {
+			t.Errorf("status %d: %v", tc.status, err)
+		}
+		if calls.Load() != 2 {
+			t.Errorf("status %d: %d calls, want 2", tc.status, calls.Load())
+		}
+		ts.Close()
+	}
+}
+
+func TestPermanentErrorsDontRetry(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusNotFound, http.StatusInternalServerError} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			typedError(w, status, "some_code", "permanent", 0)
+		}))
+		c := newClient(t, ts, nil)
+		_, err := c.Match(context.Background(), oneReq)
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != status || apiErr.Code != "some_code" {
+			t.Errorf("status %d: error = %v", status, err)
+		}
+		if apiErr != nil && apiErr.Retryable() {
+			t.Errorf("status %d claims retryable", status)
+		}
+		if calls.Load() != 1 {
+			t.Errorf("status %d retried: %d calls", status, calls.Load())
+		}
+		ts.Close()
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		typedError(w, http.StatusServiceUnavailable, "draining", "always down", 0)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts, func(c *Config) { c.MaxAttempts = 3 })
+	_, err := c.Match(context.Background(), oneReq)
+	if err == nil || calls.Load() != 3 {
+		t.Fatalf("err=%v calls=%d, want failure after exactly 3", err, calls.Load())
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("final error does not carry the last APIError: %v", err)
+	}
+}
+
+func TestContextCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		typedError(w, http.StatusServiceUnavailable, "draining", "down", 60_000)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Match(ctx, oneReq)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the 60s Retry-After wait")
+	}
+}
+
+func TestDeadlineHeaderSent(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(DeadlineHeader))
+		matchOK(w, 0.5)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts, func(c *Config) { c.Deadline = 1500 * time.Millisecond })
+	if _, err := c.Match(context.Background(), oneReq); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "1500" {
+		t.Fatalf("deadline header = %q, want 1500", got.Load())
+	}
+}
+
+func TestBackoffSeededJitterDeterministic(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		c, err := New(Config{BaseURL: "http://x", Seed: seed, BaseBackoff: 10 * time.Millisecond, MaxBackoff: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []time.Duration
+		for n := 0; n < 6; n++ {
+			out = append(out, c.backoff(n))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v != %v", i, a[i], b[i])
+		}
+		base := 10 * time.Millisecond << uint(i)
+		if base > time.Second {
+			base = time.Second
+		}
+		if a[i] < base/2 || a[i] >= base+base/2 {
+			t.Fatalf("retry %d backoff %v outside jitter window [%v, %v)", i, a[i], base/2, base+base/2)
+		}
+	}
+	if c := seq(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}

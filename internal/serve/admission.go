@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// admission is the bounded gate in front of the batcher: it tracks how
+// many pairs have been admitted into the scoring pipeline but not yet
+// answered, sheds whole requests once the bound is hit (the handler
+// answers a typed 429 with Retry-After instead of queueing), and flips
+// /readyz into a degraded 503 above the high-water mark so load
+// balancers steer traffic away before the hard cap starts shedding.
+//
+// Counting *pairs* rather than requests makes the bound meaningful: one
+// /v1/match/all with 4096 candidates weighs 4096× a single-pair probe,
+// which is exactly the ratio of batcher work they enqueue.
+type admission struct {
+	max        int64 // hard cap on in-flight admitted pairs
+	highWater  int64 // degraded-readiness threshold
+	retryAfter time.Duration
+
+	depth atomic.Int64
+}
+
+func newAdmission(maxPairs int, highWaterFrac float64, retryAfter time.Duration) *admission {
+	if highWaterFrac <= 0 || highWaterFrac > 1 {
+		highWaterFrac = 0.75
+	}
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	a := &admission{
+		max:        int64(maxPairs),
+		retryAfter: retryAfter,
+	}
+	a.highWater = int64(float64(maxPairs) * highWaterFrac)
+	if a.highWater < 1 {
+		a.highWater = 1
+	}
+	return a
+}
+
+// tryAcquire admits n pairs if they fit under the cap. Admission is
+// all-or-nothing per request: a request that does not fit sheds in
+// full rather than scoring a prefix.
+func (a *admission) tryAcquire(n int) bool {
+	for {
+		cur := a.depth.Load()
+		next := cur + int64(n)
+		if next > a.max {
+			return false
+		}
+		if a.depth.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// release returns n admitted pairs when their request finishes (scored,
+// failed, or timed out — the handler releases on every exit path).
+func (a *admission) release(n int) { a.depth.Add(-int64(n)) }
+
+// Depth is the current number of admitted, unanswered pairs.
+func (a *admission) Depth() int64 { return a.depth.Load() }
+
+// degraded reports whether the queue is above the high-water mark.
+func (a *admission) degraded() bool { return a.depth.Load() >= a.highWater }

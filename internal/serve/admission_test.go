@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdmissionTryAcquire(t *testing.T) {
+	a := newAdmission(10, 0.5, time.Second)
+	if !a.tryAcquire(6) {
+		t.Fatal("6 of 10 refused")
+	}
+	if a.tryAcquire(5) {
+		t.Fatal("6+5 of 10 admitted")
+	}
+	if !a.tryAcquire(4) {
+		t.Fatal("6+4 of 10 refused")
+	}
+	if a.tryAcquire(1) {
+		t.Fatal("admitted past a full queue")
+	}
+	if got := a.Depth(); got != 10 {
+		t.Fatalf("Depth = %d, want 10", got)
+	}
+	if !a.degraded() {
+		t.Fatal("full queue not degraded (high water 5)")
+	}
+	a.release(6)
+	if a.degraded() {
+		t.Fatalf("depth 4 still degraded below high water 5")
+	}
+	a.release(4)
+	if got := a.Depth(); got != 0 {
+		t.Fatalf("Depth after full release = %d", got)
+	}
+}
+
+// TestAdmissionShed429Deterministic pins the shed answer's full shape
+// without any concurrency: a 2-pair request against a 1-pair bound must
+// always shed with the typed 429.
+func TestAdmissionShed429Deterministic(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) {
+		c.MaxQueuedPairs = 1
+		c.RetryAfter = 1500 * time.Millisecond
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, raw := postJSON(t, ts, "/v1/match", matchRequest{Pairs: somePairs(t, 2)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	// 1500ms rounds up to the header's 2 delta-seconds; the body keeps
+	// the exact milliseconds.
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want 2", got)
+	}
+	ae := decodeAPIError(t, raw)
+	if ae.Code != "overloaded" {
+		t.Errorf("code = %q, want overloaded", ae.Code)
+	}
+	if ae.RetryAfterMs != 1500 {
+		t.Errorf("retry_after_ms = %d, want 1500", ae.RetryAfterMs)
+	}
+	if !strings.Contains(ae.Error, "shed") {
+		t.Errorf("error message %q does not mention shedding", ae.Error)
+	}
+	if got := s.Metrics().RequestsShed.Load(); got != 1 {
+		t.Errorf("RequestsShed = %d, want 1", got)
+	}
+	// /metrics must expose the shed counter and the queue gauges.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := mresp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	mresp.Body.Close()
+	body := sb.String()
+	for _, want := range []string{
+		"leapme_requests_shed_total 1",
+		"leapme_queue_depth 0",
+		"leapme_degraded 0",
+		"leapme_deadline_expired_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// A request that fits the bound still scores.
+	resp, raw = postJSON(t, ts, "/v1/match", matchRequest{Pairs: somePairs(t, 1)})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("1-pair request after shed: %d %s", resp.StatusCode, raw)
+	}
+}
+
+// TestDeadlineHeaderValidation pins the budget-header contract: garbage
+// is a 400, a generous budget scores normally.
+func TestDeadlineHeaderValidation(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{"abc", "-5", "0", "1.5"} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/match",
+			strings.NewReader(`{"pairs":[{"a":{"name":"x"},"b":{"name":"y"}}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(DeadlineHeader, bad)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("header %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	pairs := somePairs(t, 2)
+	data, err := json.Marshal(matchRequest{Pairs: pairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/match", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DeadlineHeader, "30000")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generous budget: %d %s", resp.StatusCode, raw)
+	}
+	if n := len(decodeMatch(t, raw).Results); n != len(pairs) {
+		t.Errorf("%d results for %d pairs", n, len(pairs))
+	}
+}

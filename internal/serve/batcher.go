@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"leapme/internal/chaos"
 	"leapme/internal/features"
 	"leapme/internal/guard"
 )
@@ -37,6 +38,7 @@ type batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 	met      *Metrics
+	chaos    *chaos.Injector // nil in production: inert hooks
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
@@ -45,8 +47,10 @@ type batcher struct {
 	wg     sync.WaitGroup // dispatcher + workers
 }
 
-// newBatcher starts the dispatcher and workers worker goroutines.
-func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics) *batcher {
+// newBatcher starts the dispatcher and workers worker goroutines. inj
+// arms the chaos hooks (PointBatch before each batch, PointScore inside
+// each pair's guard unit); nil leaves them inert.
+func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics, inj *chaos.Injector) *batcher {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -60,6 +64,7 @@ func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics) *bat
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		met:      met,
+		chaos:    inj,
 		queue:    make(chan *pending, workers*maxBatch),
 		work:     make(chan []*pending, workers),
 	}
@@ -153,6 +158,9 @@ func (b *batcher) runBatch(batch []*pending) {
 		b.met.Batches.Add(1)
 		b.met.BatchPairs.Add(int64(len(batch)))
 	}
+	// Chaos hook: Delay/Stall here holds this worker (and its waiters'
+	// deadlines start firing) while the rest of the pool keeps serving.
+	b.chaos.Inject(chaos.PointBatch)
 	for i := 0; i < len(batch); {
 		j := i
 		for j < len(batch) && batch[j].model == batch[i].model {
@@ -162,6 +170,11 @@ func (b *batcher) runBatch(batch []*pending) {
 		for _, p := range batch[i:j] {
 			var s float64
 			err := guard.Run(func() error {
+				// Chaos hook inside the guard unit: an injected panic
+				// must be isolated to this one pair, like any scorer bug.
+				if e := b.chaos.Inject(chaos.PointScore); e != nil {
+					return e
+				}
 				var e error
 				s, e = sc.Score(p.a, p.b)
 				return e

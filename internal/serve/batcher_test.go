@@ -29,7 +29,7 @@ func testModel(t *testing.T) *Model {
 
 func TestBatcherPoisonIsolation(t *testing.T) {
 	md := testModel(t)
-	b := newBatcher(2, 8, time.Millisecond, newMetrics())
+	b := newBatcher(2, 8, time.Millisecond, newMetrics(), nil)
 	defer b.Close()
 
 	good := somePairs(t, 4)
@@ -79,7 +79,7 @@ func TestBatcherCoalesces(t *testing.T) {
 	md := testModel(t)
 	met := newMetrics()
 	// Long flush deadline: concurrent pairs must ride in shared batches.
-	b := newBatcher(2, 16, 50*time.Millisecond, met)
+	b := newBatcher(2, 16, 50*time.Millisecond, met, nil)
 	defer b.Close()
 
 	pairs := somePairs(t, 24)
@@ -109,7 +109,7 @@ func TestBatcherCoalesces(t *testing.T) {
 
 func TestBatcherDrain(t *testing.T) {
 	md := testModel(t)
-	b := newBatcher(1, 4, time.Millisecond, newMetrics())
+	b := newBatcher(1, 4, time.Millisecond, newMetrics(), nil)
 
 	ctx := context.Background()
 	pairs := somePairs(t, 6)

@@ -13,8 +13,9 @@
 //	GET  /v1/models     list loaded models (core.ModelInfo per model)
 //	POST /v1/models     {"activate": name} or {"reload": true}
 //	GET  /healthz       liveness (always 200 while the process runs)
-//	GET  /readyz        readiness (200 once a model is active, 503 when
-//	                    draining)
+//	GET  /readyz        readiness (200 once a model is active; 503 when
+//	                    draining or when the admission queue is above its
+//	                    high-water mark — "degraded")
 //	GET  /metrics       Prometheus text exposition
 //
 // # Model registry
@@ -56,11 +57,43 @@
 // scoring are bit-identical because the cache stores the immutable Prop
 // itself, not a recomputation.
 //
+// # Admission control and deadlines
+//
+// In front of the batcher sits a bounded admission gate counting pairs
+// (the batcher's unit of work) across all in-flight requests. A request
+// is admitted all-or-nothing: if its pairs would push the count past
+// Config.MaxQueuedPairs it sheds immediately with a typed 429 —
+// {"error", "code": "overloaded", "retry_after_ms"} plus a Retry-After
+// header — so the queue is bounded by construction, never by OOM. Above
+// HighWaterFrac of the bound /readyz degrades to 503 while scoring
+// continues, steering load balancers away before shedding starts; the
+// gauges leapme_queue_depth and leapme_degraded expose the same state.
+//
+// Every request also runs under a deadline budget: Config.DefaultDeadline
+// unless the client sends X-Leapme-Deadline-Ms (clamped to MaxDeadline).
+// The budget context threads through Enqueue and Await, so the waiters of
+// a slow or stalled batch answer a typed 504 ("deadline_exceeded") while
+// the worker finishes into buffered response channels — an abandoned
+// waiter can never wedge the pool. All error answers share the typed JSON
+// vocabulary; internal/client consumes it for retry decisions.
+//
+// # Fault injection
+//
+// Config.Chaos accepts an *chaos.Injector (nil in production — the hooks
+// cost one nil check). The serving layer exposes three points: PointScore
+// inside each pair's guard unit (panic isolation), PointBatch before each
+// batch (latency/stall), and PointReload around model-file reads (corrupt
+// bytes failing the CRC). The chaos test suite (`make test-chaos`) drives
+// these under -race to prove the admission, deadline, reload and drain
+// invariants end-to-end; injections are seeded and replay deterministically.
+//
 // # Shutdown
 //
 // Close flips readiness off, stops admitting scoring work, drains queued
 // batches and waits for workers — the counterpart to http.Server's
-// connection drain. cmd/leapme-serve wires both to SIGINT/SIGTERM with a
-// drain deadline and exits 130 on signal, matching the CLI convention
-// established in cmd/leapme.
+// connection drain. Scoring work submitted after Close answers a typed
+// 503 ("draining"); already-admitted pairs still get their answers.
+// cmd/leapme-serve wires both to SIGINT/SIGTERM with a drain deadline and
+// exits 130 on signal, matching the CLI convention established in
+// cmd/leapme.
 package serve

@@ -16,6 +16,8 @@ type Metrics struct {
 	MatchRequests    atomic.Int64 // /v1/match requests admitted
 	MatchAllRequests atomic.Int64 // /v1/match/all requests admitted
 	RequestErrors    atomic.Int64 // requests answered 4xx/5xx
+	RequestsShed     atomic.Int64 // requests shed with 429 at admission
+	DeadlineExpired  atomic.Int64 // requests answered 504 on an expired budget
 	PairsScored      atomic.Int64 // pairs scored successfully
 	ScoreFailures    atomic.Int64 // pairs failed (isolated panics/errors)
 	Batches          atomic.Int64 // micro-batches executed
@@ -26,19 +28,28 @@ type Metrics struct {
 func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
 
 // WriteTo renders the exposition; reg contributes per-model cache and
-// identity series.
-func (m *Metrics) WriteTo(w io.Writer, reg *Registry, ready bool) {
+// identity series, queueDepth/degraded the admission gate's state.
+func (m *Metrics) WriteTo(w io.Writer, reg *Registry, ready bool, queueDepth int64, degraded bool) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	counter("leapme_match_requests_total", "Admitted /v1/match requests.", m.MatchRequests.Load())
 	counter("leapme_match_all_requests_total", "Admitted /v1/match/all requests.", m.MatchAllRequests.Load())
 	counter("leapme_request_errors_total", "Requests answered with an error status.", m.RequestErrors.Load())
+	counter("leapme_requests_shed_total", "Requests shed with 429 at admission.", m.RequestsShed.Load())
+	counter("leapme_deadline_expired_total", "Requests answered 504 on an expired scoring budget.", m.DeadlineExpired.Load())
 	counter("leapme_pairs_scored_total", "Property pairs scored.", m.PairsScored.Load())
 	counter("leapme_score_failures_total", "Pairs whose scoring failed (isolated).", m.ScoreFailures.Load())
 	counter("leapme_batches_total", "Micro-batches executed.", m.Batches.Load())
 	counter("leapme_batch_pairs_total", "Pairs coalesced into micro-batches.", m.BatchPairs.Load())
 	counter("leapme_model_swaps_total", "Model load/activate/reload swaps.", m.ModelSwaps.Load())
+
+	fmt.Fprintf(w, "# HELP leapme_queue_depth Pairs admitted into the scoring pipeline, not yet answered.\n# TYPE leapme_queue_depth gauge\nleapme_queue_depth %d\n", queueDepth)
+	degradedV := 0
+	if degraded {
+		degradedV = 1
+	}
+	fmt.Fprintf(w, "# HELP leapme_degraded Whether the admission queue is above the high-water mark.\n# TYPE leapme_degraded gauge\nleapme_degraded %d\n", degradedV)
 
 	readyV := 0
 	if ready {

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"leapme/internal/chaos"
 	"leapme/internal/core"
 	"leapme/internal/embedding"
 	"leapme/internal/features"
@@ -112,6 +114,10 @@ type RegistryOptions struct {
 	// MaxValues caps instance values aggregated per served property
 	// (0 = all), mirroring core.Options.MaxValues.
 	MaxValues int
+	// Chaos, when non-nil, arms the PointReload corruption hook: model
+	// bytes read during Load/Reload pass through the injector, so tests
+	// can prove a corrupt reload keeps the old snapshot serving.
+	Chaos *chaos.Injector
 }
 
 func (o RegistryOptions) withDefaults() RegistryOptions {
@@ -177,7 +183,10 @@ func (r *Registry) build(name, path string) (*Model, error) {
 		return nil, fmt.Errorf("serve: model %s: %w", name, err)
 	}
 	defer f.Close()
-	if err := m.ReadModel(f); err != nil {
+	// Chaos hook: a Corrupt fault bit-flips the model bytes so the CRC
+	// check fails the load; Reload then keeps the previous version.
+	var rd io.Reader = r.opts.Chaos.Reader(chaos.PointReload, f)
+	if err := m.ReadModel(rd); err != nil {
 		return nil, fmt.Errorf("serve: loading model %s (%s): %w", name, path, err)
 	}
 	sc, err := m.NewScorer()

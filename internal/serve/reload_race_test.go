@@ -1,0 +1,105 @@
+package serve
+
+// Satellite to the chaos suite: the SIGHUP hot-reload path raced against
+// live traffic when the file on disk is bad. TestHotSwapUnderLoad covers
+// the happy path (every reload succeeds); this test covers the unhappy
+// one — reloads keep failing while /v1/match is hammered, and the old
+// snapshot must keep serving without a single dropped request. Run under
+// -race (make test-race / test-chaos) this also proves the registry swap
+// is data-race free.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReloadFailureUnderLoad(t *testing.T) {
+	s, path := newTestServer(t, func(c *Config) { c.Workers = 4 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pairs := somePairs(t, 4)
+	_, raw := postJSON(t, ts, "/v1/match", matchRequest{Pairs: pairs})
+	wantCRC := decodeMatch(t, raw).CRC
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var requests, failures atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				resp, raw := postJSON(t, ts, "/v1/match", matchRequest{Pairs: pairs})
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("request failed during bad reload: %d %s", resp.StatusCode, raw)
+					return
+				}
+				mr := decodeMatch(t, raw)
+				if mr.CRC != wantCRC {
+					failures.Add(1)
+					t.Errorf("model CRC drifted to %s while reloads were failing", mr.CRC)
+					return
+				}
+				for i, r := range mr.Results {
+					if r.Error != "" {
+						failures.Add(1)
+						t.Errorf("pair %d failed during bad reload: %s", i, r.Error)
+					}
+				}
+			}
+		}()
+	}
+
+	// Cycle the on-disk file through broken shapes — truncated (bad CRC),
+	// garbage (bad magic), empty — reloading concurrently with the load
+	// generators. Every Reload must fail; none may disturb serving.
+	fixture(t)
+	broken := [][]byte{
+		fixModelA[:len(fixModelA)/2],
+		[]byte("not a leapme model at all"),
+		{},
+	}
+	for i := 0; i < 6; i++ {
+		time.Sleep(15 * time.Millisecond)
+		if err := os.WriteFile(path, broken[i%len(broken)], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Reload(); err == nil {
+			t.Fatalf("reload %d of a broken model file succeeded", i)
+		}
+	}
+	cancel()
+	wg.Wait()
+	if requests.Load() == 0 {
+		t.Fatal("load generator made no requests")
+	}
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d requests failed across failing reloads", failures.Load(), requests.Load())
+	}
+
+	// A final good write proves the path recovers once the file is fixed
+	// (after the generators stop: the swap changes the served CRC).
+	if err := os.WriteFile(path, fixModelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload of the repaired file failed: %v", err)
+	}
+	resp, raw := postJSON(t, ts, "/v1/match", matchRequest{Pairs: pairs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after recovery reload: %d %s", resp.StatusCode, raw)
+	}
+	if got := decodeMatch(t, raw).CRC; got == wantCRC {
+		t.Error("recovery reload did not swap in the new model version")
+	}
+}

@@ -1,19 +1,27 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"leapme/internal/blocking"
+	"leapme/internal/chaos"
 	"leapme/internal/dataset"
 	"leapme/internal/embedding"
 	"leapme/internal/features"
 )
+
+// DeadlineHeader carries a per-request scoring budget in integer
+// milliseconds; the server clamps it to Config.MaxDeadline. Kept in sync
+// with internal/client.DeadlineHeader.
+const DeadlineHeader = "X-Leapme-Deadline-Ms"
 
 // Config configures a Server.
 type Config struct {
@@ -42,6 +50,27 @@ type Config struct {
 	MaxPairs int
 	// MaxProps caps properties per /v1/match/all request (default 2048).
 	MaxProps int
+	// MaxQueuedPairs bounds pairs admitted into the scoring pipeline but
+	// not yet answered, across all in-flight requests. A request that
+	// would push past the bound is shed with a typed 429 and Retry-After
+	// instead of queueing (default 4×Workers×MaxBatch).
+	MaxQueuedPairs int
+	// HighWaterFrac is the fraction of MaxQueuedPairs above which
+	// /readyz degrades to 503, steering load balancers away before the
+	// hard cap sheds (default 0.75).
+	HighWaterFrac float64
+	// RetryAfter is the advice attached to shed responses (default 1s).
+	RetryAfter time.Duration
+	// DefaultDeadline is the per-request scoring budget when the client
+	// sends no X-Leapme-Deadline-Ms header (default 10s; negative
+	// disables the default so only client-requested budgets apply).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps client-requested budgets (default 60s).
+	MaxDeadline time.Duration
+	// Chaos, when non-nil, arms deterministic fault injection at the
+	// serving layer's hook points (see internal/chaos). Production
+	// servers leave it nil; the hooks are free.
+	Chaos *chaos.Injector
 }
 
 // Server is the matching-as-a-service HTTP server: a model registry, a
@@ -51,6 +80,7 @@ type Server struct {
 	cfg   Config
 	reg   *Registry
 	batch *batcher
+	adm   *admission
 	met   *Metrics
 	mux   *http.ServeMux
 	ready atomic.Bool
@@ -67,12 +97,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxProps <= 0 {
 		cfg.MaxProps = 2048
 	}
+	if cfg.MaxQueuedPairs <= 0 {
+		workers, maxBatch := cfg.Workers, cfg.MaxBatch
+		if workers <= 0 {
+			workers = 4
+		}
+		if maxBatch <= 0 {
+			maxBatch = 32
+		}
+		cfg.MaxQueuedPairs = 4 * workers * maxBatch
+	}
+	switch {
+	case cfg.DefaultDeadline == 0:
+		cfg.DefaultDeadline = 10 * time.Second
+	case cfg.DefaultDeadline < 0:
+		cfg.DefaultDeadline = 0
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 60 * time.Second
+	}
 	met := newMetrics()
 	reg, err := NewRegistry(cfg.Store, RegistryOptions{
 		Workers:   cfg.Workers,
 		CacheSize: cfg.CacheSize,
 		Threshold: cfg.Threshold,
 		MaxValues: cfg.MaxValues,
+		Chaos:     cfg.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -91,7 +141,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
-		batch: newBatcher(cfg.Workers, cfg.MaxBatch, cfg.MaxWait, met),
+		batch: newBatcher(cfg.Workers, cfg.MaxBatch, cfg.MaxWait, met, cfg.Chaos),
+		adm:   newAdmission(cfg.MaxQueuedPairs, cfg.HighWaterFrac, cfg.RetryAfter),
 		met:   met,
 		mux:   http.NewServeMux(),
 	}
@@ -211,11 +262,110 @@ type modelsAction struct {
 
 // --- handlers ---
 
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+// apiError is the typed JSON error body every non-200 answer carries:
+// the message, a machine-readable code clients branch on, and — for 429
+// shedding — a retry hint mirroring the Retry-After header in exact
+// milliseconds.
+type apiError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// codeFor maps a status to its default error code; call sites with a
+// more specific condition (shedding, draining, deadline) use failCode
+// directly.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline_exceeded"
+	default:
+		return "internal"
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.failCode(w, status, codeFor(status), format, args...)
+}
+
+func (s *Server) failCode(w http.ResponseWriter, status int, code, format string, args ...any) {
 	s.met.RequestErrors.Add(1)
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// shed answers a typed 429: the admission queue is full, come back after
+// RetryAfter. The header carries ceil-seconds (its wire granularity);
+// the JSON body repeats the advice in exact milliseconds.
+func (s *Server) shed(w http.ResponseWriter, pairs int) {
+	s.met.RequestsShed.Add(1)
+	s.met.RequestErrors.Add(1)
+	ra := s.adm.retryAfter
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(apiError{
+		Error: fmt.Sprintf("admission queue full (%d pairs queued, cap %d): request of %d pairs shed",
+			s.adm.Depth(), s.adm.max, pairs),
+		Code:         "overloaded",
+		RetryAfterMs: ra.Milliseconds(),
+	})
+}
+
+// failDeadline answers a typed 504 for a request whose scoring budget
+// expired — the waiters of a slow or stalled batch land here while the
+// rest of the pool keeps serving.
+func (s *Server) failDeadline(w http.ResponseWriter, scored, total int) {
+	s.met.DeadlineExpired.Add(1)
+	s.failCode(w, http.StatusGatewayTimeout, "deadline_exceeded",
+		"deadline exceeded with %d of %d pairs scored", scored, total)
+}
+
+// enqueueFail maps a batcher Enqueue/Await error onto the typed error
+// vocabulary: draining → 503, an expired budget → 504.
+func (s *Server) enqueueFail(w http.ResponseWriter, err error, scored, total int) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.failDeadline(w, scored, total)
+	case errors.Is(err, ErrDraining):
+		s.failCode(w, http.StatusServiceUnavailable, "draining", "%v", err)
+	default:
+		s.failCode(w, http.StatusServiceUnavailable, "canceled", "enqueue: %v", err)
+	}
+}
+
+// requestContext derives the request's scoring context from its deadline
+// budget: the X-Leapme-Deadline-Ms header when present (clamped to
+// MaxDeadline), else DefaultDeadline, else no server-imposed deadline.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad %s header %q: want positive integer milliseconds", DeadlineHeader, h)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	if d <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -239,7 +389,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.ready.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "draining")
+		s.failCode(w, http.StatusServiceUnavailable, "draining", "draining")
 		return
 	}
 	var req matchRequest
@@ -265,13 +415,26 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	// Admission: the request's pairs must fit under the queue bound in
+	// full, or the whole request sheds with a 429 — never a partial
+	// score, never an unbounded pile-up behind the batcher.
+	if !s.adm.tryAcquire(len(req.Pairs)) {
+		s.shed(w, len(req.Pairs))
+		return
+	}
+	defer s.adm.release(len(req.Pairs))
 	s.met.MatchRequests.Add(1)
 
 	threshold := md.Threshold()
 	if req.Threshold != nil {
 		threshold = *req.Threshold
 	}
-	ctx := r.Context()
 	// Featurize (through the cache), then enqueue every pair before
 	// awaiting any — that is what lets the dispatcher coalesce one
 	// request's pairs, and concurrent requests' pairs, into batches.
@@ -281,7 +444,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		pb := md.Featurize(p.B.Name, p.B.Values)
 		h, err := s.batch.Enqueue(ctx, md, pa, pb, fmt.Sprintf("pair %d (%s × %s)", i, p.A.Name, p.B.Name))
 		if err != nil {
-			s.fail(w, http.StatusServiceUnavailable, "enqueue: %v", err)
+			s.enqueueFail(w, err, 0, len(req.Pairs))
 			return
 		}
 		handles[i] = h
@@ -296,6 +459,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		results[i] = pairResult{Score: score, Match: score >= threshold}
+	}
+	// A budget that expired mid-request answers a typed 504: the batcher
+	// pool is unharmed (workers finish the batch into buffered channels),
+	// only this request's waiters are cancelled.
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.failDeadline(w, len(results)-failed, len(results))
+		return
 	}
 	if failed == len(results) {
 		// Every pair failed — a poisoned request. The guard kept the
@@ -320,7 +490,7 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.ready.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "draining")
+		s.failCode(w, http.StatusServiceUnavailable, "draining", "draining")
 		return
 	}
 	var req matchAllRequest
@@ -394,18 +564,28 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 			len(cands), s.cfg.MaxPairs)
 		return
 	}
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	if !s.adm.tryAcquire(len(cands)) {
+		s.shed(w, len(cands))
+		return
+	}
+	defer s.adm.release(len(cands))
 	s.met.MatchAllRequests.Add(1)
 
 	threshold := md.Threshold()
 	if req.Threshold != nil {
 		threshold = *req.Threshold
 	}
-	ctx := r.Context()
 	handles := make([]*pending, len(cands))
 	for i, c := range cands {
 		h, err := s.batch.Enqueue(ctx, md, feats[c.A], feats[c.B], c.A.String()+" × "+c.B.String())
 		if err != nil {
-			s.fail(w, http.StatusServiceUnavailable, "enqueue: %v", err)
+			s.enqueueFail(w, err, 0, len(cands))
 			return
 		}
 		handles[i] = h
@@ -425,6 +605,10 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 		if score >= threshold {
 			resp.Matches = append(resp.Matches, matchAllMatch{A: cands[i].A.String(), B: cands[i].B.String(), Score: score})
 		}
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.failDeadline(w, resp.Scored, len(cands))
+		return
 	}
 	sort.Slice(resp.Matches, func(i, j int) bool { return resp.Matches[i].Score > resp.Matches[j].Score })
 	if req.Top > 0 && len(resp.Matches) > req.Top {
@@ -487,14 +671,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.ready.Load() && s.reg.Active() != nil {
+	switch {
+	case !s.ready.Load() || s.reg.Active() == nil:
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	case s.adm.degraded():
+		// Above the high-water mark: still serving, but load balancers
+		// should steer new traffic elsewhere before shedding starts.
+		http.Error(w, "degraded: admission queue above high-water mark", http.StatusServiceUnavailable)
+	default:
 		w.Write([]byte("ready\n"))
-		return
 	}
-	http.Error(w, "not ready", http.StatusServiceUnavailable)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.WriteTo(w, s.reg, s.ready.Load())
+	s.met.WriteTo(w, s.reg, s.ready.Load(), s.adm.Depth(), s.adm.degraded())
 }
