@@ -22,7 +22,10 @@
 // Overload and failure behavior: admitted-but-unanswered pairs are
 // bounded by -max-queue — beyond it requests shed with a typed 429 and
 // Retry-After, and /readyz degrades to 503 above -high-water of the
-// bound. Every request runs under a deadline budget (-deadline, or the
+// bound. -max-pairs never exceeds -max-queue (serve.New raises the
+// defaulted bound or clamps -max-pairs), so a valid request always fits
+// an idle server and a 429 is genuinely transient. Every request runs
+// under a deadline budget (-deadline, or the
 // client's X-Leapme-Deadline-Ms header clamped to -max-deadline); an
 // expired budget answers a typed 504 without stalling the scorer pool.
 // See the README's "Overload & failure behavior" section for the full
@@ -62,8 +65,8 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 4096, "feature cache entries per model (-1 disables)")
 	threshold := fs.Float64("threshold", 0, "override every model's match threshold (0 keeps each model's own)")
 	maxValues := fs.Int("max-values", 0, "cap instance values per served property (0 = all)")
-	maxPairs := fs.Int("max-pairs", 4096, "max pairs per request")
-	maxQueue := fs.Int("max-queue", 0, "max admitted-but-unanswered pairs before shedding 429s (0 = 4×workers×max-batch)")
+	maxPairs := fs.Int("max-pairs", 4096, "max pairs per request (clamped down to -max-queue when that is set lower)")
+	maxQueue := fs.Int("max-queue", 0, "max admitted-but-unanswered pairs before shedding 429s (0 = 4×workers×max-batch, at least -max-pairs)")
 	highWater := fs.Float64("high-water", 0.75, "fraction of -max-queue above which /readyz degrades to 503")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After advice attached to shed (429) responses")
 	deadline := fs.Duration("deadline", 10*time.Second, "default per-request scoring budget (-1 disables; clients override via X-Leapme-Deadline-Ms)")

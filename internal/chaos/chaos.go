@@ -17,7 +17,10 @@
 // The package is in the determinism analyzer's scope (see
 // internal/analysis/determinism): no wall-clock reads, no global rand.
 // Injected delays use time.Sleep, which the analyzer permits because a
-// sleep delays work without changing any computed value.
+// sleep delays work without changing any computed value; the one timer
+// (the Stall safety cap) is annotated for the same reason. A Stall is
+// always bounded — Disarm wakes it immediately, and Fault.Delay (or
+// defaultStallCap when unset) caps it otherwise.
 package chaos
 
 import (
@@ -61,8 +64,10 @@ const (
 	Panic Mode = iota
 	// Delay sleeps for Fault.Delay, then lets the visit proceed.
 	Delay
-	// Stall sleeps until the injector is disarmed (or Fault.Delay has
-	// elapsed, when set — the safety cap for tests that forget Disarm).
+	// Stall blocks until the injector is disarmed or Fault.Delay has
+	// elapsed. A zero Delay is capped at defaultStallCap so a
+	// misconfigured fault that never sees Disarm cannot hang a worker
+	// forever.
 	Stall
 	// Error makes Inject return an error wrapping ErrInjected.
 	Error
@@ -96,7 +101,8 @@ type Fault struct {
 	// fires on every visit in its window — the fully deterministic
 	// setting the chaos tests prefer.
 	Prob float64
-	// Delay is the sleep for Delay mode and the optional cap for Stall.
+	// Delay is the sleep for Delay mode and the cap for Stall mode
+	// (defaultStallCap when zero — a stall is always bounded).
 	Delay time.Duration
 	// Skip lets the first Skip visits to the point pass unharmed (e.g.
 	// skip the startup Load so only the Reload is corrupted).
@@ -122,8 +128,11 @@ type Injector struct {
 	rng      *rand.Rand
 	faults   []*armedFault
 	disarmed bool
-	visits   map[Point]int
-	fired    map[Point]int
+	// disarm is closed by Disarm (and replaced by Rearm) so stalled
+	// visits wake immediately instead of polling.
+	disarm chan struct{}
+	visits map[Point]int
+	fired  map[Point]int
 }
 
 type armedFault struct {
@@ -136,6 +145,7 @@ type armedFault struct {
 func New(seed int64, faults ...Fault) *Injector {
 	in := &Injector{
 		rng:    mathx.NewRand(seed),
+		disarm: make(chan struct{}),
 		visits: map[Point]int{},
 		fired:  map[Point]int{},
 	}
@@ -202,12 +212,17 @@ func (in *Injector) Inject(p Point) error {
 	case Delay:
 		time.Sleep(f.Delay)
 	case Stall:
-		for waited := time.Duration(0); !in.isDisarmed(); waited += time.Millisecond {
-			if f.Delay > 0 && waited >= f.Delay {
-				break
-			}
-			time.Sleep(time.Millisecond)
+		bound := f.Delay
+		if bound <= 0 {
+			bound = defaultStallCap
 		}
+		//lint:allow determinism the stall cap timer bounds injected downtime and never feeds a computed value
+		t := time.NewTimer(bound)
+		select {
+		case <-in.disarmSignal():
+		case <-t.C:
+		}
+		t.Stop()
 	case Error:
 		return fmt.Errorf("%w at %s", ErrInjected, p)
 	}
@@ -255,14 +270,23 @@ func (c *corruptingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// defaultStallCap bounds Stall faults whose Delay is unset: injected
+// downtime must always end, even when nothing ever calls Disarm. A var
+// so the package tests can shrink it.
+var defaultStallCap = 5 * time.Second
+
 // Disarm stops all future injection: armed faults stop firing, stalled
-// visits return. The convergence tests flip this to prove recovery.
+// visits return immediately. The convergence tests flip this to prove
+// recovery.
 func (in *Injector) Disarm() {
 	if in == nil {
 		return
 	}
 	in.mu.Lock()
-	in.disarmed = true
+	if !in.disarmed {
+		in.disarmed = true
+		close(in.disarm)
+	}
 	in.mu.Unlock()
 }
 
@@ -273,14 +297,18 @@ func (in *Injector) Rearm() {
 		return
 	}
 	in.mu.Lock()
-	in.disarmed = false
+	if in.disarmed {
+		in.disarmed = false
+		in.disarm = make(chan struct{})
+	}
 	in.mu.Unlock()
 }
 
-func (in *Injector) isDisarmed() bool {
+// disarmSignal returns the channel closed by the next Disarm.
+func (in *Injector) disarmSignal() <-chan struct{} {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.disarmed
+	return in.disarm
 }
 
 // Fired returns how many faults have fired at p.

@@ -142,6 +142,59 @@ func TestStallDelayCap(t *testing.T) {
 	}
 }
 
+// TestStallDefaultCap pins the safety bound: a Stall fault with Delay
+// unset and no Disarm ever arriving — the misconfigured case — must
+// still return once defaultStallCap elapses, not hang a worker forever.
+func TestStallDefaultCap(t *testing.T) {
+	old := defaultStallCap
+	defaultStallCap = 30 * time.Millisecond
+	defer func() { defaultStallCap = old }()
+	in := New(1, Fault{Point: PointBatch, Mode: Stall})
+	start := time.Now()
+	if err := in.Inject(PointBatch); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 30*time.Millisecond || got > 2*time.Second {
+		t.Fatalf("uncapped stall lasted %v, want ~the 30ms default cap", got)
+	}
+}
+
+// TestRearmRestoresStall proves the disarm signal is per-arming: after
+// Disarm releases a stall, Rearm re-arms both the firing decision and a
+// fresh stall window.
+func TestRearmRestoresStall(t *testing.T) {
+	in := New(1, Fault{Point: PointScore, Mode: Error})
+	in.Disarm()
+	if err := in.Inject(PointScore); err != nil {
+		t.Fatalf("disarmed injector fired: %v", err)
+	}
+	in.Rearm()
+	if err := in.Inject(PointScore); err == nil {
+		t.Fatal("rearmed fault did not fire")
+	}
+
+	st := New(1, Fault{Point: PointBatch, Mode: Stall, Delay: 5 * time.Second})
+	st.Disarm()
+	st.Rearm()
+	done := make(chan struct{})
+	go func() {
+		st.Inject(PointBatch)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("stall after Rearm returned without Disarm (stale disarm channel)")
+	default:
+	}
+	st.Disarm()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stall did not return after the post-Rearm Disarm")
+	}
+}
+
 func TestCorruptReader(t *testing.T) {
 	orig := bytes.Repeat([]byte{0xAA}, 4096)
 	in := New(1, Fault{Point: PointReload, Mode: Corrupt, Count: 1})

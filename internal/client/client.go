@@ -287,12 +287,19 @@ func decodeError(resp *http.Response) error {
 	} else {
 		apiErr.Message = strings.TrimSpace(string(raw))
 	}
-	// Header form (delta-seconds only) wins when longer.
+	// Header form wins when longer. RFC 9110 allows both delta-seconds
+	// (what leapme-serve sends) and an HTTP-date (what proxies and load
+	// balancers in front of it may rewrite it to).
 	if s := resp.Header.Get("Retry-After"); s != "" {
+		var d time.Duration
 		if secs, err := strconv.Atoi(s); err == nil {
-			if d := time.Duration(secs) * time.Second; d > apiErr.RetryAfter {
-				apiErr.RetryAfter = d
-			}
+			d = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(s); err == nil {
+			//lint:allow determinism an absolute Retry-After date only converts to a wait via the wall clock; wait time never feeds a computed result
+			d = time.Until(at)
+		}
+		if d > apiErr.RetryAfter {
+			apiErr.RetryAfter = d
 		}
 	}
 	return apiErr

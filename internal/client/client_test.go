@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -101,6 +103,38 @@ func TestRetriesOn429HonoringRetryAfter(t *testing.T) {
 	// Two waits, each at least the 10ms retry_after_ms advice.
 	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
 		t.Fatalf("finished in %v; Retry-After advice ignored", elapsed)
+	}
+}
+
+// TestRetryAfterHTTPDate pins the RFC 9110 HTTP-date form of Retry-After
+// (what proxies and load balancers in front of the server may rewrite
+// the delta-seconds form to): the client converts it to a wait instead
+// of silently ignoring it and retrying sooner than advised.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	errResp := func(retryAfter, body string) *http.Response {
+		return &http.Response{
+			StatusCode: http.StatusTooManyRequests,
+			Header:     http.Header{"Retry-After": []string{retryAfter}},
+			Body:       io.NopCloser(strings.NewReader(body)),
+		}
+	}
+	future := time.Now().Add(3 * time.Second).UTC().Format(http.TimeFormat)
+	var apiErr *APIError
+	if !errors.As(decodeError(errResp(future, `{"error":"queue full","code":"overloaded"}`)), &apiErr) {
+		t.Fatal("decodeError did not return an *APIError")
+	}
+	// http.TimeFormat has second granularity, so the parsed wait is the
+	// 3s advice minus sub-second truncation and test overhead.
+	if apiErr.RetryAfter < time.Second || apiErr.RetryAfter > 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~3s from the HTTP-date header", apiErr.RetryAfter)
+	}
+	// A date in the past must not outrank the body's positive advice.
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if !errors.As(decodeError(errResp(past, `{"error":"queue full","code":"overloaded","retry_after_ms":50}`)), &apiErr) {
+		t.Fatal("decodeError did not return an *APIError")
+	}
+	if apiErr.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want the body's 50ms (past date must lose)", apiErr.RetryAfter)
 	}
 }
 

@@ -57,8 +57,11 @@ func (a *admission) tryAcquire(n int) bool {
 	}
 }
 
-// release returns n admitted pairs when their request finishes (scored,
-// failed, or timed out — the handler releases on every exit path).
+// release returns n admitted pairs. Handlers release per pair as each
+// result lands; pairs abandoned by an expired budget keep their slots
+// until the worker's result arrives (Server.drainAbandoned), so depth
+// counts everything still occupying the pipeline, and pairs that never
+// reached the batcher (failed Enqueue) release immediately.
 func (a *admission) release(n int) { a.depth.Add(-int64(n)) }
 
 // Depth is the current number of admitted, unanswered pairs.

@@ -41,18 +41,66 @@ func TestAdmissionTryAcquire(t *testing.T) {
 	}
 }
 
+// TestAdmissionCapAdmitsMaxPairs pins the invariant behind every 429:
+// MaxPairs never exceeds MaxQueuedPairs after New, so a request that
+// passes validation is always admissible on an idle server and a shed is
+// genuinely transient. The defaulted queue bound is raised to MaxPairs;
+// an explicit bound below MaxPairs clamps MaxPairs down instead, turning
+// the impossible request into a permanent 400.
+func TestAdmissionCapAdmitsMaxPairs(t *testing.T) {
+	// Defaulted queue bound: 4×1×4 = 16 would be below MaxPairs=64, so it
+	// must be raised — a MaxPairs-sized request on an idle server scores.
+	s, _ := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.MaxBatch = 4
+		c.MaxPairs = 64
+	})
+	if s.cfg.MaxQueuedPairs != 64 {
+		t.Fatalf("defaulted MaxQueuedPairs = %d, want raised to MaxPairs 64", s.cfg.MaxQueuedPairs)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	pairs := somePairs(t, 64)
+	resp, raw := postJSON(t, ts, "/v1/match", matchRequest{Pairs: pairs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("MaxPairs-sized request on an idle server: %d %s", resp.StatusCode, raw)
+	}
+	if n := len(decodeMatch(t, raw).Results); n != len(pairs) {
+		t.Fatalf("%d results for %d pairs", n, len(pairs))
+	}
+
+	// Explicit queue bound below MaxPairs: MaxPairs clamps down, and an
+	// oversized request is a permanent 400, never an eternal 429.
+	s2, _ := newTestServer(t, func(c *Config) { c.MaxQueuedPairs = 4 })
+	if s2.cfg.MaxPairs != 4 {
+		t.Fatalf("MaxPairs = %d, want clamped to explicit MaxQueuedPairs 4", s2.cfg.MaxPairs)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, raw = postJSON(t, ts2, "/v1/match", matchRequest{Pairs: somePairs(t, 5)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized request = %d, want permanent 400: %s", resp.StatusCode, raw)
+	}
+}
+
 // TestAdmissionShed429Deterministic pins the shed answer's full shape
-// without any concurrency: a 2-pair request against a 1-pair bound must
-// always shed with the typed 429.
+// without any concurrency: with one admission slot already held, a
+// 2-pair request against a 3-pair bound must shed with the typed 429 —
+// and succeed once the slot frees, because a 429 is always transient.
 func TestAdmissionShed429Deterministic(t *testing.T) {
 	s, _ := newTestServer(t, func(c *Config) {
-		c.MaxQueuedPairs = 1
+		c.MaxQueuedPairs = 3
 		c.RetryAfter = 1500 * time.Millisecond
 	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// Occupy enough of the gate that a 2-pair request cannot fit.
+	if !s.adm.tryAcquire(2) {
+		t.Fatal("could not pre-occupy the admission gate")
+	}
 	resp, raw := postJSON(t, ts, "/v1/match", matchRequest{Pairs: somePairs(t, 2)})
+	s.adm.release(2)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, raw)
 	}

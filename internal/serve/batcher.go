@@ -98,11 +98,21 @@ func (b *batcher) Enqueue(ctx context.Context, md *Model, pa, pb *features.Prop,
 
 // Await blocks until the pair is scored or ctx ends.
 func (b *batcher) Await(ctx context.Context, p *pending) (float64, error) {
+	score, err, _ := b.AwaitDelivered(ctx, p)
+	return score, err
+}
+
+// AwaitDelivered is Await plus provenance: delivered reports whether the
+// worker's result actually landed. false means the wait was abandoned by
+// ctx — the pair still occupies the pipeline and its (buffered) result
+// will land later, which is what lets an abandoning caller hand the
+// handle to a background drain instead of leaking accounting.
+func (b *batcher) AwaitDelivered(ctx context.Context, p *pending) (score float64, err error, delivered bool) {
 	select {
 	case r := <-p.resp:
-		return r.score, r.err
+		return r.score, r.err, true
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return 0, ctx.Err(), false
 	}
 }
 

@@ -46,14 +46,18 @@ type Config struct {
 	// MaxValues caps instance values per served property (0 = all).
 	MaxValues int
 	// MaxPairs caps pairs per /v1/match request and candidate pairs per
-	// /v1/match/all request (default 4096).
+	// /v1/match/all request (default 4096). New clamps it down to
+	// MaxQueuedPairs so any request that passes validation can be
+	// admitted on an idle server: an oversized request fails with a
+	// permanent 400, never a 429 that could not possibly succeed.
 	MaxPairs int
 	// MaxProps caps properties per /v1/match/all request (default 2048).
 	MaxProps int
 	// MaxQueuedPairs bounds pairs admitted into the scoring pipeline but
 	// not yet answered, across all in-flight requests. A request that
 	// would push past the bound is shed with a typed 429 and Retry-After
-	// instead of queueing (default 4×Workers×MaxBatch).
+	// instead of queueing (default 4×Workers×MaxBatch, raised to
+	// MaxPairs when that is larger so a full-size request still fits).
 	MaxQueuedPairs int
 	// HighWaterFrac is the fraction of MaxQueuedPairs above which
 	// /readyz degrades to 503, steering load balancers away before the
@@ -106,6 +110,17 @@ func New(cfg Config) (*Server, error) {
 			maxBatch = 32
 		}
 		cfg.MaxQueuedPairs = 4 * workers * maxBatch
+		if cfg.MaxQueuedPairs < cfg.MaxPairs {
+			// The default bound must admit a maximal valid request on an
+			// idle server; otherwise 513+ pairs under default flags would
+			// shed forever — a permanent failure dressed up as transient.
+			cfg.MaxQueuedPairs = cfg.MaxPairs
+		}
+	} else if cfg.MaxPairs > cfg.MaxQueuedPairs {
+		// An explicit admission cap below MaxPairs wins: clamp MaxPairs so
+		// a request that can never be admitted fails validation with a
+		// permanent 400 instead of an eternally retryable 429.
+		cfg.MaxPairs = cfg.MaxQueuedPairs
 	}
 	switch {
 	case cfg.DefaultDeadline == 0:
@@ -423,12 +438,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Admission: the request's pairs must fit under the queue bound in
 	// full, or the whole request sheds with a 429 — never a partial
-	// score, never an unbounded pile-up behind the batcher.
+	// score, never an unbounded pile-up behind the batcher. Slots return
+	// per pair as results land (abandoned pairs via drainAbandoned), so
+	// the depth gauge keeps counting work still occupying the pipeline.
 	if !s.adm.tryAcquire(len(req.Pairs)) {
 		s.shed(w, len(req.Pairs))
 		return
 	}
-	defer s.adm.release(len(req.Pairs))
 	s.met.MatchRequests.Add(1)
 
 	threshold := md.Threshold()
@@ -444,27 +460,42 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		pb := md.Featurize(p.B.Name, p.B.Values)
 		h, err := s.batch.Enqueue(ctx, md, pa, pb, fmt.Sprintf("pair %d (%s × %s)", i, p.A.Name, p.B.Name))
 		if err != nil {
+			s.adm.release(len(req.Pairs) - i) // pairs i.. never entered the pipeline
+			s.drainAbandoned(handles[:i])
 			s.enqueueFail(w, err, 0, len(req.Pairs))
 			return
 		}
 		handles[i] = h
 	}
 	results := make([]pairResult, len(handles))
-	failed := 0
+	var abandoned []*pending
+	scored, failed, deadlined := 0, 0, 0
 	for i, h := range handles {
-		score, err := s.batch.Await(ctx, h)
+		score, err, delivered := s.batch.AwaitDelivered(ctx, h)
+		if delivered {
+			s.adm.release(1)
+		} else {
+			abandoned = append(abandoned, h)
+			if errors.Is(err, context.DeadlineExceeded) {
+				deadlined++
+			}
+		}
 		if err != nil {
 			results[i] = pairResult{Error: err.Error()}
 			failed++
 			continue
 		}
+		scored++
 		results[i] = pairResult{Score: score, Match: score >= threshold}
 	}
-	// A budget that expired mid-request answers a typed 504: the batcher
-	// pool is unharmed (workers finish the batch into buffered channels),
-	// only this request's waiters are cancelled.
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		s.failDeadline(w, len(results)-failed, len(results))
+	s.drainAbandoned(abandoned)
+	// A budget that expired mid-request answers a typed 504 — but only
+	// when a wait was actually cut off. A request whose last result
+	// landed just before the deadline is a success, not a timeout; the
+	// batcher pool is unharmed either way (workers finish the batch into
+	// buffered channels), only this request's waiters were cancelled.
+	if deadlined > 0 {
+		s.failDeadline(w, scored, len(results))
 		return
 	}
 	if failed == len(results) {
@@ -482,6 +513,26 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 func cacheOf(md *Model) cacheStats {
 	h, m, n := md.CacheStats()
 	return cacheStats{Hits: h, Misses: m, Entries: n}
+}
+
+// drainAbandoned returns admission slots for pairs whose waiter gave up
+// (expired budget, dropped client). Each slot is released only when the
+// worker's buffered result actually lands, so leapme_queue_depth keeps
+// counting zombie pairs still occupying the batcher — after a burst of
+// 504s new admissions queue behind the real backlog instead of an
+// under-counted one. The goroutine always terminates: every enqueued
+// pair is answered into its buffered channel, even through Close.
+func (s *Server) drainAbandoned(handles []*pending) {
+	if len(handles) == 0 {
+		return
+	}
+	//lint:allow guardgo the body only receives from buffered channels and cannot panic; workers' delivery guarantee bounds its life
+	go func() {
+		for _, h := range handles {
+			<-h.resp
+			s.adm.release(1)
+		}
+	}()
 }
 
 func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
@@ -574,7 +625,6 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 		s.shed(w, len(cands))
 		return
 	}
-	defer s.adm.release(len(cands))
 	s.met.MatchAllRequests.Add(1)
 
 	threshold := md.Threshold()
@@ -585,6 +635,8 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 	for i, c := range cands {
 		h, err := s.batch.Enqueue(ctx, md, feats[c.A], feats[c.B], c.A.String()+" × "+c.B.String())
 		if err != nil {
+			s.adm.release(len(cands) - i) // pairs i.. never entered the pipeline
+			s.drainAbandoned(handles[:i])
 			s.enqueueFail(w, err, 0, len(cands))
 			return
 		}
@@ -595,8 +647,18 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 		Properties: len(props),
 		Candidates: len(cands),
 	}
+	var abandoned []*pending
+	deadlined := 0
 	for i, h := range handles {
-		score, err := s.batch.Await(ctx, h)
+		score, err, delivered := s.batch.AwaitDelivered(ctx, h)
+		if delivered {
+			s.adm.release(1)
+		} else {
+			abandoned = append(abandoned, h)
+			if errors.Is(err, context.DeadlineExceeded) {
+				deadlined++
+			}
+		}
 		if err != nil {
 			resp.Failures++
 			continue
@@ -606,7 +668,8 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 			resp.Matches = append(resp.Matches, matchAllMatch{A: cands[i].A.String(), B: cands[i].B.String(), Score: score})
 		}
 	}
-	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+	s.drainAbandoned(abandoned)
+	if deadlined > 0 {
 		s.failDeadline(w, resp.Scored, len(cands))
 		return
 	}
