@@ -3,7 +3,7 @@ GO ?= go
 PACKAGES := ./...
 # Packages with new parallel paths; test-determinism re-runs their
 # determinism suites under different scheduler conditions.
-DETERMINISM_PACKAGES := ./internal/nn ./internal/features ./internal/core ./internal/eval ./internal/tapon
+DETERMINISM_PACKAGES := ./internal/nn ./internal/features ./internal/core ./internal/eval ./internal/tapon ./internal/index ./internal/blocking
 
 # External analyzers run by lint-ext. Pinned here (not in go.mod: the
 # repo builds offline, and `go run pkg@version` resolves these only on
@@ -65,12 +65,13 @@ fuzz:
 	$(GO) test ./internal/serve -run='^$$' -fuzz='^FuzzMatchRequest$$' -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz='^FuzzMatchAllRequest$$' -fuzztime=10s
 
-# Machine-readable performance baselines for the serving, training and
-# parallel pipelines (committed as BENCH_*.json).
+# Machine-readable performance baselines for the serving, training,
+# parallel and blocking pipelines (committed as BENCH_*.json).
 bench-json:
 	$(GO) run ./cmd/benchtab -bench serve -out BENCH_serve.json
 	$(GO) run ./cmd/benchtab -bench train -out BENCH_train.json
 	$(GO) run ./cmd/benchtab -bench parallel -out BENCH_parallel.json
+	$(GO) run ./cmd/benchtab -bench blocking -out BENCH_blocking.json
 
 clean:
 	$(GO) clean -testcache

@@ -42,7 +42,8 @@ type benchReport struct {
 	// against healthy ones.
 	DegradedEnv bool               `json:"degraded_env,omitempty"`
 	Config      map[string]any     `json:"config"`
-	Results     []benchResult      `json:"results"`
+	Results     []benchResult      `json:"results,omitempty"`
+	Blocking    []blockingRow      `json:"blocking,omitempty"`
 	Derived     map[string]float64 `json:"derived,omitempty"`
 }
 

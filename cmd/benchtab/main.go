@@ -18,6 +18,7 @@
 //	benchtab -bench serve -out BENCH_serve.json
 //	benchtab -bench train -out BENCH_train.json
 //	benchtab -bench parallel -out BENCH_parallel.json [-workers N]
+//	benchtab -bench blocking -out BENCH_blocking.json [-blocking-sizes 2000,5000,10000,15000]
 package main
 
 import (
@@ -41,16 +42,26 @@ func main() {
 	names := flag.String("datasets", "cameras,headphones,phones,tvs", "datasets to include")
 	dim := flag.Int("dim", 50, "embedding dimension")
 	verbose := flag.Bool("v", false, "per-run progress on stderr")
-	bench := flag.String("bench", "", "emit a JSON benchmark report instead of a table: serve|train|parallel")
+	bench := flag.String("bench", "", "emit a JSON benchmark report instead of a table: serve|train|parallel|blocking")
 	out := flag.String("out", "", "output file for -bench (default BENCH_<suite>.json)")
 	workers := flag.Int("workers", 0, "worker count for the parallel arms and eval repetitions (0 = all CPUs)")
+	blockingSizes := flag.String("blocking-sizes", "2000,5000,10000,15000", "corpus sizes for -bench blocking")
 	flag.Parse()
 
 	if *bench != "" {
 		if *out == "" {
 			*out = "BENCH_" + *bench + ".json"
 		}
-		if err := runBench(*bench, *out, *seed, 32, *workers); err != nil {
+		var err error
+		if *bench == "blocking" {
+			var sizes []int
+			if sizes, err = parseSizes(*blockingSizes); err == nil {
+				err = benchBlocking(*out, *seed, 32, *workers, sizes)
+			}
+		} else {
+			err = runBench(*bench, *out, *seed, 32, *workers)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)
 			os.Exit(1)
 		}
@@ -184,6 +195,26 @@ func run(table, scale string, runs int, seed int64, names string, dim int, verbo
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// parseSizes parses the -blocking-sizes list.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -blocking-sizes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -blocking-sizes")
+	}
+	return out, nil
 }
 
 func trainStore(seed int64, dim int) (*embedding.Store, error) {

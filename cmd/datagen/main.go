@@ -4,6 +4,11 @@
 // Usage:
 //
 //	datagen [-out data] [-datasets cameras,headphones,phones,tvs] [-lite] [-seed 1]
+//	datagen -preset large [-props 10000] [-sources 12] [-synonym-rate 0.35] [-category cameras]
+//
+// The large preset generates a single benchmark-scale corpus (10k–100k
+// properties) for blocking and ANN-index experiments; -props sets the
+// target property count, -synonym-rate the naming heterogeneity.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 
 	"leapme/internal/dataset"
+	"leapme/internal/domain"
 )
 
 func main() {
@@ -21,9 +27,23 @@ func main() {
 	names := flag.String("datasets", "cameras,headphones,phones,tvs", "comma-separated dataset names")
 	lite := flag.Bool("lite", false, "generate the shrunk -lite variants")
 	seed := flag.Int64("seed", 1, "generator seed")
+	preset := flag.String("preset", "", "alternative preset: large (benchmark-scale corpus)")
+	props := flag.Int("props", 10000, "large preset: target total property count")
+	sources := flag.Int("sources", 12, "large preset: number of sources")
+	synRate := flag.Float64("synonym-rate", 0.35, "large preset: probability a shared property is named by a synonym instead of its canonical name")
+	category := flag.String("category", "cameras", "large preset: reference category")
 	flag.Parse()
 
-	if err := run(*out, *names, *lite, *seed); err != nil {
+	var err error
+	switch *preset {
+	case "":
+		err = run(*out, *names, *lite, *seed)
+	case "large":
+		err = runLarge(*out, *category, *props, *sources, *synRate, *seed)
+	default:
+		err = fmt.Errorf("unknown preset %q (want large)", *preset)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
@@ -45,17 +65,32 @@ func run(out, names string, lite bool, seed int64) error {
 		if lite {
 			cfg = dataset.Lite(cfg)
 		}
-		d, err := dataset.Generate(cfg)
-		if err != nil {
+		if err := generate(out, cfg); err != nil {
 			return err
 		}
-		dir := filepath.Join(out, d.Name)
-		if err := d.SaveDir(dir); err != nil {
-			return err
-		}
-		s := d.Summary()
-		fmt.Printf("%-16s → %s: %d sources, %d properties, %d entities, %d instances, %d matching pairs\n",
-			d.Name, dir, s.Sources, s.Properties, s.Entities, s.Instances, s.MatchingPairs)
 	}
+	return nil
+}
+
+func runLarge(out, category string, props, sources int, synRate float64, seed int64) error {
+	cat, ok := domain.Categories()[category]
+	if !ok {
+		return fmt.Errorf("unknown category %q", category)
+	}
+	return generate(out, dataset.LargeConfig(cat, props, sources, synRate, seed))
+}
+
+func generate(out string, cfg dataset.GenConfig) error {
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(out, d.Name)
+	if err := d.SaveDir(dir); err != nil {
+		return err
+	}
+	s := d.Summary()
+	fmt.Printf("%-16s → %s: %d sources, %d properties, %d entities, %d instances, %d matching pairs\n",
+		d.Name, dir, s.Sources, s.Properties, s.Entities, s.Instances, s.MatchingPairs)
 	return nil
 }

@@ -15,9 +15,12 @@
 //	GET  /metrics       Prometheus text exposition
 //
 // Multiple models are served side by side (-model "a=x.leapme,b=y.leapme");
-// requests pick one with "model", others use the active one. SIGHUP (or
-// POST {"reload":true}) re-reads every model file and hot-swaps without
-// dropping in-flight requests. SIGINT/SIGTERM drains and exits 130.
+// requests pick one with "model", others use the active one. -index
+// attaches prebuilt ANN snapshots (from `leapme index`) so /v1/match/all
+// "ann" blocking answers from the snapshot instead of building an index
+// per request. SIGHUP (or POST {"reload":true}) re-reads every model file
+// — and its snapshot — and hot-swaps without dropping in-flight requests.
+// SIGINT/SIGTERM drains and exits 130.
 //
 // Overload and failure behavior: admitted-but-unanswered pairs are
 // bounded by -max-queue — beyond it requests shed with a typed 429 and
@@ -57,6 +60,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("leapme-serve", flag.ExitOnError)
 	storePath := fs.String("store", "", "embedding store file (from `leapme embed`)")
 	modelList := fs.String("model", "", "model files to serve: path, or name=path,name=path,...")
+	indexList := fs.String("index", "", "ANN index snapshots (from `leapme index`): path, or name=path,... matching -model names")
 	active := fs.String("active", "", "initially active model name (default: first loaded)")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 4, "batch-scoring workers (also sizes each model's scorer pool)")
@@ -83,6 +87,11 @@ func run(args []string) error {
 	models, err := serve.ParseModelList(*modelList)
 	if err != nil {
 		return err
+	}
+	if *indexList != "" {
+		if err := serve.AttachIndexes(models, *indexList); err != nil {
+			return err
+		}
 	}
 	store, err := cli.LoadStore(*storePath)
 	if err != nil {

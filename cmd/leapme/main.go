@@ -6,6 +6,7 @@
 //	leapme eval    -data data/cameras -store store.bin [-frac 0.8] [-runs 5]
 //	leapme cluster -data data/cameras -store store.bin -train source00,source01 [-scheme star]
 //	leapme label   -data data/cameras -store store.bin -category cameras -train source00,source01
+//	leapme index   -data data/cameras -store store.bin -out index.leapme
 //
 // embed trains domain GloVe embeddings (and prints an embedding quality
 // report); train fits a matcher on the named sources and saves it as a
@@ -13,7 +14,8 @@
 // prints the matches it finds among the remaining sources; eval runs the
 // paper's protocol and prints averaged P/R/F1; cluster derives property
 // clusters from the similarity graph; label runs TAPON semantic labelling
-// against a reference ontology.
+// against a reference ontology; index builds an ANN snapshot for
+// leapme-serve's -index flag.
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"leapme/internal/eval"
 	"leapme/internal/features"
 	"leapme/internal/graph"
+	"leapme/internal/index"
 	"leapme/internal/mathx"
 	"leapme/internal/tapon"
 )
@@ -60,6 +63,8 @@ func main() {
 		err = cmdCluster(ctx, os.Args[2:])
 	case "label":
 		err = cmdLabel(ctx, os.Args[2:])
+	case "index":
+		err = cmdIndex(ctx, os.Args[2:])
 	case "serve":
 		fmt.Fprintln(os.Stderr, "leapme: serving lives in its own binary — run `leapme-serve -store store.bin -model model.leapme` (train a model first with `leapme train`)")
 		os.Exit(2)
@@ -96,8 +101,9 @@ func usage() {
   leapme eval    -data DIR -store store.bin [-frac 0.8] [-runs 5] [-features both/all] [-seed 1]
   leapme cluster -data DIR -store store.bin -train src1,src2 [-scheme components|star|correlation]
   leapme label   -data DIR -store store.bin -category cameras -train src1,src2 [-top 20]
+  leapme index   -data DIR -store store.bin -out index.leapme [-backend lsh|hnsw] [-seed 1]
 
-train/match/eval/cluster/label also accept:
+train/match/eval/cluster/label/index also accept:
   -lenient       quarantine malformed dataset records instead of failing the load
   -timeout DUR   abort the run after DUR (e.g. 90s); Ctrl-C cancels cooperatively
   -workers N     parallelism: 0 = legacy serial training, N ≥ 1 = deterministic
@@ -496,5 +502,50 @@ func cmdCluster(ctx context.Context, args []string) error {
 	truth := dataset.MatchingPairs(testProps)
 	p, r, f1 := clusters.PairwiseQuality(truth)
 	fmt.Fprintf(os.Stderr, "pairwise quality vs ground truth: P=%.3f R=%.3f F1=%.3f\n", p, r, f1)
+	return nil
+}
+
+// cmdIndex builds an ANN index snapshot over a dataset's properties and
+// saves it for leapme-serve's -index flag: /v1/match/all "ann" blocking
+// then answers from the snapshot instead of building an index per
+// request.
+func cmdIndex(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	dataDir := fs.String("data", "", "dataset directory (from datagen)")
+	storePath := fs.String("store", "", "embedding store file (from embed)")
+	out := fs.String("out", "index.leapme", "output snapshot file")
+	backend := fs.String("backend", index.BackendLSH, "index backend: lsh or hnsw")
+	seed := fs.Int64("seed", 1, "seed")
+	workers := fs.Int("workers", -1, "parallelism: N = deterministic N-worker build, -1 = all CPUs")
+	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
+	fs.Parse(args)
+	if *dataDir == "" || *storePath == "" {
+		return fmt.Errorf("index needs -data and -store")
+	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	store, err := loadStore(*storePath)
+	if err != nil {
+		return err
+	}
+	d, err := loadData(*dataDir, *lenient)
+	if err != nil {
+		return err
+	}
+	snap, err := index.BuildSnapshot(ctx, store, d.Props, index.Options{
+		Backend: *backend,
+		Seed:    *seed,
+		Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d properties (%s backend, dim %d) → %s\n",
+		snap.Len(), *backend, store.Dim(), *out)
+	fmt.Printf("serve it: leapme-serve -store %s -model model.leapme -index %s\n", *storePath, *out)
 	return nil
 }

@@ -35,6 +35,10 @@ var Packages = []string{
 	// replayable schedules — same rules, same analyzer.
 	"leapme/internal/chaos",
 	"leapme/internal/client",
+	// The ANN retrieval layer promises bit-identical indexes and
+	// candidate sets for any worker count — same rules again.
+	"leapme/internal/index",
+	"leapme/internal/blocking",
 }
 
 // clockFuncs are the time package functions that read the wall clock or
@@ -61,7 +65,7 @@ var randConstructors = map[string]bool{
 var Analyzer = &lintkit.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock reads, global math/rand and map-order accumulation " +
-		"inside the deterministic packages (nn, features, eval, tapon, core, parallel, chaos, client)",
+		"inside the deterministic packages (nn, features, eval, tapon, core, parallel, chaos, client, index, blocking)",
 	Run: run,
 }
 

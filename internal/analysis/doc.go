@@ -6,9 +6,11 @@
 //	determinism  wall-clock reads, the global math/rand source and
 //	             map-iteration-order accumulation are forbidden inside
 //	             the packages behind the -workers reproducibility
-//	             guarantee (nn, features, eval, tapon, core, parallel)
-//	             and the packages promising seeded, replayable
-//	             schedules (chaos, client). Seeded *rand.Rand values
+//	             guarantee (nn, features, eval, tapon, core, parallel),
+//	             the packages promising seeded, replayable schedules
+//	             (chaos, client), and the ANN retrieval layer promising
+//	             bit-identical indexes and candidate sets for any worker
+//	             count (index, blocking). Seeded *rand.Rand values
 //	             (mathx.NewRand, parallel.SeedStream) and the
 //	             collect-keys-then-sort map pattern stay legal.
 //	guardgo      goroutine launches must route through internal/guard

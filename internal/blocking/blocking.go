@@ -4,7 +4,7 @@
 // Blocker proposes a candidate subset that (ideally) contains all true
 // matches; the matcher then scores only candidates.
 //
-// Two complementary blockers are provided, mirroring standard entity-
+// Three complementary blockers are provided, mirroring standard entity-
 // resolution practice:
 //
 //   - TokenBlocker: candidates share at least one name token, with very
@@ -13,10 +13,14 @@
 //   - EmbeddingBlocker: for each property, the k nearest properties of
 //     other sources by name-embedding cosine — catching synonym matches
 //     that share no token, exactly the pairs LEAPME's embeddings exist
-//     for.
+//     for. Exact (scans every pair), so it doubles as the recall oracle;
+//   - ANNBlocker: the same k-nearest-by-cosine proposal served from an
+//     internal/index structure instead of a full scan — sub-linear per
+//     query, deterministic, and the one to use beyond paper-scale
+//     corpora.
 //
-// Union the two for high pair-completeness at a large reduction ratio;
-// Quality quantifies both.
+// Union token and embedding (or ANN) blocking for high pair-completeness
+// at a large reduction ratio; Quality quantifies both.
 package blocking
 
 import (
@@ -42,10 +46,17 @@ type TokenBlocker struct {
 	// properties (default 0.1): such tokens are schema stop-words
 	// ("product", "item") whose blocks would be quadratic anyway.
 	MaxTokenFreq float64
+	// MaxBlockSize is an absolute cap on block membership (default 64).
+	// The frequency limit alone scales with the corpus — at 100k
+	// properties a 0.1 fraction still admits 10k-member blocks, i.e.
+	// ~50M pairs from a single token — so an absolute ceiling is what
+	// actually bounds the blocker's output. Blocks above the cap are
+	// dropped as stop-tokens.
+	MaxBlockSize int
 }
 
 // NewTokenBlocker returns a TokenBlocker with default settings.
-func NewTokenBlocker() *TokenBlocker { return &TokenBlocker{MaxTokenFreq: 0.1} }
+func NewTokenBlocker() *TokenBlocker { return &TokenBlocker{MaxTokenFreq: 0.1, MaxBlockSize: 64} }
 
 // Name implements Blocker.
 func (b *TokenBlocker) Name() string { return "token" }
@@ -56,9 +67,20 @@ func (b *TokenBlocker) Candidates(props []dataset.Property) []dataset.Pair {
 	if maxFreq <= 0 {
 		maxFreq = 0.1
 	}
+	// The frequency limit floors at 2 so tiny corpora (where
+	// maxFreq·n rounds to 0 or 1) still form pairs at all, and is
+	// capped by MaxBlockSize so no single token can contribute a
+	// quadratic block on large corpora.
 	limit := int(maxFreq * float64(len(props)))
 	if limit < 2 {
 		limit = 2
+	}
+	maxBlock := b.MaxBlockSize
+	if maxBlock <= 0 {
+		maxBlock = 64
+	}
+	if limit > maxBlock {
+		limit = maxBlock
 	}
 	blocks := map[string][]int{}
 	for i, p := range props {
@@ -112,9 +134,12 @@ func (b *EmbeddingBlocker) Candidates(props []dataset.Property) []dataset.Pair {
 	if k <= 0 {
 		k = 10
 	}
+	// Encode and unit-normalize once per property, not once per pair:
+	// with normalized vectors cosine is a plain dot product, which turns
+	// the O(n²) scan's per-pair cost from two norms + a dot into a dot.
 	vecs := make([][]float64, len(props))
 	for i, p := range props {
-		vecs[i] = b.Store.EncodePhrase(p.Name)
+		vecs[i] = mathx.Normalized(b.Store.EncodePhrase(p.Name))
 	}
 	type cand struct {
 		idx int
@@ -127,12 +152,18 @@ func (b *EmbeddingBlocker) Candidates(props []dataset.Property) []dataset.Pair {
 			if i == j || props[i].Source == props[j].Source {
 				continue
 			}
-			sim := mathx.CosineSimilarity(vecs[i], vecs[j])
+			sim := mathx.Dot(vecs[i], vecs[j])
 			if sim >= b.MinSim {
 				cands = append(cands, cand{idx: j, sim: sim})
 			}
 		}
-		sort.Slice(cands, func(x, y int) bool { return cands[x].sim > cands[y].sim })
+		sort.Slice(cands, func(x, y int) bool {
+			//lint:allow floateq sort tie-break must be an exact total order; a tolerance comparator is not a strict weak ordering
+			if cands[x].sim != cands[y].sim {
+				return cands[x].sim > cands[y].sim
+			}
+			return cands[x].idx < cands[y].idx
+		})
 		if len(cands) > k {
 			cands = cands[:k]
 		}
@@ -165,6 +196,19 @@ func (u Union) Candidates(props []dataset.Property) []dataset.Pair {
 	for _, b := range u {
 		for _, p := range b.Candidates(props) {
 			pairSet[p] = true
+		}
+	}
+	return sortedPairs(pairSet)
+}
+
+// MergePairs unions candidate lists into one deduplicated, sorted list —
+// what Union does, for callers that already hold the per-blocker results
+// (e.g. because one list came from a context-aware ANN query).
+func MergePairs(lists ...[]dataset.Pair) []dataset.Pair {
+	pairSet := map[dataset.Pair]bool{}
+	for _, list := range lists {
+		for _, p := range list {
+			pairSet[p.Canonical()] = true
 		}
 	}
 	return sortedPairs(pairSet)

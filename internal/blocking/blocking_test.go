@@ -13,7 +13,7 @@ import (
 
 var cachedStore *embedding.Store
 
-func getStore(t *testing.T) *embedding.Store {
+func getStore(t testing.TB) *embedding.Store {
 	t.Helper()
 	if cachedStore == nil {
 		corpus := domain.Corpus([]*domain.Category{domain.Cameras()},
@@ -126,6 +126,154 @@ func TestMeasureEmpty(t *testing.T) {
 	q := Measure(nil, nil)
 	if q.PairCompleteness != 0 || q.ReductionRatio != 0 {
 		t.Errorf("empty measure = %+v", q)
+	}
+}
+
+// TestTokenBlockerTinyCorpus is the regression test for the frequency
+// limit flooring to 0 or 1 on tiny corpora: int(0.1·4) = 0 would mark
+// every token a stop-token and propose nothing at all.
+func TestTokenBlockerTinyCorpus(t *testing.T) {
+	props := []dataset.Property{
+		{Source: "s0", Name: "zoom"},
+		{Source: "s1", Name: "zoom factor"},
+		{Source: "s0", Name: "weight"},
+		{Source: "s1", Name: "net weight"},
+	}
+	cands := NewTokenBlocker().Candidates(props)
+	if len(cands) != 2 {
+		t.Fatalf("tiny corpus produced %d candidates, want 2 (zoom pair + weight pair): %v", len(cands), cands)
+	}
+}
+
+// TestTokenBlockerMaxBlockSize is the regression test for the other end:
+// on a large corpus the relative frequency limit alone admits huge
+// blocks — a token carried by 5%% of 4000 properties is under the 10%%
+// stop-token threshold yet yields a ~10⁴-pair block. The absolute cap
+// must drop it while leaving genuinely rare tokens paired.
+func TestTokenBlockerMaxBlockSize(t *testing.T) {
+	var props []dataset.Property
+	for i := 0; i < 200; i++ { // 5% of 4000 share "sensor"
+		props = append(props, dataset.Property{
+			Source: "s" + string(rune('0'+i%4)),
+			Name:   "sensor " + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)),
+		})
+	}
+	for i := 0; i < 3800; i++ { // filler with per-property unique tokens
+		props = append(props, dataset.Property{
+			Source: "s" + string(rune('0'+i%4)),
+			Name:   "f" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)),
+		})
+	}
+	props = append(props,
+		dataset.Property{Source: "s0", Name: "rare aperture"},
+		dataset.Property{Source: "s1", Name: "rare opening"})
+
+	cands := NewTokenBlocker().Candidates(props)
+	for _, c := range cands {
+		if c.A.Name != "rare aperture" && c.B.Name != "rare aperture" {
+			t.Fatalf("oversized 'sensor' block leaked pair %v", c)
+		}
+	}
+	if len(cands) != 1 {
+		t.Fatalf("got %d candidates, want exactly the rare-token pair: %v", len(cands), cands)
+	}
+
+	// Raising the cap above the block size must re-admit the block.
+	big := &TokenBlocker{MaxTokenFreq: 0.1, MaxBlockSize: 500}
+	if got := len(big.Candidates(props)); got <= 1 {
+		t.Fatalf("cap=500 still suppressed the sensor block (%d candidates)", got)
+	}
+}
+
+// TestMeasureAsymmetricSources pins Measure's arithmetic on a hand-built
+// three-source corpus with unbalanced source sizes and one source
+// contributing no ground truth.
+func TestMeasureAsymmetricSources(t *testing.T) {
+	props := []dataset.Property{
+		{Source: "s0", Name: "width", Ref: "r1"},
+		{Source: "s0", Name: "height", Ref: "r2"},
+		{Source: "s0", Name: "depth", Ref: ""},
+		{Source: "s1", Name: "breadth", Ref: "r1"},
+		{Source: "s1", Name: "tallness", Ref: "r2"},
+		{Source: "s2", Name: "broadness", Ref: "r1"},
+		// s3 exists but matches nothing anywhere (all-noise source).
+		{Source: "s3", Name: "serial", Ref: ""},
+	}
+	// Ground truth: r1 → (s0,s1), (s0,s2), (s1,s2); r2 → (s0,s1). Total 4.
+	truth := dataset.MatchingPairs(props)
+	if len(truth) != 4 {
+		t.Fatalf("fixture ground truth = %d pairs, want 4", len(truth))
+	}
+	// Candidates: 2 of the 4 true pairs + 1 false pair, one duplicated in
+	// swapped order — Measure must count it once via canonicalisation.
+	cands := []dataset.Pair{
+		{A: dataset.Key{Source: "s0", Name: "width"}, B: dataset.Key{Source: "s1", Name: "breadth"}},
+		{A: dataset.Key{Source: "s2", Name: "broadness"}, B: dataset.Key{Source: "s1", Name: "breadth"}},
+		{A: dataset.Key{Source: "s3", Name: "serial"}, B: dataset.Key{Source: "s0", Name: "depth"}},
+	}
+	q := Measure(cands, props)
+	if q.PairCompleteness != 0.5 {
+		t.Errorf("pair completeness = %v, want 0.5", q.PairCompleteness)
+	}
+	// Cross-source pairs: 7 props, C(7,2)=21 minus 3 same-source (s0×s0)
+	// minus 1 (s1×s1) = 17.
+	if q.TotalPairs != 17 {
+		t.Errorf("total pairs = %d, want 17", q.TotalPairs)
+	}
+	if q.Candidates != 3 {
+		t.Errorf("candidates = %d, want 3", q.Candidates)
+	}
+	want := 1 - 3.0/17.0
+	if diff := q.ReductionRatio - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("reduction ratio = %v, want %v", q.ReductionRatio, want)
+	}
+}
+
+// trivialBlocker returns a fixed pair list, possibly non-canonical — for
+// exercising Union's dedup.
+type trivialBlocker struct {
+	name  string
+	pairs []dataset.Pair
+}
+
+func (b trivialBlocker) Name() string                                   { return b.name }
+func (b trivialBlocker) Candidates(_ []dataset.Property) []dataset.Pair { return b.pairs }
+
+// TestUnionDedupAndEmptyMembers covers Union over 3+ members with
+// overlapping proposals, an empty member (the all-stop-token corpus
+// case), and verifies output stays sorted and unique.
+func TestUnionDedupAndEmptyMembers(t *testing.T) {
+	p1 := dataset.Pair{A: dataset.Key{Source: "s0", Name: "width"}, B: dataset.Key{Source: "s1", Name: "breadth"}}.Canonical()
+	p2 := dataset.Pair{A: dataset.Key{Source: "s1", Name: "tallness"}, B: dataset.Key{Source: "s2", Name: "height"}}.Canonical()
+	u := Union{
+		trivialBlocker{name: "a", pairs: []dataset.Pair{p1, p2}},
+		trivialBlocker{name: "b", pairs: []dataset.Pair{p2, p1}},
+		trivialBlocker{name: "c", pairs: nil}, // proposes nothing
+	}
+	if u.Name() != "union(a+b+c)" {
+		t.Errorf("union name = %q", u.Name())
+	}
+	got := u.Candidates(nil)
+	if len(got) != 2 {
+		t.Fatalf("union produced %d pairs, want 2 (deduplicated): %v", len(got), got)
+	}
+	if got[0] != p1 || got[1] != p2 {
+		t.Fatalf("union output not sorted/canonical: %v", got)
+	}
+
+	// An all-stop-token corpus: every member proposes nothing; the union
+	// must return an empty set, not nil-panic or invent pairs.
+	var stopProps []dataset.Property
+	for i := 0; i < 40; i++ {
+		src := "s0"
+		if i%2 == 1 {
+			src = "s1"
+		}
+		stopProps = append(stopProps, dataset.Property{Source: src, Name: "item"})
+	}
+	all := Union{NewTokenBlocker()}
+	if cands := all.Candidates(stopProps); len(cands) != 0 {
+		t.Errorf("all-stop-token corpus produced %d candidates, want 0", len(cands))
 	}
 }
 

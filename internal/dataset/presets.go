@@ -1,6 +1,10 @@
 package dataset
 
-import "leapme/internal/domain"
+import (
+	"fmt"
+
+	"leapme/internal/domain"
+)
 
 // The presets reproduce the statistics the paper reports for its four
 // evaluation datasets.
@@ -103,6 +107,59 @@ func Lite(cfg GenConfig) GenConfig {
 		cfg.MaxEntities = 40
 	}
 	cfg.Name += "-lite"
+	return cfg
+}
+
+// LargeConfig sizes a preset for blocking and ANN-index benchmarks:
+// roughly props properties spread over sources, far beyond the paper's
+// datasets. synonymRate in [0, 1] controls naming heterogeneity — the
+// probability that a source labels a shared property with a synonym
+// instead of its canonical name (0 = all canonical, 1 = never canonical).
+// Entities are kept small: the large presets stress candidate generation
+// over property *names*, not instance volume.
+//
+// The property total is met by topping up each source with noise
+// properties once its shared (matched) properties are counted, so the
+// matched-pair structure stays category-shaped while the corpus grows.
+// The global noise-name budget (domain.GenerateNoiseProperties) bounds
+// props at roughly 100k; Generate reports an error beyond it.
+func LargeConfig(category *domain.Category, props, sources int, synonymRate float64, seed int64) GenConfig {
+	if sources < 2 {
+		sources = 2
+	}
+	if synonymRate < 0 {
+		synonymRate = 0
+	}
+	if synonymRate > 1 {
+		synonymRate = 1
+	}
+	const presence = 0.85
+	const split = 0.05
+	// Expected shared properties per source: present references plus the
+	// extra property each split contributes.
+	shared := int(float64(len(category.Props)) * presence * (1 + split))
+	noise := props/sources - shared
+	if noise < 0 {
+		noise = 0
+	}
+	cfg := GenConfig{
+		Name:           fmt.Sprintf("%s-large-%dk", category.Name, (props+500)/1000),
+		Category:       category,
+		NumSources:     sources,
+		SharedPresence: presence,
+		CanonicalBias:  1 - synonymRate,
+		SplitProb:      split,
+		NoiseProps:     noise,
+		MinEntities:    4,
+		MaxEntities:    8,
+		MissingRate:    0.3,
+		Seed:           seed,
+	}
+	// CanonicalBias 0 would silently default to 0.5; UniformNames is the
+	// explicit "never canonical" switch.
+	if synonymRate >= 1 {
+		cfg.UniformNames = true
+	}
 	return cfg
 }
 

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"leapme/internal/domain"
+)
+
+func TestLargeConfigHitsTargetSize(t *testing.T) {
+	const target = 8000
+	cfg := LargeConfig(domain.Cameras(), target, 12, 0.35, 1)
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(d.Props)
+	// Presence/split/dedup jitter the exact count; a ±15% band proves the
+	// noise top-up sizing is right without pinning generator internals.
+	if got < target*85/100 || got > target*115/100 {
+		t.Errorf("generated %d properties, want ~%d", got, target)
+	}
+	srcs := map[string]bool{}
+	for _, p := range d.Props {
+		srcs[p.Source] = true
+	}
+	if len(srcs) != 12 {
+		t.Errorf("got %d sources, want 12", len(srcs))
+	}
+	if len(MatchingPairs(d.Props)) == 0 {
+		t.Error("large corpus has no ground-truth matching pairs")
+	}
+	if !strings.Contains(d.Name, "large") {
+		t.Errorf("Name = %q, want a -large- marker", d.Name)
+	}
+}
+
+func TestLargeConfigSynonymRateMapping(t *testing.T) {
+	if cfg := LargeConfig(domain.Cameras(), 1000, 4, 0, 1); cfg.CanonicalBias != 1 || cfg.UniformNames {
+		t.Errorf("rate 0: bias=%v uniform=%v, want 1/false", cfg.CanonicalBias, cfg.UniformNames)
+	}
+	// rate 1 means bias 0, which Generate would silently default to 0.5 —
+	// UniformNames is the explicit switch.
+	if cfg := LargeConfig(domain.Cameras(), 1000, 4, 1, 1); !cfg.UniformNames {
+		t.Error("rate 1: UniformNames not set")
+	}
+	if cfg := LargeConfig(domain.Cameras(), 1000, 1, 2, 1); cfg.NumSources != 2 || cfg.UniformNames != true {
+		t.Errorf("clamps: sources=%d uniform=%v", cfg.NumSources, cfg.UniformNames)
+	}
+}

@@ -1,0 +1,337 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"leapme/internal/mathx"
+	"leapme/internal/parallel"
+)
+
+// hnswIndex is the hierarchical navigable-small-world backend, built as
+// fixed-size shards over contiguous id ranges. Each shard is a complete,
+// independently-constructed HNSW graph: node levels come from a seeded
+// hash of the *global* id, insertion runs in ascending id order, and
+// every neighbour selection breaks ties on id — so a shard's bytes are a
+// pure function of (its vectors, seed), and shards build in parallel
+// without any cross-talk. A query beam-searches every shard and merges.
+//
+// The shard decomposition is what makes the build both parallel and
+// bit-deterministic: classic single-graph HNSW insertion is inherently
+// order- and timing-sensitive when parallelised. The query-side price is
+// a factor of numShards on beam work, still orders of magnitude below a
+// linear scan for large n.
+type hnswIndex struct {
+	dim    int
+	opts   Options
+	vecs   [][]float64 // unit-normalized, id order
+	shards []*hnswShard
+}
+
+// hnswShard is one HNSW graph over global ids [lo, hi).
+type hnswShard struct {
+	lo, hi   int
+	entry    int   // global id of the top-level entry point (-1 when empty)
+	maxLevel int   // highest level present
+	levels   []int // levels[local] = top level of node lo+local
+	// links[l][local] lists the neighbours (global ids) of node lo+local
+	// at level l; nil above the node's level.
+	links [][][]int32
+}
+
+func buildHNSW(ctx context.Context, vecs [][]float64, dim int, opts Options) (*hnswIndex, error) {
+	ix := &hnswIndex{dim: dim, opts: opts, vecs: vecs}
+	spans := parallel.Chunks(len(vecs), opts.ShardSize)
+	shards, rep, err := parallel.Map(ctx, opts.Workers, len(spans),
+		func(i int) string { return fmt.Sprintf("hnsw shard %d", i) },
+		func(i int) (*hnswShard, error) {
+			return ix.buildShard(spans[i].Lo, spans[i].Hi), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if rep != nil && rep.Failed() > 0 {
+		return nil, fmt.Errorf("index: hnsw shard build failed: %s", rep)
+	}
+	ix.shards = shards
+	return ix, nil
+}
+
+// levelOf derives a node's level from (seed, global id) with the
+// SplitMix64 stream hash: a geometric distribution with mean 1/ln(M),
+// independent of insertion schedule or worker count.
+func levelOf(seed int64, id, m int) int {
+	// Map the hashed id to (0, 1]; the +1 keeps u off exact zero.
+	u := (float64(uint64(parallel.SeedStream(seed, id))>>11) + 1) / float64(1<<53)
+	l := int(-math.Log(u) / math.Log(float64(m)))
+	if l > 30 {
+		l = 30
+	}
+	return l
+}
+
+// buildShard constructs the HNSW graph over global ids [lo, hi) by
+// sequential insertion in ascending id order.
+func (ix *hnswIndex) buildShard(lo, hi int) *hnswShard {
+	sh := &hnswShard{lo: lo, hi: hi, entry: -1}
+	n := hi - lo
+	sh.levels = make([]int, n)
+	for local := 0; local < n; local++ {
+		sh.levels[local] = levelOf(ix.opts.Seed, lo+local, ix.opts.M)
+	}
+	scratch := make([]bool, n)
+	for local := 0; local < n; local++ {
+		ix.insert(sh, lo+local, scratch)
+	}
+	return sh
+}
+
+// ensureLevels grows sh.links to cover level l.
+func (sh *hnswShard) ensureLevels(l int) {
+	for len(sh.links) <= l {
+		sh.links = append(sh.links, make([][]int32, len(sh.levels)))
+	}
+}
+
+// insert adds global id to the shard graph. scratch is a reusable
+// visited array of the shard's size.
+func (ix *hnswIndex) insert(sh *hnswShard, id int, scratch []bool) {
+	level := sh.levels[id-sh.lo]
+	sh.ensureLevels(level)
+	if sh.entry < 0 {
+		sh.entry = id
+		sh.maxLevel = level
+		return
+	}
+	q := ix.vecs[id]
+	ep := sh.entry
+	// Greedy descent through the levels above the new node's level.
+	for l := sh.maxLevel; l > level; l-- {
+		ep = ix.greedy(sh, q, ep, l)
+	}
+	// Beam-search each level from min(level, maxLevel) down, linking the
+	// best M neighbours bidirectionally.
+	top := level
+	if top > sh.maxLevel {
+		top = sh.maxLevel
+	}
+	maxL0 := 2 * ix.opts.M
+	for l := top; l >= 0; l-- {
+		found := ix.searchLayer(sh, q, []int{ep}, ix.opts.EfBuild, l, scratch)
+		m := ix.opts.M
+		if m > len(found) {
+			m = len(found)
+		}
+		nbrs := found[:m]
+		local := id - sh.lo
+		for _, nb := range nbrs {
+			sh.links[l][local] = append(sh.links[l][local], int32(nb.ID))
+		}
+		maxDeg := ix.opts.M
+		if l == 0 {
+			maxDeg = maxL0
+		}
+		for _, nb := range nbrs {
+			nl := nb.ID - sh.lo
+			sh.links[l][nl] = append(sh.links[l][nl], int32(id))
+			if len(sh.links[l][nl]) > maxDeg {
+				sh.links[l][nl] = ix.shrink(nb.ID, sh.links[l][nl], maxDeg)
+			}
+		}
+		if len(found) > 0 {
+			ep = found[0].ID
+		}
+	}
+	if level > sh.maxLevel {
+		sh.maxLevel = level
+		sh.entry = id
+	}
+}
+
+// shrink keeps the maxDeg neighbours of node most similar to it, ties on
+// ascending id — the deterministic analogue of HNSW's neighbour pruning.
+func (ix *hnswIndex) shrink(node int, nbrs []int32, maxDeg int) []int32 {
+	ids := make([]int, len(nbrs))
+	for i, nb := range nbrs {
+		ids[i] = int(nb)
+	}
+	ranked := rank(ix.vecs, ix.vecs[node], ids, maxDeg)
+	out := make([]int32, len(ranked))
+	for i, c := range ranked {
+		out[i] = int32(c.ID)
+	}
+	return out
+}
+
+// greedy walks level l from ep to a local similarity maximum for q.
+// Strictly-better moves only, first-listed neighbour wins equal scores —
+// both choices are deterministic given the adjacency order.
+func (ix *hnswIndex) greedy(sh *hnswShard, q []float64, ep, l int) int {
+	best := ep
+	bestSim := mathx.Dot(q, ix.vecs[ep])
+	improved := true
+	for improved {
+		improved = false
+		for _, nb := range sh.links[l][best-sh.lo] {
+			sim := mathx.Dot(q, ix.vecs[nb])
+			if sim > bestSim {
+				bestSim = sim
+				best = int(nb)
+				improved = true
+			}
+		}
+	}
+	return best
+}
+
+// searchLayer is the beam search at one level: expand the best
+// unexpanded candidate, keep the ef best seen, stop when the frontier
+// cannot improve the beam. Returns candidates best-first (sim desc, id
+// asc). visited must be a zeroed scratch array of the shard's size; it is
+// re-zeroed before return.
+func (ix *hnswIndex) searchLayer(sh *hnswShard, q []float64, eps []int, ef, l int, visited []bool) []Candidate {
+	var touched []int
+	visit := func(id int) (Candidate, bool) {
+		local := id - sh.lo
+		if visited[local] {
+			return Candidate{}, false
+		}
+		visited[local] = true
+		touched = append(touched, local)
+		return Candidate{ID: id, Sim: mathx.Dot(q, ix.vecs[id])}, true
+	}
+
+	var frontier, beam candHeap // frontier: best-first; beam: worst-first
+	for _, ep := range eps {
+		if c, ok := visit(ep); ok {
+			frontier.push(c, false)
+			beam.push(c, true)
+		}
+	}
+	for frontier.len() > 0 {
+		cur := frontier.pop(false)
+		if beam.len() >= ef && worse(cur, beam.peek()) {
+			break
+		}
+		for _, nb := range sh.links[l][cur.ID-sh.lo] {
+			c, ok := visit(int(nb))
+			if !ok {
+				continue
+			}
+			if beam.len() < ef || !worse(c, beam.peek()) {
+				frontier.push(c, false)
+				beam.push(c, true)
+				if beam.len() > ef {
+					beam.pop(true)
+				}
+			}
+		}
+	}
+	for _, local := range touched {
+		visited[local] = false
+	}
+	out := make([]Candidate, beam.len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = beam.pop(true)
+	}
+	return out
+}
+
+// Query implements Index.
+func (ix *hnswIndex) Query(q []float64, k int) []Candidate {
+	if k <= 0 || len(q) != ix.dim {
+		return nil
+	}
+	nq := mathx.Normalized(q)
+	var ids []int
+	for _, sh := range ix.shards {
+		if sh.entry < 0 {
+			continue
+		}
+		ep := sh.entry
+		for l := sh.maxLevel; l > 0; l-- {
+			ep = ix.greedy(sh, nq, ep, l)
+		}
+		visited := make([]bool, sh.hi-sh.lo)
+		for _, c := range ix.searchLayer(sh, nq, []int{ep}, ix.opts.EfSearch, 0, visited) {
+			ids = append(ids, c.ID)
+		}
+	}
+	return rank(ix.vecs, nq, ids, k)
+}
+
+// Len implements Index.
+func (ix *hnswIndex) Len() int { return len(ix.vecs) }
+
+// Dim implements Index.
+func (ix *hnswIndex) Dim() int { return ix.dim }
+
+// Vector implements Index.
+func (ix *hnswIndex) Vector(id int) []float64 { return ix.vecs[id] }
+
+// Name implements Index.
+func (ix *hnswIndex) Name() string { return BackendHNSW }
+
+// worse reports whether a ranks strictly after b in (sim desc, id asc)
+// order — the one total order every structure here shares.
+func worse(a, b Candidate) bool {
+	//lint:allow floateq heap ordering must be an exact total order; a tolerance comparator breaks the heap invariant
+	if a.Sim != b.Sim {
+		return a.Sim < b.Sim
+	}
+	return a.ID > b.ID
+}
+
+// candHeap is a binary heap of Candidates. min=false orders best-first
+// (a frontier popping the most promising next), min=true orders
+// worst-first (a bounded beam evicting its weakest). The comparator is
+// the exact (sim, id) total order, so heap shape is deterministic.
+type candHeap struct{ s []Candidate }
+
+func (h *candHeap) len() int        { return len(h.s) }
+func (h *candHeap) peek() Candidate { return h.s[0] }
+
+func (h *candHeap) before(a, b Candidate, min bool) bool {
+	if min {
+		return worse(a, b)
+	}
+	return worse(b, a)
+}
+
+func (h *candHeap) push(c Candidate, min bool) {
+	h.s = append(h.s, c)
+	i := len(h.s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(h.s[i], h.s[p], min) {
+			break
+		}
+		h.s[i], h.s[p] = h.s[p], h.s[i]
+		i = p
+	}
+}
+
+func (h *candHeap) pop(min bool) Candidate {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.before(h.s[l], h.s[best], min) {
+			best = l
+		}
+		if r < last && h.before(h.s[r], h.s[best], min) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.s[i], h.s[best] = h.s[best], h.s[i]
+		i = best
+	}
+	return top
+}

@@ -1,0 +1,231 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"leapme/internal/mathx"
+	"leapme/internal/parallel"
+)
+
+// Candidate is one approximate-nearest-neighbour query result. Sim is the
+// exact cosine similarity between the query and the candidate (candidates
+// are re-ranked exactly after retrieval; only the *set* is approximate).
+type Candidate struct {
+	ID  int
+	Sim float64
+}
+
+// Index answers approximate nearest-neighbour queries over a fixed set of
+// vectors. Implementations are immutable after Build and safe for
+// concurrent readers.
+type Index interface {
+	// Query returns up to k candidates nearest q by cosine similarity,
+	// best-first with ties broken by ascending id. q need not be
+	// normalized.
+	Query(q []float64, k int) []Candidate
+	// Len returns the number of indexed vectors.
+	Len() int
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// Vector returns the stored (unit-normalized) vector for id. The
+	// returned slice must not be modified.
+	Vector(id int) []float64
+	// Name identifies the backend ("lsh" or "hnsw").
+	Name() string
+}
+
+// Backend names.
+const (
+	BackendLSH  = "lsh"
+	BackendHNSW = "hnsw"
+)
+
+// Options configures Build. The zero value selects the LSH backend with
+// the defaults below.
+type Options struct {
+	// Backend selects the index structure: BackendLSH (default) or
+	// BackendHNSW.
+	Backend string
+	// Seed drives every stochastic choice (hyperplanes, level
+	// assignment). Same seed + same vectors → bit-identical index.
+	Seed int64
+	// Workers parallelises the build (≤0 = GOMAXPROCS). The result is
+	// bit-identical for every value.
+	Workers int
+
+	// Tables is the number of LSH hash tables (default 12).
+	Tables int
+	// Bits is the signature width per table (max 32). When unset, Build
+	// scales it to the corpus: roughly log2(n/4), clamped to [6, 14], so
+	// bucket occupancy stays in the low single digits at any size.
+	Bits int
+	// Probes is the number of extra multiprobe buckets per table: the
+	// query's signature with its lowest-margin bits flipped one at a
+	// time (default 4).
+	Probes int
+
+	// M is the HNSW out-degree target per node per level (default 12).
+	M int
+	// EfBuild is the construction beam width (default 80).
+	EfBuild int
+	// EfSearch is the query beam width (default 48).
+	EfSearch int
+	// ShardSize is the number of vectors per independently-built HNSW
+	// shard (default 4096). Smaller shards build with more parallelism;
+	// larger shards query faster.
+	ShardSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backend == "" {
+		o.Backend = BackendLSH
+	}
+	if o.Tables <= 0 {
+		o.Tables = 12
+	}
+	if o.Bits > 32 {
+		o.Bits = 32
+	}
+	if o.Probes < 0 {
+		o.Probes = 0
+	} else if o.Probes == 0 {
+		o.Probes = 4
+	}
+	if o.M <= 0 {
+		o.M = 12
+	}
+	if o.EfBuild <= 0 {
+		o.EfBuild = 80
+	}
+	if o.EfSearch <= 0 {
+		o.EfSearch = 48
+	}
+	if o.ShardSize <= 0 {
+		o.ShardSize = 4096
+	}
+	return o
+}
+
+// Build constructs an index over vecs. All vectors must share one
+// non-zero dimension; they are copied and unit-normalized internally, so
+// the caller's slices are never retained or modified. Building is
+// parallel across Options.Workers but bit-deterministic for any worker
+// count.
+func Build(ctx context.Context, vecs [][]float64, opts Options) (Index, error) {
+	opts = opts.withDefaults()
+	if opts.Bits <= 0 {
+		opts.Bits = adaptiveBits(len(vecs))
+	}
+	if len(vecs) == 0 {
+		return nil, errors.New("index: no vectors")
+	}
+	dim := len(vecs[0])
+	if dim == 0 {
+		return nil, errors.New("index: zero-dimensional vectors")
+	}
+	for i, v := range vecs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("index: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	normed, err := normalizeAll(ctx, opts.Workers, vecs)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.Backend {
+	case BackendLSH:
+		return buildLSH(ctx, normed, dim, opts)
+	case BackendHNSW:
+		return buildHNSW(ctx, normed, dim, opts)
+	default:
+		return nil, fmt.Errorf("index: unknown backend %q (want %s or %s)", opts.Backend, BackendLSH, BackendHNSW)
+	}
+}
+
+// adaptiveBits picks an LSH signature width for a corpus of n vectors so
+// expected bucket occupancy (n / 2^bits) lands around 4: wide enough
+// that similar vectors keep colliding, narrow enough that buckets stay
+// sub-linear as the corpus grows.
+func adaptiveBits(n int) int {
+	bits := 6
+	for n > 4<<bits && bits < 14 {
+		bits++
+	}
+	return bits
+}
+
+// buildChunk is the span size parallel build stages hand to one worker
+// unit at a time. Per-unit dispatch (a channel round-trip plus a label)
+// costs far more than normalizing or hashing one vector, so units are
+// spans, not items; the chunk structure depends only on n, never on the
+// worker count, keeping the ordered merge bit-deterministic.
+const buildChunk = 512
+
+// normalizeAll unit-normalizes copies of vecs in parallel with an ordered
+// merge, so the result is independent of the worker count. The copies
+// share one contiguous backing array: rank() dots the query against
+// hundreds of gathered vectors per query, and id-indexed rows of a flat
+// array cost one cache line walk instead of a pointer chase per row.
+func normalizeAll(ctx context.Context, workers int, vecs [][]float64) ([][]float64, error) {
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	dim := len(vecs[0])
+	flat := make([]float64, len(vecs)*dim)
+	out := make([][]float64, len(vecs))
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	spans := parallel.Chunks(len(vecs), buildChunk)
+	_, rep, err := parallel.Map(ctx, workers, len(spans),
+		func(i int) string { return fmt.Sprintf("normalize span %d", i) },
+		func(i int) (struct{}, error) {
+			sp := spans[i]
+			// Disjoint spans write disjoint rows of flat — no worker ever
+			// touches another's slots, and row j's value depends only on
+			// vecs[j], so the merge order cannot matter.
+			for j := sp.Lo; j < sp.Hi; j++ {
+				copy(out[j], vecs[j])
+				mathx.NormalizeInPlace(out[j])
+			}
+			return struct{}{}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if rep != nil && rep.Failed() > 0 {
+		return nil, fmt.Errorf("index: normalization failed: %s", rep)
+	}
+	return out, nil
+}
+
+// rank computes exact cosine similarities of the (deduplicated) candidate
+// ids against the normalized query, orders them best-first with the
+// id tie-break, and truncates to k (k < 0 keeps everything). It selects
+// through a bounded worst-first heap — O(n log k), no reflection — because
+// it sits on every query's hot path.
+func rank(vecs [][]float64, q []float64, ids []int, k int) []Candidate {
+	if k < 0 || k > len(ids) {
+		k = len(ids)
+	}
+	if k == 0 {
+		return nil
+	}
+	var beam candHeap
+	for _, id := range ids {
+		c := Candidate{ID: id, Sim: mathx.Dot(q, vecs[id])}
+		if beam.len() < k {
+			beam.push(c, true)
+		} else if worse(beam.peek(), c) {
+			beam.pop(true)
+			beam.push(c, true)
+		}
+	}
+	out := make([]Candidate, beam.len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = beam.pop(true)
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package index
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"leapme/internal/dataset"
+	"leapme/internal/embedding"
+	"leapme/internal/mathx"
+)
+
+// clusteredVecs generates groups of near-duplicate vectors: `groups`
+// cluster centres, `per` noisy copies each. Near-duplicate retrieval is
+// the regime property blocking lives in (synonymous names embed close),
+// so recall is measured on planted neighbours, not on the weak neighbour
+// structure of pure Gaussian noise.
+func clusteredVecs(seed int64, groups, per, dim int, noise float64) [][]float64 {
+	rng := mathx.NewRand(seed)
+	out := make([][]float64, 0, groups*per)
+	centre := make([]float64, dim)
+	for g := 0; g < groups; g++ {
+		mathx.FillNormal(centre, 0, 1, rng)
+		for p := 0; p < per; p++ {
+			v := make([]float64, dim)
+			mathx.FillNormal(v, 0, noise, rng)
+			mathx.AddTo(v, v, centre)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// bruteTopK is the exact-oracle ranking the index approximates.
+func bruteTopK(vecs [][]float64, q []float64, k int) []Candidate {
+	nq := mathx.Normalized(q)
+	normed := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		normed[i] = mathx.Normalized(v)
+	}
+	ids := make([]int, len(vecs))
+	for i := range ids {
+		ids[i] = i
+	}
+	return rank(normed, nq, ids, k)
+}
+
+func overlap(a, b []Candidate) float64 {
+	if len(b) == 0 {
+		return 1
+	}
+	in := make(map[int]bool, len(a))
+	for _, c := range a {
+		in[c.ID] = true
+	}
+	hit := 0
+	for _, c := range b {
+		if in[c.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(b))
+}
+
+func backends() []Options {
+	return []Options{
+		{Backend: BackendLSH, Seed: 42},
+		{Backend: BackendHNSW, Seed: 42, ShardSize: 512},
+	}
+}
+
+func TestQueryRecallOnClusters(t *testing.T) {
+	vecs := clusteredVecs(7, 150, 8, 24, 0.15)
+	for _, opts := range backends() {
+		opts := opts
+		t.Run(opts.Backend, func(t *testing.T) {
+			ix, err := Build(context.Background(), vecs, opts)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if ix.Len() != len(vecs) || ix.Dim() != 24 {
+				t.Fatalf("Len/Dim = %d/%d, want %d/24", ix.Len(), ix.Dim(), len(vecs))
+			}
+			const k = 8
+			var total float64
+			queries := 100
+			for qi := 0; qi < queries; qi++ {
+				q := vecs[qi*11%len(vecs)]
+				got := ix.Query(q, k)
+				want := bruteTopK(vecs, q, k)
+				total += overlap(got, want)
+				for i := 1; i < len(got); i++ {
+					if got[i].Sim > got[i-1].Sim {
+						t.Fatalf("query %d results not sorted: %v", qi, got)
+					}
+				}
+			}
+			recall := total / float64(queries)
+			if recall < 0.85 {
+				t.Fatalf("%s recall@%d = %.3f, want >= 0.85", opts.Backend, k, recall)
+			}
+			t.Logf("%s recall@%d = %.3f", opts.Backend, k, recall)
+		})
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Build(ctx, nil, Options{}); err == nil {
+		t.Fatal("Build accepted empty input")
+	}
+	if _, err := Build(ctx, [][]float64{{}}, Options{}); err == nil {
+		t.Fatal("Build accepted zero-dimensional vectors")
+	}
+	if _, err := Build(ctx, [][]float64{{1, 2}, {1, 2, 3}}, Options{}); err == nil {
+		t.Fatal("Build accepted mismatched dims")
+	}
+	if _, err := Build(ctx, [][]float64{{1, 2}}, Options{Backend: "voronoi"}); err == nil {
+		t.Fatal("Build accepted unknown backend")
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	vecs := clusteredVecs(3, 4, 3, 8, 0.1)
+	vecs = append(vecs, make([]float64, 8)) // a fully-OOV zero vector
+	for _, opts := range backends() {
+		opts := opts
+		t.Run(opts.Backend, func(t *testing.T) {
+			ix, err := Build(context.Background(), vecs, opts)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			if got := ix.Query(vecs[0], 0); got != nil {
+				t.Fatalf("k=0 returned %v", got)
+			}
+			if got := ix.Query(vecs[0][:3], 5); got != nil {
+				t.Fatalf("dim-mismatched query returned %v", got)
+			}
+			if got := ix.Query(vecs[0], 10*len(vecs)); len(got) > len(vecs) {
+				t.Fatalf("k>n returned %d > %d candidates", len(got), len(vecs))
+			}
+			// A zero-vector query must not panic or produce NaN sims.
+			for _, c := range ix.Query(make([]float64, 8), 5) {
+				if c.Sim != c.Sim {
+					t.Fatalf("zero query produced NaN sim for id %d", c.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	vecs := clusteredVecs(11, 40, 5, 16, 0.2)
+	for _, opts := range backends() {
+		opts := opts
+		t.Run(opts.Backend, func(t *testing.T) {
+			ix, err := Build(context.Background(), vecs, opts)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, ix); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			first := append([]byte(nil), buf.Bytes()...)
+
+			loaded, err := Read(bytes.NewReader(first))
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if loaded.Name() != ix.Name() || loaded.Len() != ix.Len() || loaded.Dim() != ix.Dim() {
+				t.Fatalf("loaded index differs: %s/%d/%d vs %s/%d/%d",
+					loaded.Name(), loaded.Len(), loaded.Dim(), ix.Name(), ix.Len(), ix.Dim())
+			}
+			for qi := 0; qi < 20; qi++ {
+				q := vecs[qi*7%len(vecs)]
+				a, b := ix.Query(q, 6), loaded.Query(q, 6)
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Fatalf("query %d differs after round trip:\n  built:  %v\n  loaded: %v", qi, a, b)
+				}
+			}
+
+			// Re-serialising the loaded index must reproduce the bytes.
+			var again bytes.Buffer
+			if err := Write(&again, loaded); err != nil {
+				t.Fatalf("re-Write: %v", err)
+			}
+			if !bytes.Equal(first, again.Bytes()) {
+				t.Fatal("serialisation is not a fixed point: bytes differ after load+save")
+			}
+		})
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	vecs := clusteredVecs(3, 10, 4, 8, 0.2)
+	ix, err := Build(context.Background(), vecs, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ix); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	raw := buf.Bytes()
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := Read(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("Read accepted a bit-flipped payload")
+	} else if !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corruption error does not mention the checksum: %v", err)
+	}
+
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-9])); err == nil {
+		t.Fatal("Read accepted a truncated file")
+	}
+	if _, err := Read(bytes.NewReader([]byte("LEAPMEMD garbage"))); err == nil {
+		t.Fatal("Read accepted a model-file magic")
+	}
+}
+
+func testStore(t *testing.T, dim int) *embedding.Store {
+	t.Helper()
+	words := []string{
+		"camera", "resolution", "zoom", "weight", "battery", "price",
+		"sensor", "lens", "flash", "screen", "video", "audio",
+	}
+	rng := mathx.NewRand(99)
+	vecs := make([][]float64, len(words))
+	for i := range vecs {
+		vecs[i] = make([]float64, dim)
+		mathx.FillNormal(vecs[i], 0, 1, rng)
+	}
+	st, err := embedding.NewStore(words, vecs)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return st
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := testStore(t, 12)
+	var props []dataset.Property
+	names := []string{
+		"camera resolution", "sensor resolution", "optical zoom", "zoom",
+		"battery weight", "weight", "price", "screen resolution",
+		"video audio", "flash", "lens", "battery",
+	}
+	for si, src := range []string{"s1", "s2", "s3"} {
+		for ni, n := range names {
+			if (si+ni)%2 == 0 {
+				props = append(props, dataset.Property{Source: src, Name: n})
+			}
+		}
+	}
+	// A duplicate key must collapse to its first occurrence.
+	props = append(props, props[0])
+
+	snap, err := BuildSnapshot(context.Background(), st, props, Options{Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	if snap.Len() != len(props)-1 {
+		t.Fatalf("snapshot has %d keys, want %d (dup collapsed)", snap.Len(), len(props)-1)
+	}
+	id, ok := snap.Lookup(props[0].Key())
+	if !ok || id != 0 {
+		t.Fatalf("Lookup(first prop) = %d, %v", id, ok)
+	}
+	if _, ok := snap.Lookup(dataset.Key{Source: "nope", Name: "nothing"}); ok {
+		t.Fatal("Lookup found an unindexed key")
+	}
+	nbrs := snap.Neighbors(0, 5)
+	if len(nbrs) == 0 {
+		t.Fatal("Neighbors returned nothing")
+	}
+	for _, c := range nbrs {
+		if c.ID == 0 {
+			t.Fatal("Neighbors returned the query property itself")
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if loaded.Len() != snap.Len() {
+		t.Fatalf("loaded snapshot has %d keys, want %d", loaded.Len(), snap.Len())
+	}
+	for i, k := range snap.Keys {
+		if loaded.Keys[i] != k {
+			t.Fatalf("key %d differs after round trip: %v vs %v", i, loaded.Keys[i], k)
+		}
+	}
+	if fmt.Sprint(loaded.Neighbors(0, 5)) != fmt.Sprint(nbrs) {
+		t.Fatal("Neighbors differ after round trip")
+	}
+
+	if _, err := BuildSnapshot(context.Background(), st, nil, Options{}); err == nil {
+		t.Fatal("BuildSnapshot accepted zero properties")
+	}
+}

@@ -1,0 +1,497 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// Index and snapshot files carry the same envelope as model files
+// (internal/core): magic | uint32 version | uint64 payloadLen | payload |
+// uint32 CRC-32 (IEEE) of payload, all little-endian. The length prefix
+// and trailing checksum let readers reject truncated or bit-flipped files
+// with a descriptive error instead of probing garbage buckets.
+//
+// Index v1 payload = uint32 backend code | int64 seed | uint32 dim |
+// uint64 n | n×dim float64 vectors | backend section. The LSH section is
+// tables/bits/probes + hyperplanes + per-table signatures (buckets are
+// rebuilt on load — they are a pure function of the signatures). The HNSW
+// section is M/efBuild/efSearch/shardSize + per-shard entry point, level
+// assignments, and adjacency lists.
+//
+// Because every serialized field is bit-deterministic for a fixed
+// (vectors, seed) — see doc.go — two builds of the same input produce
+// byte-identical files regardless of worker count, which is exactly what
+// the determinism gate diffs.
+
+const (
+	indexMagic    = "LEAPMEIX"
+	snapshotMagic = "LEAPMESX"
+	indexVersion  = 1
+	// maxIndexPayload bounds payload allocation when reading untrusted
+	// files: 1 GiB is orders of magnitude beyond any real index here.
+	maxIndexPayload = 1 << 30
+
+	backendCodeLSH  = 1
+	backendCodeHNSW = 2
+)
+
+// binWriter accumulates the little-endian payload.
+type binWriter struct {
+	buf bytes.Buffer
+	tmp [8]byte
+}
+
+func (w *binWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.tmp[:4], v)
+	w.buf.Write(w.tmp[:4])
+}
+
+func (w *binWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.tmp[:], v)
+	w.buf.Write(w.tmp[:])
+}
+
+func (w *binWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *binWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *binWriter) vecs(vs [][]float64) {
+	for _, v := range vs {
+		for _, x := range v {
+			w.f64(x)
+		}
+	}
+}
+
+// binReader consumes a checksum-verified payload.
+type binReader struct {
+	r   *bytes.Reader
+	tmp [8]byte
+}
+
+func (r *binReader) u32() (uint32, error) {
+	if _, err := io.ReadFull(r.r, r.tmp[:4]); err != nil {
+		return 0, fmt.Errorf("index: payload truncated: %w", err)
+	}
+	return binary.LittleEndian.Uint32(r.tmp[:4]), nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	if _, err := io.ReadFull(r.r, r.tmp[:]); err != nil {
+		return 0, fmt.Errorf("index: payload truncated: %w", err)
+	}
+	return binary.LittleEndian.Uint64(r.tmp[:]), nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+func (r *binReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if int64(n) > int64(r.r.Len()) {
+		return "", fmt.Errorf("index: implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return "", fmt.Errorf("index: payload truncated: %w", err)
+	}
+	return string(b), nil
+}
+
+// count reads a u32 element count and validates it against what the
+// remaining payload could possibly hold (elemSize bytes per element).
+func (r *binReader) count(elemSize int, what string) (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(elemSize) > int64(r.r.Len()) {
+		return 0, fmt.Errorf("index: implausible %s count %d", what, n)
+	}
+	return int(n), nil
+}
+
+// vecs reads n×dim float64 rows into one contiguous backing array — the
+// same layout Build produces, so loaded indexes keep its query-time
+// memory locality.
+func (r *binReader) vecs(n, dim int) ([][]float64, error) {
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		v, err := r.f64()
+		if err != nil {
+			return nil, err
+		}
+		flat[i] = v
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return out, nil
+}
+
+// writeEnvelope frames payload with magic/version/length/CRC and writes
+// the whole file to w.
+func writeEnvelope(w io.Writer, magic string, payload []byte) error {
+	var tmp [8]byte
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], indexVersion)
+	if _, err := w.Write(tmp[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(tmp[:], uint64(len(payload)))
+	if _, err := w.Write(tmp[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(tmp[:4])
+	return err
+}
+
+// readIndexEnvelope reads and verifies magic, version, length-prefixed
+// payload, and CRC-32, returning the verified payload bytes.
+func readIndexEnvelope(r io.Reader, magic string) ([]byte, error) {
+	var tmp [8]byte
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, got); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("index: bad magic %q (want %q)", got, magic)
+	}
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return nil, fmt.Errorf("index: reading version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(tmp[:4]); v != indexVersion {
+		return nil, fmt.Errorf("index: unsupported format version %d (this build reads v%d; rebuild the index)", v, indexVersion)
+	}
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return nil, fmt.Errorf("index: reading payload length: %w", err)
+	}
+	plen := binary.LittleEndian.Uint64(tmp[:])
+	if plen > maxIndexPayload {
+		return nil, fmt.Errorf("index: implausible payload length %d", plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("index: payload truncated: %w", err)
+	}
+	if _, err := io.ReadFull(r, tmp[:4]); err != nil {
+		return nil, fmt.Errorf("index: reading checksum: %w", err)
+	}
+	want := binary.LittleEndian.Uint32(tmp[:4])
+	if sum := crc32.ChecksumIEEE(payload); sum != want {
+		return nil, fmt.Errorf("index: payload corrupt: CRC-32 %08x, want %08x", sum, want)
+	}
+	return payload, nil
+}
+
+// Write serialises ix in the versioned index format.
+func Write(w io.Writer, ix Index) error {
+	payload, err := indexPayload(ix)
+	if err != nil {
+		return err
+	}
+	return writeEnvelope(w, indexMagic, payload)
+}
+
+func indexPayload(ix Index) ([]byte, error) {
+	bw := &binWriter{}
+	switch t := ix.(type) {
+	case *lshIndex:
+		bw.u32(backendCodeLSH)
+		bw.u64(uint64(t.opts.Seed))
+		bw.u32(uint32(t.dim))
+		bw.u64(uint64(len(t.vecs)))
+		bw.vecs(t.vecs)
+		bw.u32(uint32(t.opts.Tables))
+		bw.u32(uint32(t.opts.Bits))
+		bw.u32(uint32(t.opts.Probes))
+		for _, x := range t.center {
+			bw.f64(x)
+		}
+		bw.vecs(t.planes)
+		for t2 := 0; t2 < t.opts.Tables; t2++ {
+			for _, s := range t.sigs[t2] {
+				bw.u32(s)
+			}
+		}
+	case *hnswIndex:
+		bw.u32(backendCodeHNSW)
+		bw.u64(uint64(t.opts.Seed))
+		bw.u32(uint32(t.dim))
+		bw.u64(uint64(len(t.vecs)))
+		bw.vecs(t.vecs)
+		bw.u32(uint32(t.opts.M))
+		bw.u32(uint32(t.opts.EfBuild))
+		bw.u32(uint32(t.opts.EfSearch))
+		bw.u32(uint32(t.opts.ShardSize))
+		bw.u32(uint32(len(t.shards)))
+		for _, sh := range t.shards {
+			bw.u64(uint64(int64(sh.entry)))
+			bw.u32(uint32(sh.maxLevel))
+			for _, l := range sh.levels {
+				bw.u32(uint32(l))
+			}
+			bw.u32(uint32(len(sh.links)))
+			for _, level := range sh.links {
+				for _, nbrs := range level {
+					bw.u32(uint32(len(nbrs)))
+					for _, nb := range nbrs {
+						bw.u32(uint32(nb))
+					}
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("index: cannot serialise backend %q", ix.Name())
+	}
+	return bw.buf.Bytes(), nil
+}
+
+// Read loads an index written by Write. The loaded index answers queries
+// identically to the one serialised.
+func Read(r io.Reader) (Index, error) {
+	payload, err := readIndexEnvelope(r, indexMagic)
+	if err != nil {
+		return nil, err
+	}
+	return indexFromPayload(&binReader{r: bytes.NewReader(payload)})
+}
+
+func indexFromPayload(br *binReader) (Index, error) {
+	code, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := br.u64()
+	if err != nil {
+		return nil, err
+	}
+	dim32, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	dim := int(dim32)
+	if dim <= 0 || dim > 1<<20 {
+		return nil, fmt.Errorf("index: implausible dim %d", dim)
+	}
+	n64, err := br.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n64*uint64(dim)*8 > uint64(br.r.Len()) {
+		return nil, fmt.Errorf("index: implausible vector count %d", n64)
+	}
+	n := int(n64)
+	vecs, err := br.vecs(n, dim)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case backendCodeLSH:
+		return readLSH(br, vecs, dim, int64(seed))
+	case backendCodeHNSW:
+		return readHNSW(br, vecs, dim, int64(seed))
+	default:
+		return nil, fmt.Errorf("index: unknown backend code %d", code)
+	}
+}
+
+func readLSH(br *binReader, vecs [][]float64, dim int, seed int64) (Index, error) {
+	tables, err := br.count(1, "table")
+	if err != nil {
+		return nil, err
+	}
+	bits, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	probes, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	if tables <= 0 || bits == 0 || bits > 32 {
+		return nil, fmt.Errorf("index: implausible lsh geometry tables=%d bits=%d", tables, bits)
+	}
+	// The loaded Options never pass through withDefaults again — Query
+	// reads them verbatim — so a stored Probes of 0 stays "no multiprobe".
+	opts := Options{Backend: BackendLSH, Seed: seed, Tables: tables, Bits: int(bits), Probes: int(probes)}
+	ix := &lshIndex{dim: dim, opts: opts, vecs: vecs}
+	ix.center = make([]float64, dim)
+	for i := range ix.center {
+		v, err := br.f64()
+		if err != nil {
+			return nil, err
+		}
+		ix.center[i] = v
+	}
+	ix.planes = make([][]float64, tables*int(bits))
+	for p := range ix.planes {
+		v, err := br.vecs(1, dim)
+		if err != nil {
+			return nil, err
+		}
+		ix.planes[p] = v[0]
+	}
+	ix.sigs = make([][]uint32, tables)
+	ix.buckets = make([]map[uint32][]int, tables)
+	for t := 0; t < tables; t++ {
+		ix.sigs[t] = make([]uint32, len(vecs))
+		ix.buckets[t] = make(map[uint32][]int)
+		for i := range vecs {
+			s, err := br.u32()
+			if err != nil {
+				return nil, err
+			}
+			ix.sigs[t][i] = s
+			ix.buckets[t][s] = append(ix.buckets[t][s], i)
+		}
+	}
+	ix.initDerived()
+	return ix, nil
+}
+
+func readHNSW(br *binReader, vecs [][]float64, dim int, seed int64) (Index, error) {
+	m, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	efBuild, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	efSearch, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	shardSize, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	numShards, err := br.count(8, "shard")
+	if err != nil {
+		return nil, err
+	}
+	if m == 0 || shardSize == 0 {
+		return nil, fmt.Errorf("index: implausible hnsw geometry m=%d shardSize=%d", m, shardSize)
+	}
+	ix := &hnswIndex{
+		dim: dim,
+		opts: Options{Backend: BackendHNSW, Seed: seed, M: int(m),
+			EfBuild: int(efBuild), EfSearch: int(efSearch), ShardSize: int(shardSize)},
+		vecs: vecs,
+	}
+	lo := 0
+	for s := 0; s < numShards; s++ {
+		hi := lo + int(shardSize)
+		if hi > len(vecs) {
+			hi = len(vecs)
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("index: shard %d is empty (%d vectors, shard size %d)", s, len(vecs), shardSize)
+		}
+		sh := &hnswShard{lo: lo, hi: hi}
+		entry, err := br.u64()
+		if err != nil {
+			return nil, err
+		}
+		sh.entry = int(int64(entry))
+		if sh.entry >= 0 && (sh.entry < lo || sh.entry >= hi) {
+			return nil, fmt.Errorf("index: shard %d entry %d outside [%d,%d)", s, sh.entry, lo, hi)
+		}
+		maxLevel, err := br.u32()
+		if err != nil {
+			return nil, err
+		}
+		sh.maxLevel = int(maxLevel)
+		sh.levels = make([]int, hi-lo)
+		for i := range sh.levels {
+			l, err := br.u32()
+			if err != nil {
+				return nil, err
+			}
+			sh.levels[i] = int(l)
+		}
+		numLevels, err := br.count(1, "level")
+		if err != nil {
+			return nil, err
+		}
+		sh.links = make([][][]int32, numLevels)
+		for l := range sh.links {
+			sh.links[l] = make([][]int32, hi-lo)
+			for i := range sh.links[l] {
+				deg, err := br.count(4, "neighbour")
+				if err != nil {
+					return nil, err
+				}
+				if deg == 0 {
+					continue
+				}
+				nbrs := make([]int32, deg)
+				for d := range nbrs {
+					nb, err := br.u32()
+					if err != nil {
+						return nil, err
+					}
+					if int(nb) < lo || int(nb) >= hi {
+						return nil, fmt.Errorf("index: shard %d neighbour %d outside [%d,%d)", s, nb, lo, hi)
+					}
+					nbrs[d] = int32(nb)
+				}
+				sh.links[l][i] = nbrs
+			}
+		}
+		ix.shards = append(ix.shards, sh)
+		lo = hi
+	}
+	if lo != len(vecs) {
+		return nil, fmt.Errorf("index: shards cover %d of %d vectors", lo, len(vecs))
+	}
+	return ix, nil
+}
+
+// WriteFile writes ix to path via Write, creating or truncating the file.
+func WriteFile(path string, ix Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ix); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads an index file written by WriteFile.
+func ReadFile(path string) (Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ix, nil
+}

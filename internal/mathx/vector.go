@@ -265,3 +265,22 @@ func Clone(v []float64) []float64 {
 	copy(out, v)
 	return out
 }
+
+// Normalized returns a unit-L2-norm copy of v. The zero vector (the
+// repo's convention for fully out-of-vocabulary phrases) is returned as a
+// zero copy, so cosine against it stays 0 rather than NaN.
+func Normalized(v []float64) []float64 {
+	out := Clone(v)
+	NormalizeInPlace(out)
+	return out
+}
+
+// NormalizeInPlace scales v to unit L2 norm in place, with the same
+// zero-vector convention as Normalized.
+func NormalizeInPlace(v []float64) {
+	n := Norm2(v)
+	if n == 0 {
+		return
+	}
+	ScaleTo(v, v, 1/n)
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leapme/internal/index"
+)
+
+// writeSnapshotFile builds an index snapshot over the fixture dataset's
+// properties and writes it into dir, returning the path.
+func writeSnapshotFile(t testing.TB, dir, name string) string {
+	t.Helper()
+	fixture(t)
+	snap, err := index.BuildSnapshot(context.Background(), fixStore, fixData.Props, index.Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("BuildSnapshot: %v", err)
+	}
+	path := filepath.Join(dir, name)
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+// fixtureSources converts the fixture dataset into the wire-level sources
+// map (all properties, no instance values — blocking only needs names).
+func fixtureSources(t testing.TB) map[string][]propSpec {
+	t.Helper()
+	fixture(t)
+	sources := map[string][]propSpec{}
+	for _, p := range fixData.Props {
+		sources[p.Source] = append(sources[p.Source], propSpec{Name: p.Name})
+	}
+	return sources
+}
+
+func TestAttachIndexes(t *testing.T) {
+	models := []ModelSource{{Name: "a", Path: "a.leapme"}, {Name: "b", Path: "b.leapme"}}
+	if err := AttachIndexes(models, "a=a.idx, b=b.idx"); err != nil {
+		t.Fatalf("named entries: %v", err)
+	}
+	if models[0].IndexPath != "a.idx" || models[1].IndexPath != "b.idx" {
+		t.Errorf("IndexPaths = %q, %q", models[0].IndexPath, models[1].IndexPath)
+	}
+
+	one := []ModelSource{{Name: "solo", Path: "m.leapme"}}
+	if err := AttachIndexes(one, "solo.idx"); err != nil {
+		t.Fatalf("bare path, one model: %v", err)
+	}
+	if one[0].IndexPath != "solo.idx" {
+		t.Errorf("bare IndexPath = %q", one[0].IndexPath)
+	}
+
+	if err := AttachIndexes(models, "bare.idx"); err == nil {
+		t.Error("bare path with two models: want error")
+	}
+	if err := AttachIndexes(models, "ghost=x.idx"); err == nil {
+		t.Error("unknown model name: want error")
+	}
+	if err := AttachIndexes(models, "=x.idx"); err == nil {
+		t.Error("empty name: want error")
+	}
+}
+
+func TestRegistrySnapshotLoad(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	mp := writeModelFile(t, dir, "m.leapme", fixModelA)
+	ip := writeSnapshotFile(t, dir, "m.idx")
+
+	reg, err := NewRegistry(fixStore, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := reg.LoadSource(ModelSource{Name: "m", Path: mp, IndexPath: ip})
+	if err != nil {
+		t.Fatalf("LoadSource with index: %v", err)
+	}
+	if md.Index == nil {
+		t.Fatal("model loaded without its snapshot")
+	}
+	if md.Index.Len() != len(dedupKeys(t)) {
+		t.Errorf("snapshot Len = %d, want %d", md.Index.Len(), len(dedupKeys(t)))
+	}
+
+	// Reload re-reads the snapshot: overwrite the file with a corrupt one
+	// and the reload must fail while the old model keeps serving.
+	if err := os.WriteFile(ip, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err == nil {
+		t.Error("reload over corrupt snapshot: want error")
+	}
+	if got := reg.Active(); got != md {
+		t.Error("corrupt reload displaced the serving model")
+	}
+
+	// Restoring the file lets the reload hot-swap both model and snapshot.
+	if err := snapRewrite(t, ip); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatalf("reload after restore: %v", err)
+	}
+	swapped := reg.Active()
+	if swapped == md {
+		t.Error("reload did not publish a new model value")
+	}
+	if swapped.Index == nil || swapped.IndexPath != ip {
+		t.Error("reload dropped the index snapshot")
+	}
+}
+
+// dedupKeys returns the fixture dataset's distinct property keys (the
+// snapshot collapses duplicates).
+func dedupKeys(t testing.TB) map[string]bool {
+	t.Helper()
+	fixture(t)
+	keys := map[string]bool{}
+	for _, p := range fixData.Props {
+		keys[p.Source+"\x00"+p.Name] = true
+	}
+	return keys
+}
+
+// snapRewrite rebuilds the fixture snapshot at path.
+func snapRewrite(t testing.TB, path string) error {
+	t.Helper()
+	snap, err := index.BuildSnapshot(context.Background(), fixStore, fixData.Props, index.Options{Seed: 7})
+	if err != nil {
+		return err
+	}
+	return snap.WriteFile(path)
+}
+
+func TestRegistryMissingSnapshotFile(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	mp := writeModelFile(t, dir, "m.leapme", fixModelA)
+
+	// A model whose configured snapshot cannot be read must not publish.
+	reg, err := NewRegistry(fixStore, RegistryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = reg.LoadSource(ModelSource{Name: "m", Path: mp, IndexPath: filepath.Join(dir, "missing.idx")})
+	if err == nil {
+		t.Fatal("missing snapshot file: want error")
+	}
+	if reg.Active() != nil {
+		t.Error("failed load still published a model")
+	}
+}
+
+func TestMatchAllANNBlocking(t *testing.T) {
+	dir := t.TempDir()
+	ip := writeSnapshotFile(t, dir, "m.idx")
+	s, _ := newTestServer(t, func(c *Config) {
+		c.Models[0].IndexPath = ip
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sources := fixtureSources(t)
+	req := matchAllRequest{Sources: sources, Threshold: ptr(0.0), Blocking: "ann", Top: 10}
+	resp, raw := postJSON(t, ts, "/v1/match/all", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ann blocking: status %d: %s", resp.StatusCode, raw)
+	}
+	var mar matchAllResponse
+	if err := json.Unmarshal(raw, &mar); err != nil {
+		t.Fatal(err)
+	}
+	if mar.Candidates == 0 {
+		t.Fatal("ann blocking proposed no candidates")
+	}
+
+	// Every fixture property is in the snapshot, so the request must have
+	// been served from it — one probe per property, zero ephemeral builds.
+	m := s.Metrics()
+	if got := m.IndexSnapshotHits.Load(); got != 1 {
+		t.Errorf("IndexSnapshotHits = %d, want 1", got)
+	}
+	if got := m.IndexBuilds.Load(); got != 0 {
+		t.Errorf("IndexBuilds = %d, want 0", got)
+	}
+	nProps := 0
+	for _, specs := range sources {
+		nProps += len(specs)
+	}
+	if got := m.IndexQueries.Load(); got != int64(nProps) {
+		t.Errorf("IndexQueries = %d, want %d", got, nProps)
+	}
+	if got := m.IndexCandidates.Load(); got != int64(mar.Candidates) {
+		t.Errorf("IndexCandidates = %d, want %d", got, mar.Candidates)
+	}
+
+	// A property the snapshot has never seen forces the ephemeral-build
+	// path — and still answers.
+	sources2 := fixtureSources(t)
+	for src := range sources2 {
+		sources2[src] = append(sources2[src], propSpec{Name: "warranty period expiry"})
+		break
+	}
+	req2 := matchAllRequest{Sources: sources2, Threshold: ptr(0.0), Blocking: "ann", Top: 5}
+	resp, raw = postJSON(t, ts, "/v1/match/all", req2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ann blocking, uncovered prop: status %d: %s", resp.StatusCode, raw)
+	}
+	if got := m.IndexBuilds.Load(); got != 1 {
+		t.Errorf("IndexBuilds after uncovered request = %d, want 1", got)
+	}
+
+	// ann-union must propose at least as much as ann alone.
+	req.Blocking = "ann-union"
+	resp, raw = postJSON(t, ts, "/v1/match/all", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ann-union blocking: status %d: %s", resp.StatusCode, raw)
+	}
+	var union matchAllResponse
+	if err := json.Unmarshal(raw, &union); err != nil {
+		t.Fatal(err)
+	}
+	if union.Candidates < mar.Candidates {
+		t.Errorf("ann-union candidates %d < ann candidates %d", union.Candidates, mar.Candidates)
+	}
+
+	// The index counters surface on /metrics.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	bodyBytes, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(bodyBytes)
+	for _, series := range []string{
+		"leapme_index_queries_total",
+		"leapme_index_candidates_total",
+		"leapme_index_builds_total",
+		"leapme_index_snapshot_hits_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}
+
+func TestMatchAllANNWithoutSnapshot(t *testing.T) {
+	// No snapshot configured: every ann request builds ephemerally.
+	s, _ := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := matchAllRequest{Sources: fixtureSources(t), Threshold: ptr(0.0), Blocking: "ann", Top: 5}
+	resp, raw := postJSON(t, ts, "/v1/match/all", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	m := s.Metrics()
+	if got := m.IndexBuilds.Load(); got != 1 {
+		t.Errorf("IndexBuilds = %d, want 1", got)
+	}
+	if got := m.IndexSnapshotHits.Load(); got != 0 {
+		t.Errorf("IndexSnapshotHits = %d, want 0", got)
+	}
+}

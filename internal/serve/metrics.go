@@ -23,6 +23,11 @@ type Metrics struct {
 	Batches          atomic.Int64 // micro-batches executed
 	BatchPairs       atomic.Int64 // pairs across all batches
 	ModelSwaps       atomic.Int64 // activate/load/reload swaps
+
+	IndexQueries      atomic.Int64 // per-property ANN probes served
+	IndexCandidates   atomic.Int64 // candidate pairs proposed by ANN blocking
+	IndexBuilds       atomic.Int64 // ephemeral per-request index builds
+	IndexSnapshotHits atomic.Int64 // requests fully served from a preloaded snapshot
 }
 
 func newMetrics() *Metrics { return &Metrics{start: time.Now()} }
@@ -43,6 +48,10 @@ func (m *Metrics) WriteTo(w io.Writer, reg *Registry, ready bool, queueDepth int
 	counter("leapme_batches_total", "Micro-batches executed.", m.Batches.Load())
 	counter("leapme_batch_pairs_total", "Pairs coalesced into micro-batches.", m.BatchPairs.Load())
 	counter("leapme_model_swaps_total", "Model load/activate/reload swaps.", m.ModelSwaps.Load())
+	counter("leapme_index_queries_total", "Per-property ANN index probes served by /v1/match/all.", m.IndexQueries.Load())
+	counter("leapme_index_candidates_total", "Candidate pairs proposed by ANN blocking.", m.IndexCandidates.Load())
+	counter("leapme_index_builds_total", "Ephemeral per-request ANN index builds (no covering snapshot).", m.IndexBuilds.Load())
+	counter("leapme_index_snapshot_hits_total", "Requests fully served from a preloaded index snapshot.", m.IndexSnapshotHits.Load())
 
 	fmt.Fprintf(w, "# HELP leapme_queue_depth Pairs admitted into the scoring pipeline, not yet answered.\n# TYPE leapme_queue_depth gauge\nleapme_queue_depth %d\n", queueDepth)
 	degradedV := 0

@@ -15,12 +15,20 @@ import (
 	"leapme/internal/core"
 	"leapme/internal/embedding"
 	"leapme/internal/features"
+	"leapme/internal/index"
 )
 
-// ModelSource names a model file to load.
+// ModelSource names a model file to load, with an optional prebuilt ANN
+// index snapshot served alongside it.
 type ModelSource struct {
 	Name string
 	Path string
+	// IndexPath, when non-empty, names an index snapshot file (built with
+	// `leapme index`) loaded with the model and used by /v1/match/all's
+	// "ann" blocking for any request whose properties the snapshot
+	// covers. Reloads re-read it, so the snapshot hot-swaps with the
+	// model.
+	IndexPath string
 }
 
 // ParseModelList parses the -model flag syntax: a comma-separated list of
@@ -57,6 +65,44 @@ func ParseModelList(s string) ([]ModelSource, error) {
 	return out, nil
 }
 
+// AttachIndexes parses the -index flag syntax — the same name=path list
+// as -model, or a single bare path when exactly one model is configured —
+// and sets IndexPath on the matching entries of models in place.
+func AttachIndexes(models []ModelSource, s string) error {
+	byName := map[string]int{}
+	for i, ms := range models {
+		byName[ms.Name] = i
+	}
+	var bare []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(p, "=")
+		if !ok {
+			bare = append(bare, p)
+			continue
+		}
+		name, path = strings.TrimSpace(name), strings.TrimSpace(path)
+		if name == "" || path == "" {
+			return fmt.Errorf("serve: bad index entry %q (want name=path)", p)
+		}
+		i, found := byName[name]
+		if !found {
+			return fmt.Errorf("serve: index entry %q names no configured model", name)
+		}
+		models[i].IndexPath = path
+	}
+	if len(bare) > 1 || (len(bare) == 1 && len(models) > 1) {
+		return errors.New("serve: multiple indexes need explicit model names (name=path,...)")
+	}
+	if len(bare) == 1 {
+		models[0].IndexPath = bare[0]
+	}
+	return nil
+}
+
 // Model is one immutable loaded model version: its scorer snapshot, a
 // pool of per-worker scorer clones, the file metadata and a feature
 // cache. A Model is never mutated after Load publishes it; hot swaps
@@ -66,6 +112,13 @@ type Model struct {
 	Path     string
 	Info     core.ModelInfo
 	LoadedAt time.Time
+
+	// IndexPath and Index carry the model's optional prebuilt ANN
+	// snapshot (nil when none was configured). Like the scorer, the
+	// snapshot is immutable once published and hot-swaps wholesale on
+	// reload.
+	IndexPath string
+	Index     *index.Snapshot
 
 	// template serves concurrent-safe featurization and describes the
 	// snapshot (threshold, pair dim); scoring checks clones out of pool.
@@ -156,8 +209,9 @@ func NewRegistry(store *embedding.Store, opts RegistryOptions) (*Registry, error
 	}, nil
 }
 
-// build loads path into a fresh Model without publishing it.
-func (r *Registry) build(name, path string) (*Model, error) {
+// build loads a model source into a fresh Model without publishing it.
+func (r *Registry) build(ms ModelSource) (*Model, error) {
+	name, path := ms.Name, ms.Path
 	info, err := core.LoadInfoFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: describing model %s (%s): %w", name, path, err)
@@ -194,13 +248,25 @@ func (r *Registry) build(name, path string) (*Model, error) {
 		return nil, fmt.Errorf("serve: model %s: %w", name, err)
 	}
 	md := &Model{
-		Name:     name,
-		Path:     path,
-		Info:     info,
-		LoadedAt: time.Now(),
-		template: sc,
-		pool:     make(chan *core.Scorer, r.opts.Workers),
-		cache:    newFeatureCache(r.opts.CacheSize),
+		Name:      name,
+		Path:      path,
+		Info:      info,
+		LoadedAt:  time.Now(),
+		IndexPath: ms.IndexPath,
+		template:  sc,
+		pool:      make(chan *core.Scorer, r.opts.Workers),
+		cache:     newFeatureCache(r.opts.CacheSize),
+	}
+	if ms.IndexPath != "" {
+		snap, err := index.ReadSnapshotFile(ms.IndexPath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loading index for model %s: %w", name, err)
+		}
+		if d := snap.Index().Dim(); d != r.store.Dim() {
+			return nil, fmt.Errorf("serve: index for model %s was built against embedding dim %d, store has %d",
+				name, d, r.store.Dim())
+		}
+		md.Index = snap
 	}
 	for i := 0; i < r.opts.Workers; i++ {
 		md.pool <- sc.Clone()
@@ -213,10 +279,18 @@ func (r *Registry) build(name, path string) (*Model, error) {
 // reload of the currently active name swings the active pointer to the
 // new version. In-flight requests holding the old *Model are unaffected.
 func (r *Registry) Load(name, path string) (*Model, error) {
+	return r.LoadSource(ModelSource{Name: name, Path: path})
+}
+
+// LoadSource is Load with the full model source, including an optional
+// index snapshot path that loads (and on reload, hot-swaps) with the
+// model.
+func (r *Registry) LoadSource(ms ModelSource) (*Model, error) {
+	name := ms.Name
 	if name == "" {
 		return nil, errors.New("serve: empty model name")
 	}
-	md, err := r.build(name, path)
+	md, err := r.build(ms)
 	if err != nil {
 		return nil, err
 	}
@@ -283,13 +357,13 @@ func (r *Registry) List() []*Model {
 	return out
 }
 
-// Reload re-reads every model from its file — the SIGHUP path. A model
-// whose file fails to load keeps serving its previous version; the
-// returned error joins all failures.
+// Reload re-reads every model — and its index snapshot, when configured —
+// from its file: the SIGHUP path. A model whose file fails to load keeps
+// serving its previous version; the returned error joins all failures.
 func (r *Registry) Reload() error {
 	var errs []error
 	for _, md := range r.List() {
-		if _, err := r.Load(md.Name, md.Path); err != nil {
+		if _, err := r.LoadSource(ModelSource{Name: md.Name, Path: md.Path, IndexPath: md.IndexPath}); err != nil {
 			errs = append(errs, err)
 		}
 	}

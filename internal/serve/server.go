@@ -16,6 +16,7 @@ import (
 	"leapme/internal/dataset"
 	"leapme/internal/embedding"
 	"leapme/internal/features"
+	"leapme/internal/index"
 )
 
 // DeadlineHeader carries a per-request scoring budget in integer
@@ -144,7 +145,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	reg.met = met
 	for _, ms := range cfg.Models {
-		if _, err := reg.Load(ms.Name, ms.Path); err != nil {
+		if _, err := reg.LoadSource(ms); err != nil {
 			return nil, err
 		}
 	}
@@ -235,7 +236,7 @@ type matchAllRequest struct {
 	Model     string                `json:"model,omitempty"`
 	Threshold *float64              `json:"threshold,omitempty"`
 	Sources   map[string][]propSpec `json:"sources"`
-	Blocking  string                `json:"blocking,omitempty"` // none|token|embedding|union
+	Blocking  string                `json:"blocking,omitempty"` // none|token|embedding|union|ann|ann-union
 	Top       int                   `json:"top,omitempty"`
 }
 
@@ -535,6 +536,32 @@ func (s *Server) drainAbandoned(handles []*pending) {
 	}()
 }
 
+// annCandidates serves the "ann" and "ann-union" blocking modes: indexed
+// k-nearest-neighbour retrieval from the model's preloaded snapshot when
+// it covers the request's properties, or an ephemeral per-request index
+// otherwise (the ANNBlocker falls back internally; the metrics record
+// which path served). ann-union additionally merges token blocking, the
+// indexed counterpart of "union".
+func (s *Server) annCandidates(ctx context.Context, md *Model, props []dataset.Property, withToken bool) ([]dataset.Pair, error) {
+	ann := blocking.NewANNBlocker(s.cfg.Store, index.Options{})
+	ann.Snapshot = md.Index
+	if md.Index != nil && blocking.SnapshotCovers(md.Index, props) {
+		s.met.IndexSnapshotHits.Add(1)
+	} else {
+		s.met.IndexBuilds.Add(1)
+	}
+	cands, err := ann.CandidatesCtx(ctx, props)
+	if err != nil {
+		return nil, err
+	}
+	s.met.IndexQueries.Add(int64(len(props)))
+	s.met.IndexCandidates.Add(int64(len(cands)))
+	if !withToken {
+		return cands, nil
+	}
+	return blocking.MergePairs(cands, blocking.NewTokenBlocker().Candidates(props)), nil
+}
+
 func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
@@ -606,8 +633,14 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 			blocking.NewTokenBlocker(),
 			blocking.NewEmbeddingBlocker(s.cfg.Store),
 		}).Candidates(props)
+	case "ann", "ann-union":
+		cands, err = s.annCandidates(r.Context(), md, props, req.Blocking == "ann-union")
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "ann blocking: %v", err)
+			return
+		}
 	default:
-		s.fail(w, http.StatusBadRequest, "unknown blocking %q (none|token|embedding|union)", req.Blocking)
+		s.fail(w, http.StatusBadRequest, "unknown blocking %q (none|token|embedding|union|ann|ann-union)", req.Blocking)
 		return
 	}
 	if len(cands) > s.cfg.MaxPairs {
