@@ -37,7 +37,7 @@ type blockingRow struct {
 // embedding blocker (the recall oracle) across corpus sizes: pair
 // completeness versus ground truth, recall versus the exact scan's
 // candidate set, and the candidate-generation speedup the index buys.
-func benchBlocking(out string, seed int64, dim, workers int, sizes []int) error {
+func benchBlocking(out string, seed int64, dim, workers int, sizes []int, stamp bool) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "bench blocking: training embeddings (dim=%d)...\n", dim)
 	store, err := trainStore(seed, dim)
@@ -48,7 +48,6 @@ func benchBlocking(out string, seed int64, dim, workers int, sizes []int) error 
 	rep := benchReport{
 		Suite:       "blocking",
 		Go:          runtime.Version(),
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		DegradedEnv: runtime.GOMAXPROCS(0) == 1,
 		Config: map[string]any{
 			"seed":          seed,
@@ -58,6 +57,9 @@ func benchBlocking(out string, seed int64, dim, workers int, sizes []int) error 
 			"k":             10,
 			"synonym_rate":  0.35,
 		},
+	}
+	if stamp {
+		rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	}
 
 	var rows []blockingRow

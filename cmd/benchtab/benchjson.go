@@ -33,9 +33,11 @@ type benchResult struct {
 
 // benchReport is the BENCH_serve.json / BENCH_train.json document.
 type benchReport struct {
-	Suite     string `json:"suite"`
-	Go        string `json:"go"`
-	Timestamp string `json:"timestamp"`
+	Suite string `json:"suite"`
+	Go    string `json:"go"`
+	// Timestamp is the wall-clock stamp of the run. -stamp=false omits
+	// it so CI can diff reports without a guaranteed churn line.
+	Timestamp string `json:"timestamp,omitempty"`
 	// DegradedEnv marks numbers taken on a crippled runtime — currently
 	// GOMAXPROCS=1, where parallel suites measure scheduling overhead, not
 	// speedup. Readers (and CI diffing) must not compare degraded reports
@@ -44,7 +46,39 @@ type benchReport struct {
 	Config      map[string]any     `json:"config"`
 	Results     []benchResult      `json:"results,omitempty"`
 	Blocking    []blockingRow      `json:"blocking,omitempty"`
+	Matrix      []matrixCell       `json:"matrix,omitempty"`
 	Derived     map[string]float64 `json:"derived,omitempty"`
+}
+
+// benchOp measures one operation: the full path runs it under
+// testing.Benchmark (auto-scaled iteration count), the quick path runs
+// exactly one iteration and synthesises the result — the 1-iteration
+// budget CI smoke runs use to validate report shape without paying for
+// statistically meaningful numbers.
+func benchOp(quick bool, op func() error) (testing.BenchmarkResult, error) {
+	if quick {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		err := op()
+		d := time.Since(t0)
+		runtime.ReadMemStats(&m1)
+		return testing.BenchmarkResult{
+			N: 1, T: d,
+			MemAllocs: m1.Mallocs - m0.Mallocs,
+			MemBytes:  m1.TotalAlloc - m0.TotalAlloc,
+		}, err
+	}
+	var opErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				opErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return r, opErr
 }
 
 func resultOf(name string, pairsPerOp int, r testing.BenchmarkResult) benchResult {
@@ -103,8 +137,9 @@ func newBenchFixture(seed int64, dim int) (*benchFixture, error) {
 }
 
 // runBench runs the serve, train or parallel suite and writes the JSON
-// report.
-func runBench(suite, out string, seed int64, dim, workers int) error {
+// report. quick caps every measurement at one iteration; stamp=false
+// omits the wall-clock timestamp for diffable CI output.
+func runBench(suite, out string, seed int64, dim, workers int, quick, stamp bool) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "bench %s: preparing fixture (embeddings dim=%d, lite cameras, trained model)...\n", suite, dim)
 	fx, err := newBenchFixture(seed, dim)
@@ -116,7 +151,6 @@ func runBench(suite, out string, seed int64, dim, workers int) error {
 	rep := benchReport{
 		Suite:       suite,
 		Go:          runtime.Version(),
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		DegradedEnv: runtime.GOMAXPROCS(0) == 1,
 		Config: map[string]any{
 			"seed":           fx.seed,
@@ -125,15 +159,19 @@ func runBench(suite, out string, seed int64, dim, workers int) error {
 			"properties":     len(fx.data.Props),
 			"training_pairs": len(fx.pairs),
 			"gomaxprocs":     runtime.GOMAXPROCS(0),
+			"quick":          quick,
 		},
+	}
+	if stamp {
+		rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
 	}
 	switch suite {
 	case "serve":
-		err = benchServe(fx, &rep)
+		err = benchServe(fx, &rep, quick)
 	case "train":
-		err = benchTrain(fx, &rep)
+		err = benchTrain(fx, &rep, quick)
 	case "parallel":
-		err = benchParallel(fx, &rep, workers)
+		err = benchParallel(fx, &rep, workers, quick)
 	default:
 		return fmt.Errorf("unknown bench suite %q (serve|train|parallel)", suite)
 	}
@@ -152,34 +190,30 @@ func runBench(suite, out string, seed int64, dim, workers int) error {
 	return nil
 }
 
-func benchTrain(fx *benchFixture, rep *benchReport) error {
+func benchTrain(fx *benchFixture, rep *benchReport, quick bool) error {
 	ctx := context.Background()
 
 	// Feature computation over the whole dataset (one op = all properties).
-	var featErr error
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			m, err := core.NewMatcher(fx.store, core.DefaultOptions(fx.seed))
-			if err == nil {
-				err = m.ComputeFeatures(ctx, fx.data)
-			}
-			if err != nil {
-				featErr = err
-				b.FailNow()
-			}
+	r, err := benchOp(quick, func() error {
+		m, err := core.NewMatcher(fx.store, core.DefaultOptions(fx.seed))
+		if err != nil {
+			return err
 		}
+		return m.ComputeFeatures(ctx, fx.data)
 	})
-	if featErr != nil {
-		return featErr
+	if err != nil {
+		return err
 	}
 	rep.Results = append(rep.Results, resultOf("compute_features_dataset", 0, r))
 
 	// Training-pair generation.
-	r = testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			core.TrainingPairs(fx.data.Props, 2, mathx.NewRand(fx.seed))
-		}
+	r, err = benchOp(quick, func() error {
+		core.TrainingPairs(fx.data.Props, 2, mathx.NewRand(fx.seed))
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 	rep.Results = append(rep.Results, resultOf("training_pair_generation", len(fx.pairs), r))
 
 	// Full training run (features precomputed once outside the timer);
@@ -191,17 +225,12 @@ func benchTrain(fx *benchFixture, rep *benchReport) error {
 	if err := m.ComputeFeatures(ctx, fx.data); err != nil {
 		return err
 	}
-	var trainErr error
-	r = testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := m.Train(ctx, fx.pairs); err != nil {
-				trainErr = err
-				b.FailNow()
-			}
-		}
+	r, err = benchOp(quick, func() error {
+		_, err := m.Train(ctx, fx.pairs)
+		return err
 	})
-	if trainErr != nil {
-		return trainErr
+	if err != nil {
+		return err
 	}
 	rep.Results = append(rep.Results, resultOf("train_full", len(fx.pairs), r))
 	return nil
@@ -233,7 +262,7 @@ func benchPairs(fx *benchFixture, n int) ([]byte, error) {
 	return json.Marshal(map[string]any{"pairs": pairs})
 }
 
-func benchServe(fx *benchFixture, rep *benchReport) error {
+func benchServe(fx *benchFixture, rep *benchReport, quick bool) error {
 	dir, err := os.MkdirTemp("", "leapme-bench")
 	if err != nil {
 		return err
@@ -297,9 +326,10 @@ func benchServe(fx *benchFixture, rep *benchReport) error {
 		if err := post(ts); err != nil { // warm-up (fills cache when enabled)
 			return benchResult{}, err
 		}
-		var benchErr error
-		r := testing.Benchmark(func(b *testing.B) {
-			if parallel {
+		var r testing.BenchmarkResult
+		if parallel && !quick {
+			var benchErr error
+			r = testing.Benchmark(func(b *testing.B) {
 				b.RunParallel(func(pb *testing.PB) {
 					for pb.Next() {
 						if err := post(ts); err != nil {
@@ -308,17 +338,14 @@ func benchServe(fx *benchFixture, rep *benchReport) error {
 						}
 					}
 				})
-				return
+			})
+			if benchErr != nil {
+				return benchResult{}, benchErr
 			}
-			for i := 0; i < b.N; i++ {
-				if err := post(ts); err != nil {
-					benchErr = err
-					b.FailNow()
-				}
+		} else {
+			if r, err = benchOp(quick, func() error { return post(ts) }); err != nil {
+				return benchResult{}, err
 			}
-		})
-		if benchErr != nil {
-			return benchResult{}, benchErr
 		}
 		return resultOf(name, pairsPerReq, r), nil
 	}
@@ -358,26 +385,54 @@ func benchServe(fx *benchFixture, rep *benchReport) error {
 		return len(as) < pairsPerReq
 	})
 	dst := make([]float64, len(as))
-	var scoreErr error
-	r := testing.Benchmark(func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if err := sc.ScoreBatch(dst, as, bs); err != nil {
-				scoreErr = err
-				b.FailNow()
-			}
-		}
-	})
-	if scoreErr != nil {
-		return scoreErr
+	r, err := benchOp(quick, func() error { return sc.ScoreBatch(dst, as, bs) })
+	if err != nil {
+		return err
 	}
-	rep.Results = append(rep.Results, resultOf("scorer_batch_library", len(as), r))
+	batchLib := resultOf("scorer_batch_library", len(as), r)
+	rep.Results = append(rep.Results, batchLib)
+
+	// Single-pair path: same arena-backed kernel, no batch gathering.
+	r, err = benchOp(quick, func() error {
+		_, err := sc.Score(as[0], bs[0])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, resultOf("scorer_single_library", 1, r))
+
+	// Quantised scorer: the opt-in int8/float32 kernel over the same
+	// model and pairs (quantised at load, as Options.Quantized would).
+	qm, err := core.NewMatcher(fx.store, core.DefaultOptions(fx.seed))
+	if err != nil {
+		return err
+	}
+	if err := qm.ReadModel(bytes.NewReader(fx.model)); err != nil {
+		return err
+	}
+	if err := qm.Quantize(); err != nil {
+		return err
+	}
+	qsc, err := qm.NewScorer()
+	if err != nil {
+		return err
+	}
+	r, err = benchOp(quick, func() error { return qsc.ScoreBatch(dst, as, bs) })
+	if err != nil {
+		return err
+	}
+	batchQuant := resultOf("scorer_batch_quant", len(as), r)
+	rep.Results = append(rep.Results, batchQuant)
 
 	rep.Derived = map[string]float64{
 		// How much the feature cache buys on repeated property content:
 		// identical requests, cache off vs on.
 		"feature_cache_speedup": cold.NsPerOp / warm.NsPerOp,
 		// HTTP+batching overhead versus the raw library scorer.
-		"http_overhead_x": warm.NsPerOp / rep.Results[len(rep.Results)-1].NsPerOp,
+		"http_overhead_x": warm.NsPerOp / batchLib.NsPerOp,
+		// Quantised kernel versus the float64 reference on the batch path.
+		"quant_speedup": batchLib.NsPerOp / batchQuant.NsPerOp,
 	}
 	return nil
 }

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"runtime"
-	"testing"
 
 	"leapme/internal/core"
 	"leapme/internal/eval"
@@ -17,8 +16,9 @@ import (
 // algorithm (the worker count never changes results, only wall clock), so
 // the derived speedups isolate scheduling overhead and core utilisation.
 // On a single-core machine the honest answer is ~1x; the ≥2x acceptance
-// target applies to 4+ core hardware.
-func benchParallel(fx *benchFixture, rep *benchReport, workers int) error {
+// target applies to 4+ core hardware. It also emits the scorer bench
+// matrix (GOMAXPROCS × workers × batch size — see benchmatrix.go).
+func benchParallel(fx *benchFixture, rep *benchReport, workers int, quick bool) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -37,16 +37,11 @@ func benchParallel(fx *benchFixture, rep *benchReport, workers int) error {
 
 	// Featurization: whole dataset, 1 worker vs N.
 	featAt := func(name string, w int) (benchResult, error) {
-		var ferr error
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := matcherAt(w); err != nil {
-					ferr = err
-					b.FailNow()
-				}
-			}
+		r, err := benchOp(quick, func() error {
+			_, err := matcherAt(w)
+			return err
 		})
-		return resultOf(name, len(fx.data.Props), r), ferr
+		return resultOf(name, len(fx.data.Props), r), err
 	}
 	feat1, err := featAt("featurize_workers_1", 1)
 	if err != nil {
@@ -72,16 +67,11 @@ func benchParallel(fx *benchFixture, rep *benchReport, workers int) error {
 		if err := m.AdoptFeatures(m1); err != nil {
 			return benchResult{}, err
 		}
-		var terr error
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := m.Train(ctx, fx.pairs); err != nil {
-					terr = err
-					b.FailNow()
-				}
-			}
+		r, err := benchOp(quick, func() error {
+			_, err := m.Train(ctx, fx.pairs)
+			return err
 		})
-		return resultOf(name, len(fx.pairs), r), terr
+		return resultOf(name, len(fx.pairs), r), err
 	}
 	fit1, err := fitAt("fit_workers_1", 1)
 	if err != nil {
@@ -93,34 +83,34 @@ func benchParallel(fx *benchFixture, rep *benchReport, workers int) error {
 	}
 
 	// The paper's repetition loop: 25 random splits, serial vs concurrent
-	// repetitions. A shortened LR schedule keeps one op in seconds; the
-	// serial/parallel ratio is what matters, not the absolute time.
+	// repetitions (3 splits under -quick). A shortened LR schedule keeps
+	// one op in seconds; the serial/parallel ratio is what matters, not
+	// the absolute time.
+	evalRuns := 25
+	if quick {
+		evalRuns = 3
+	}
 	evalAt := func(name string, w int) (benchResult, error) {
 		h := eval.NewHarness(fx.store, fx.seed)
-		h.Runs = 25
+		h.Runs = evalRuns
 		h.Workers = w
 		h.Options.Workers = 1 // per-rep training single-threaded: reps are the unit
 		h.Options.Schedule = []nn.Phase{{Epochs: 4, LR: 1e-3}}
-		var eerr error
-		r := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := h.EvalLEAPMEStats(fx.data, features.FullConfig(), 0.8); err != nil {
-					eerr = err
-					b.FailNow()
-				}
-			}
+		r, err := benchOp(quick, func() error {
+			_, err := h.EvalLEAPMEStats(fx.data, features.FullConfig(), 0.8)
+			return err
 		})
-		return resultOf(name, h.Runs, r), eerr
+		return resultOf(name, h.Runs, r), err
 	}
-	eval1, err := evalAt("eval_25reps_serial", 1)
+	eval1, err := evalAt("eval_reps_serial", 1)
 	if err != nil {
 		return err
 	}
-	evalN, err := evalAt("eval_25reps_parallel", workers)
+	evalN, err := evalAt("eval_reps_parallel", workers)
 	if err != nil {
 		return err
 	}
-	rep.Config["eval_runs"] = 25
+	rep.Config["eval_runs"] = evalRuns
 	rep.Config["eval_epochs"] = 4
 
 	rep.Results = append(rep.Results, feat1, featN, fit1, fitN, eval1, evalN)
@@ -130,5 +120,5 @@ func benchParallel(fx *benchFixture, rep *benchReport, workers int) error {
 		"eval_speedup":      eval1.NsPerOp / evalN.NsPerOp,
 		"workers":           float64(workers),
 	}
-	return nil
+	return benchMatrix(fx, rep, quick)
 }

@@ -46,6 +46,8 @@ func main() {
 	out := flag.String("out", "", "output file for -bench (default BENCH_<suite>.json)")
 	workers := flag.Int("workers", 0, "worker count for the parallel arms and eval repetitions (0 = all CPUs)")
 	blockingSizes := flag.String("blocking-sizes", "2000,5000,10000,15000", "corpus sizes for -bench blocking")
+	quick := flag.Bool("quick", false, "1-iteration bench budget: validates report shape in CI, numbers are not statistically meaningful")
+	stamp := flag.Bool("stamp", true, "stamp wall-clock timestamp into bench JSON (disable for diffable CI output)")
 	flag.Parse()
 
 	if *bench != "" {
@@ -56,10 +58,10 @@ func main() {
 		if *bench == "blocking" {
 			var sizes []int
 			if sizes, err = parseSizes(*blockingSizes); err == nil {
-				err = benchBlocking(*out, *seed, 32, *workers, sizes)
+				err = benchBlocking(*out, *seed, 32, *workers, sizes, *stamp)
 			}
 		} else {
-			err = runBench(*bench, *out, *seed, 32, *workers)
+			err = runBench(*bench, *out, *seed, 32, *workers, *quick, *stamp)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab:", err)

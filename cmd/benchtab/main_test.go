@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
 
 func TestBenchtabDatasetsTable(t *testing.T) {
 	if testing.Short() {
@@ -18,6 +24,62 @@ func TestBenchtabUnknownTable(t *testing.T) {
 	}
 	if err := run("bogus", "lite", 1, 1, "headphones", 8, false); err == nil {
 		t.Error("unknown table accepted")
+	}
+}
+
+// TestBenchParallelMatrixSmoke runs the parallel suite at GOMAXPROCS=2
+// with the 1-iteration budget — the CI gate that the bench matrix
+// plumbing works on multi-proc settings: degraded_env must be false, the
+// matrix must be complete (full float64 grid + the quantised arm), every
+// cell must have measured throughput, and -stamp=false must keep the
+// timestamp out of the report.
+func TestBenchParallelMatrixSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedding training in -short mode")
+	}
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	out := filepath.Join(t.TempDir(), "BENCH_parallel_smoke.json")
+	if err := runBench("parallel", out, 1, 8, 2, true, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DegradedEnv {
+		t.Error("degraded_env true at GOMAXPROCS=2")
+	}
+	if rep.Timestamp != "" {
+		t.Errorf("-stamp=false leaked timestamp %q into the report", rep.Timestamp)
+	}
+	procs, workers, batches := matrixDims()
+	want := len(procs)*len(workers)*len(batches) + 1 // + the quantised arm
+	if len(rep.Matrix) != want {
+		t.Fatalf("matrix has %d cells, want %d (%v procs × %v workers × %v batches + quant)",
+			len(rep.Matrix), want, procs, workers, batches)
+	}
+	quant := 0
+	for i, c := range rep.Matrix {
+		if c.PairsPerSec <= 0 || c.NsPerOp <= 0 || c.Iterations < 1 {
+			t.Errorf("matrix cell %d unmeasured: %+v", i, c)
+		}
+		if c.Quantized {
+			quant++
+		}
+	}
+	if quant != 1 {
+		t.Errorf("matrix has %d quantised cells, want 1", quant)
+	}
+	if len(rep.Results) == 0 {
+		t.Error("parallel suite emitted no results")
+	}
+	if rep.Derived["matrix_best_pairs_per_sec"] <= 0 {
+		t.Error("derived matrix_best_pairs_per_sec missing")
 	}
 }
 

@@ -31,6 +31,9 @@ type ModelInfo struct {
 	// Standardized reports whether the file carries fitted z-score
 	// parameters for the pair features.
 	Standardized bool
+	// Quantized reports whether the file embeds an int8 quantised kernel
+	// (v3+ descriptor flag); the float64 network is always present too.
+	Quantized bool
 	// InDim is the classifier input (pair-vector) dimension.
 	InDim int
 	// Hidden lists the hidden-layer widths.
@@ -50,8 +53,12 @@ func (i ModelInfo) String() string {
 	if i.HasDescriptor {
 		feat = i.Features.String()
 	}
-	return fmt.Sprintf("v%d features=%s embed=%d in=%d hidden=%v out=%d crc=%08x",
-		i.FormatVersion, feat, i.EmbeddingDim, i.InDim, i.Hidden, i.OutDim, i.CRC)
+	quant := ""
+	if i.Quantized {
+		quant = " quantized"
+	}
+	return fmt.Sprintf("v%d features=%s embed=%d in=%d hidden=%v out=%d crc=%08x%s",
+		i.FormatVersion, feat, i.EmbeddingDim, i.InDim, i.Hidden, i.OutDim, i.CRC, quant)
 }
 
 // LoadInfo reads a model file's metadata — format version, feature
@@ -71,19 +78,27 @@ func LoadInfo(r io.Reader) (ModelInfo, error) {
 	}
 	pr := bytes.NewReader(payload)
 	if version >= 3 {
-		fc, embedDim, err := readDescriptor(pr)
+		fc, embedDim, quantized, err := readDescriptor(pr)
 		if err != nil {
 			return ModelInfo{}, err
 		}
 		info.HasDescriptor = true
 		info.Features = fc
 		info.EmbeddingDim = embedDim
+		info.Quantized = quantized
 	}
 	mean, _, err := readStandardiser(pr, -1)
 	if err != nil {
 		return ModelInfo{}, err
 	}
 	info.Standardized = mean != nil
+	if info.Quantized {
+		// Parse (not just skip) the block so LoadInfo rejects a corrupt
+		// quantised kernel exactly as ReadModel would.
+		if _, err := readQuantBlock(pr); err != nil {
+			return ModelInfo{}, err
+		}
+	}
 	net, err := nn.Read(pr)
 	if err != nil {
 		return ModelInfo{}, fmt.Errorf("core: reading network: %w", err)

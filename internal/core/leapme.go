@@ -50,6 +50,13 @@ type Options struct {
 	// values regularise the network's overconfidence on small training
 	// sets; see the ablation bench.
 	WeightDecay float64
+	// Quantized additionally builds an int8 quantised kernel after
+	// training and embeds it in saved models (the v3 descriptor flag).
+	// Scorers taken from a quantised matcher run the int8/float32
+	// forward pass; the float64 network is always retained as the
+	// reference and the default for everything else (training, Matcher
+	// scoring, explanations). Off by default.
+	Quantized bool
 	// NoStandardize disables z-score standardisation of pair features
 	// (fitted on the training pairs, applied everywhere). Standardisation
 	// is on by default: the meta-feature counts live on a ~30× larger
@@ -103,6 +110,10 @@ type Matcher struct {
 	pairer *features.Pairer
 	props  map[dataset.Key]*features.Prop
 	net    *nn.Network
+	// qk is the optional int8 serving kernel, built when opts.Quantized
+	// is set (or loaded from a quantised model file). Never used by the
+	// matcher's own scoring paths — only Scorer snapshots read it.
+	qk *nn.QuantKernel
 
 	// Standardisation parameters fitted on the training pairs.
 	featMean, featInvStd []float64
@@ -149,6 +160,21 @@ func NewMatcher(store *embedding.Store, opts Options) (*Matcher, error) {
 
 // Options returns the matcher's effective options.
 func (m *Matcher) Options() Options { return m.opts }
+
+// Quantize builds the opt-in int8 serving kernel from the trained
+// network and marks the model quantised: subsequent WriteModel calls
+// embed the kernel and NewScorer runs it. It is the post-hoc form of
+// Options.Quantized for a model that was trained or loaded without the
+// flag. Quantisation is deterministic, so quantising the same model
+// twice yields identical kernels (and identical saved bytes).
+func (m *Matcher) Quantize() error {
+	if m.net == nil {
+		return errors.New("core: Quantize on untrained matcher")
+	}
+	m.qk = nn.NewQuantKernel(m.net)
+	m.opts.Quantized = true
+	return nil
+}
 
 // PairDim returns the classifier input dimension under the configured
 // features.
@@ -277,6 +303,10 @@ func (m *Matcher) Train(ctx context.Context, pairs []LabeledPair) (float64, erro
 		return 0, fmt.Errorf("core: training: %w", err)
 	}
 	m.net = net
+	m.qk = nil
+	if m.opts.Quantized {
+		m.qk = nn.NewQuantKernel(net)
+	}
 	return loss, nil
 }
 

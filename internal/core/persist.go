@@ -24,12 +24,15 @@ import (
 //
 // v3 payload = uint32 feature bits | uint32 embedding dim |
 // uint32 standardiser length n | n × (mean f64, invStd f64) |
-// the nn serialisation. The v2 payload is the same without the leading
-// descriptor (feature bits, embedding dim); v2 files remain readable but
-// cannot be described by LoadInfo beyond their network shape. The length
-// prefix and trailing checksum let ReadModel reject truncated or
-// bit-flipped files with a descriptive error instead of loading garbage
-// weights.
+// [uint64 quant block length | quantised kernel] | the nn serialisation.
+// The quantised-kernel block is present exactly when the feature-bits
+// word carries featBitQuantized; the float64 network always follows it,
+// so the reference path survives in every file. The v2 payload is the
+// same without the leading descriptor (feature bits, embedding dim) or
+// quant block; v2 files remain readable but cannot be described by
+// LoadInfo beyond their network shape. The length prefix and trailing
+// checksum let ReadModel reject truncated or bit-flipped files with a
+// descriptive error instead of loading garbage weights.
 
 const (
 	matcherMagic = "LEAPMEMD"
@@ -51,7 +54,17 @@ const (
 	featBitNames
 	featBitEmbeddings
 	featBitNonEmbeddings
+	// featBitQuantized marks a payload that embeds an int8 quantised
+	// kernel block between the standardiser and the float64 network.
+	featBitQuantized
 )
+
+// knownFeatBits masks every descriptor bit this build understands. A
+// set bit outside the mask means the file was written by a newer format
+// this build cannot interpret — readers reject it (fail closed) rather
+// than silently dropping whatever the bit gated.
+const knownFeatBits = featBitInstances | featBitNames | featBitEmbeddings |
+	featBitNonEmbeddings | featBitQuantized
 
 func featBits(c features.Config) uint32 {
 	var b uint32
@@ -90,7 +103,11 @@ func (m *Matcher) WriteModel(w io.Writer) error {
 	// checksum are known before anything hits w.
 	var payload bytes.Buffer
 	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint32(buf[:4], featBits(m.opts.Features))
+	bits := featBits(m.opts.Features)
+	if m.qk != nil {
+		bits |= featBitQuantized
+	}
+	binary.LittleEndian.PutUint32(buf[:4], bits)
 	payload.Write(buf[:4])
 	binary.LittleEndian.PutUint32(buf[:4], uint32(m.ex.EmbeddingDim()))
 	payload.Write(buf[:4])
@@ -105,6 +122,15 @@ func (m *Matcher) WriteModel(w io.Writer) error {
 		payload.Write(buf)
 		binary.LittleEndian.PutUint64(buf, math.Float64bits(m.featInvStd[i]))
 		payload.Write(buf)
+	}
+	if m.qk != nil {
+		var qbuf bytes.Buffer
+		if _, err := m.qk.WriteTo(&qbuf); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(qbuf.Len()))
+		payload.Write(buf)
+		payload.Write(qbuf.Bytes())
 	}
 	if _, err := m.net.WriteTo(&payload); err != nil {
 		return err
@@ -172,20 +198,54 @@ func readEnvelope(r io.Reader) (version int, payload []byte, crc uint32, err err
 }
 
 // readDescriptor parses the v3 payload descriptor off the front of pr.
-func readDescriptor(pr *bytes.Reader) (fc features.Config, embedDim int, err error) {
+// Unknown descriptor bits are a hard error: they gate payload content
+// this build cannot parse, and guessing would corrupt everything after.
+func readDescriptor(pr *bytes.Reader) (fc features.Config, embedDim int, quantized bool, err error) {
 	buf := make([]byte, 4)
 	if _, err := io.ReadFull(pr, buf); err != nil {
-		return fc, 0, fmt.Errorf("core: reading model feature config: %w", err)
+		return fc, 0, false, fmt.Errorf("core: reading model feature config: %w", err)
 	}
-	fc = featConfig(binary.LittleEndian.Uint32(buf))
+	bits := binary.LittleEndian.Uint32(buf)
+	if unknown := bits &^ knownFeatBits; unknown != 0 {
+		return fc, 0, false, fmt.Errorf("core: model descriptor has unknown feature bits %#x (written by a newer format?)", unknown)
+	}
+	fc = featConfig(bits)
+	quantized = bits&featBitQuantized != 0
 	if _, err := io.ReadFull(pr, buf); err != nil {
-		return fc, 0, fmt.Errorf("core: reading model embedding dim: %w", err)
+		return fc, 0, false, fmt.Errorf("core: reading model embedding dim: %w", err)
 	}
 	embedDim = int(binary.LittleEndian.Uint32(buf))
 	if embedDim < 0 || embedDim > 1<<20 {
-		return fc, 0, fmt.Errorf("core: implausible model embedding dim %d", embedDim)
+		return fc, 0, false, fmt.Errorf("core: implausible model embedding dim %d", embedDim)
 	}
-	return fc, embedDim, nil
+	return fc, embedDim, quantized, nil
+}
+
+// readQuantBlock parses the length-prefixed quantised-kernel block off
+// the front of pr. The block is parsed in isolation so a malformed or
+// trailing-garbage kernel is rejected exactly at its boundary.
+func readQuantBlock(pr *bytes.Reader) (*nn.QuantKernel, error) {
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(pr, buf); err != nil {
+		return nil, fmt.Errorf("core: reading quantised block length: %w", err)
+	}
+	blen := binary.LittleEndian.Uint64(buf)
+	if blen > maxModelPayload || int(blen) > pr.Len() {
+		return nil, fmt.Errorf("core: implausible quantised block length %d", blen)
+	}
+	block := make([]byte, blen)
+	if _, err := io.ReadFull(pr, block); err != nil {
+		return nil, fmt.Errorf("core: quantised block truncated: %w", err)
+	}
+	br := bytes.NewReader(block)
+	qk, err := nn.ReadQuantKernel(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading quantised kernel: %w", err)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after quantised kernel", br.Len())
+	}
+	return qk, nil
 }
 
 // readStandardiser parses the standardiser block off the front of pr.
@@ -235,8 +295,9 @@ func (m *Matcher) ReadModel(r io.Reader) error {
 		return err
 	}
 	pr := bytes.NewReader(payload)
+	quantized := false
 	if version >= 3 {
-		fc, embedDim, err := readDescriptor(pr)
+		fc, embedDim, q, err := readDescriptor(pr)
 		if err != nil {
 			return err
 		}
@@ -248,10 +309,17 @@ func (m *Matcher) ReadModel(r io.Reader) error {
 			return fmt.Errorf("core: model embedding dim %d does not match store dim %d",
 				embedDim, m.ex.EmbeddingDim())
 		}
+		quantized = q
 	}
 	mean, invStd, err := readStandardiser(pr, m.pairer.Dim())
 	if err != nil {
 		return err
+	}
+	var qk *nn.QuantKernel
+	if quantized {
+		if qk, err = readQuantBlock(pr); err != nil {
+			return err
+		}
 	}
 	net, err := nn.Read(pr)
 	if err != nil {
@@ -260,7 +328,15 @@ func (m *Matcher) ReadModel(r io.Reader) error {
 	if net.InDim() != m.pairer.Dim() {
 		return fmt.Errorf("core: model input dim %d does not match pair dim %d", net.InDim(), m.pairer.Dim())
 	}
+	if qk != nil {
+		if qk.InDim() != net.InDim() || qk.OutDim() != net.OutDim() {
+			return fmt.Errorf("core: quantised kernel shape %d→%d does not match network %d→%d",
+				qk.InDim(), qk.OutDim(), net.InDim(), net.OutDim())
+		}
+	}
 	m.featMean, m.featInvStd = mean, invStd
 	m.net = net
+	m.qk = qk
+	m.opts.Quantized = qk != nil
 	return nil
 }

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+
+	"leapme/internal/features"
+	"leapme/internal/mathx"
+	"leapme/internal/nn"
+)
+
+// quantScoreTol is the documented serving tolerance for the int8 path
+// on real trained models; the nn suite pins the same bound on random
+// networks.
+const quantScoreTol = 0.05
+
+// quantize flips a trained matcher to the quantised serving path the
+// way Options.Quantized would at train time.
+func quantize(t *testing.T, m *Matcher) {
+	t.Helper()
+	if m.net == nil {
+		t.Fatal("quantize on untrained matcher")
+	}
+	m.opts.Quantized = true
+	m.qk = nn.NewQuantKernel(m.net)
+}
+
+func TestOptionsQuantizedBuildsKernel(t *testing.T) {
+	d := smallDataset(t, 51)
+	store := getStore(t)
+	opts := DefaultOptions(51)
+	opts.Quantized = true
+	m, err := NewMatcher(store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ComputeFeatures(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	pairs := TrainingPairs(d.Props, 2, mathx.NewRand(51))
+	if _, err := m.Train(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	if m.qk == nil {
+		t.Fatal("Train with Options.Quantized did not build a quant kernel")
+	}
+	sc, err := m.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Quantized() {
+		t.Error("scorer from quantised matcher is not quantised")
+	}
+}
+
+// TestScorerQuantEquivalence compares the quantised scorer against the
+// float64 reference scorer on a real trained model: every score within
+// quantScoreTol, match decisions near-always identical, and the quant
+// batch path bit-identical to the quant single path.
+func TestScorerQuantEquivalence(t *testing.T) {
+	m, pairs := trainedScorerMatcher(t, 52)
+	ref, err := m.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantize(t, m)
+	qs, err := m.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Quantized() || !qs.Quantized() {
+		t.Fatalf("quantized flags: ref=%v quant=%v", ref.Quantized(), qs.Quantized())
+	}
+	n := 16
+	as := make([]*features.Prop, 0, n)
+	bs := make([]*features.Prop, 0, n)
+	for _, lp := range pairs[:n] {
+		pa, _ := m.prop(lp.A)
+		pb, _ := m.prop(lp.B)
+		as, bs = append(as, pa), append(bs, pb)
+	}
+	want := make([]float64, n)
+	got := make([]float64, n)
+	if err := ref.ScoreBatch(want, as, bs); err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.ScoreBatch(got, as, bs); err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.VecAlmostEqual(got, want, quantScoreTol) {
+		t.Fatalf("quant scores diverge beyond %v:\n%v\nvs\n%v", quantScoreTol, got, want)
+	}
+	for i := range as {
+		single, err := qs.Score(as[i], bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(single) != math.Float64bits(got[i]) {
+			t.Fatalf("quant batch pair %d diverges from quant single: %v vs %v", i, got[i], single)
+		}
+	}
+}
+
+// TestScorerZeroAllocs pins the warm library scoring path at zero heap
+// allocations per call, for both the float64 reference kernel and the
+// quantised kernel — the core half of the tentpole's alloc gate (the
+// serve package pins the batcher on top of this).
+func TestScorerZeroAllocs(t *testing.T) {
+	m, pairs := trainedScorerMatcher(t, 53)
+	n := 32
+	as := make([]*features.Prop, 0, n)
+	bs := make([]*features.Prop, 0, n)
+	for i := 0; i < n; i++ {
+		lp := pairs[i%len(pairs)]
+		pa, _ := m.prop(lp.A)
+		pb, _ := m.prop(lp.B)
+		as, bs = append(as, pa), append(bs, pb)
+	}
+	dst := make([]float64, n)
+	check := func(name string, sc *Scorer) {
+		t.Helper()
+		// Warm: first calls grow the batch arenas and the edit scratch to
+		// the longest names in the batch; after that the path must stay
+		// off the heap entirely.
+		if _, err := sc.Score(as[0], bs[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.ScoreBatch(dst, as, bs); err != nil {
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			if _, err := sc.Score(as[0], bs[0]); err != nil {
+				t.Error(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: warm Score allocates %v times per call, want 0", name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			if err := sc.ScoreBatch(dst, as, bs); err != nil {
+				t.Error(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: warm ScoreBatch allocates %v times per %d-pair batch, want 0", name, allocs, n)
+		}
+	}
+	sc, err := m.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("float64", sc)
+	quantize(t, m)
+	qsc, err := m.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("quant", qsc)
+}
+
+// TestQuantModelRoundTrip saves a quantised trained model and loads it
+// into a fresh matcher: the file must self-describe as quantised, the
+// reloaded scorer must run the int8 path, and its scores must be
+// bit-identical to the pre-save quant scorer (quantisation happens once,
+// at save time — never re-derived at load).
+func TestQuantModelRoundTrip(t *testing.T) {
+	m, pairs := trainedScorerMatcher(t, 54)
+	quantize(t, m)
+	var buf bytes.Buffer
+	if err := m.WriteModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := LoadInfo(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Quantized {
+		t.Fatal("LoadInfo does not report the quantised flag")
+	}
+	if !strings.Contains(info.String(), "quantized") {
+		t.Errorf("info.String() %q does not mention quantisation", info.String())
+	}
+
+	m2, _ := NewMatcher(getStore(t), DefaultOptions(1))
+	d := smallDataset(t, 54)
+	if err := m2.ComputeFeatures(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.ReadModel(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if m2.qk == nil || !m2.opts.Quantized {
+		t.Fatal("reloaded matcher lost the quant kernel")
+	}
+	sc1, err := m.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := m2.NewScorer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lp := range pairs[:8] {
+		pa, _ := m.prop(lp.A)
+		pb, _ := m.prop(lp.B)
+		s1, err := sc1.Score(pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := sc2.Score(pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(s1) != math.Float64bits(s2) {
+			t.Fatalf("reloaded quant scorer diverges on %v × %v: %v vs %v", lp.A, lp.B, s1, s2)
+		}
+	}
+	// Re-save must reproduce the file byte for byte.
+	var buf2 bytes.Buffer
+	if err := m2.WriteModel(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("quantised model load→save round trip changed the bytes")
+	}
+}
+
+// modelPayload strips the envelope (magic, version, length) and trailing
+// CRC from a serialised model, returning a mutable payload copy.
+func modelPayload(t *testing.T, data []byte) []byte {
+	t.Helper()
+	head := len(matcherMagic) + 4 + 8
+	if len(data) < head+4 {
+		t.Fatalf("model file too short: %d bytes", len(data))
+	}
+	return append([]byte(nil), data[head:len(data)-4]...)
+}
+
+// rebuildEnvelope re-wraps a (possibly mutated) payload with a correct
+// length and CRC, so corruption tests exercise the descriptor and block
+// parsers rather than the checksum.
+func rebuildEnvelope(payload []byte) []byte {
+	var out bytes.Buffer
+	out.WriteString(matcherMagic)
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[:4], modelVersion)
+	out.Write(buf[:4])
+	binary.LittleEndian.PutUint64(buf, uint64(len(payload)))
+	out.Write(buf)
+	out.Write(payload)
+	binary.LittleEndian.PutUint32(buf[:4], crc32.ChecksumIEEE(payload))
+	out.Write(buf[:4])
+	return out.Bytes()
+}
+
+// TestQuantDescriptorFailsClosed: every way the quantisation descriptor
+// can lie about the payload must be a load error — for ReadModel AND
+// LoadInfo — never a model that silently scores through some other path.
+func TestQuantDescriptorFailsClosed(t *testing.T) {
+	m := goldenMatcher(t)
+	quantize(t, m)
+	var qbuf bytes.Buffer
+	if err := m.WriteModel(&qbuf); err != nil {
+		t.Fatal(err)
+	}
+	plain := goldenMatcher(t)
+	var pbuf bytes.Buffer
+	if err := plain.WriteModel(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	dim := m.PairDim()
+	// Payload offsets: 8-byte descriptor, 4-byte standardiser length,
+	// dim×16 standardiser, then the 8-byte quant block length prefix.
+	quantLenOff := 8 + 4 + dim*16
+	quantBlockOff := quantLenOff + 8
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{
+			name: "quant bit set without a block",
+			data: func() []byte {
+				p := modelPayload(t, pbuf.Bytes())
+				p[0] |= featBitQuantized
+				return rebuildEnvelope(p)
+			}(),
+			// The nn magic bytes get misread as a block length.
+			wantSub: "quantised block",
+		},
+		{
+			name: "unknown descriptor bit",
+			data: func() []byte {
+				p := modelPayload(t, qbuf.Bytes())
+				p[0] |= 1 << 5
+				return rebuildEnvelope(p)
+			}(),
+			wantSub: "unknown feature bits",
+		},
+		{
+			name: "implausible quant block length",
+			data: func() []byte {
+				p := modelPayload(t, qbuf.Bytes())
+				binary.LittleEndian.PutUint64(p[quantLenOff:], 1<<40)
+				return rebuildEnvelope(p)
+			}(),
+			wantSub: "quantised block length",
+		},
+		{
+			name: "corrupt quant kernel magic",
+			data: func() []byte {
+				p := modelPayload(t, qbuf.Bytes())
+				p[quantBlockOff] ^= 0xff
+				return rebuildEnvelope(p)
+			}(),
+			wantSub: "quant magic",
+		},
+		{
+			name: "quant block truncating the kernel",
+			data: func() []byte {
+				p := modelPayload(t, qbuf.Bytes())
+				blen := binary.LittleEndian.Uint64(p[quantLenOff:])
+				binary.LittleEndian.PutUint64(p[quantLenOff:], blen-2)
+				return rebuildEnvelope(p)
+			}(),
+			wantSub: "quant",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadInfo(bytes.NewReader(tc.data)); err == nil {
+				t.Error("LoadInfo accepted a corrupt quant descriptor")
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("LoadInfo error %q does not contain %q", err, tc.wantSub)
+			}
+			fresh := goldenMatcher(t)
+			fresh.net, fresh.qk, fresh.featMean, fresh.featInvStd = nil, nil, nil, nil
+			if err := fresh.ReadModel(bytes.NewReader(tc.data)); err == nil {
+				t.Error("ReadModel accepted a corrupt quant descriptor")
+			}
+			if fresh.net != nil || fresh.qk != nil {
+				t.Error("matcher modified by a failed load")
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"leapme/internal/features"
 	"leapme/internal/nn"
+	"leapme/internal/text"
 )
 
 // Scorer is a self-contained scoring snapshot of a trained Matcher: the
@@ -15,46 +16,83 @@ import (
 // the source matcher does not affect snapshots already taken, which is
 // what makes hot-swapping a model under live traffic safe.
 //
-// Featurize is safe for concurrent use (the extractor and embedding store
-// are read-only). Score and ScoreBatch are NOT: they reuse the scorer's
-// pair-vector buffer and the network's forward scratch. Concurrent
-// scoring takes one Clone per worker.
+// The weights live in a flat, immutable inference kernel shared by every
+// clone; each Scorer owns only its scratch arenas (pair-vector buffer,
+// batch-major feature arena, activation scratch, string-distance
+// scratch), so a warm Score or ScoreBatch performs zero heap allocations
+// per pair. For models carrying the quantised descriptor flag the scorer
+// runs the int8/float32 kernel instead; the float64 kernel remains the
+// reference path and the default.
+//
+// Featurize is safe for concurrent use (the extractor and embedding
+// store are read-only). Score and ScoreBatch are NOT: they reuse the
+// scorer's arenas. Concurrent scoring takes one Clone per worker —
+// clones share the kernels and cost only their scratch.
 type Scorer struct {
-	ex        *features.Extractor
-	pairer    *features.Pairer
-	net       *nn.Network
-	featMean  []float64
+	ex         *features.Extractor
+	pairer     *features.Pairer
+	kern       *nn.Kernel      // shared float64 inference kernel
+	qkern      *nn.QuantKernel // shared int8 kernel; nil unless the model is quantised
+	featMean   []float64
 	featInvStd []float64
-	threshold float64
-	fc        features.Config
+	threshold  float64
+	fc         features.Config
 
-	vec []float64 // reused pair-vector buffer
+	// Per-scorer scratch arenas. Never shared between clones.
+	edit     text.EditScratch
+	vec      []float64 // one pair vector (Score)
+	xs       []float64 // batch-major pair vectors (ScoreBatch), grows to the largest batch seen
+	probs    []float64 // batch softmax outputs
+	scratch  []float64 // float64 kernel activations
+	qscratch []float32 // quantised kernel activations
 }
 
-// NewScorer snapshots the matcher's trained state. The network is deep
-// copied; the featurizer and standardiser are shared (both read-only).
+// NewScorer snapshots the matcher's trained state. The weights are
+// copied into an immutable flat kernel; the featurizer and standardiser
+// are shared (both read-only).
 func (m *Matcher) NewScorer() (*Scorer, error) {
 	if m.net == nil {
 		return nil, errors.New("core: NewScorer on untrained matcher")
 	}
-	return &Scorer{
+	kern := nn.NewKernel(m.net)
+	if kern.InDim() != m.pairer.Dim() {
+		return nil, fmt.Errorf("core: network input dim %d does not match pair dim %d", kern.InDim(), m.pairer.Dim())
+	}
+	if kern.OutDim() < 2 {
+		return nil, errors.New("core: scoring requires at least 2 output classes")
+	}
+	s := &Scorer{
 		ex:         m.ex,
 		pairer:     m.pairer,
-		net:        m.net.Clone(),
+		kern:       kern,
+		qkern:      m.qk,
 		featMean:   m.featMean,
 		featInvStd: m.featInvStd,
 		threshold:  m.opts.Threshold,
 		fc:         m.opts.Features,
-	}, nil
+	}
+	s.initScratch()
+	return s, nil
 }
 
-// Clone returns an independent copy sharing the (read-only) featurizer
-// and standardiser but owning its network scratch, so clones can score
-// concurrently with each other and the original.
+// initScratch allocates the single-pair arenas up front so even the
+// first Score on a fresh scorer stays off the heap.
+func (s *Scorer) initScratch() {
+	s.vec = make([]float64, s.pairer.Dim())
+	s.scratch = make([]float64, s.kern.ScratchLen())
+	if s.qkern != nil {
+		s.qscratch = make([]float32, s.qkern.ScratchLen())
+	}
+}
+
+// Clone returns an independent copy sharing the (read-only) kernels,
+// featurizer and standardiser but owning fresh scratch arenas, so clones
+// can score concurrently with each other and the original.
 func (s *Scorer) Clone() *Scorer {
 	c := *s
-	c.net = s.net.Clone()
-	c.vec = nil
+	c.edit = text.EditScratch{}
+	c.xs, c.probs = nil, nil
+	c.initScratch()
 	return &c
 }
 
@@ -67,6 +105,9 @@ func (s *Scorer) Threshold() float64 { return s.threshold }
 // Features returns the feature configuration the model was trained with.
 func (s *Scorer) Features() features.Config { return s.fc }
 
+// Quantized reports whether this scorer runs the int8 kernel.
+func (s *Scorer) Quantized() bool { return s.qkern != nil }
+
 // Featurize computes the property feature vector for a property given by
 // name and instance values — the serving-path equivalent of
 // ComputeFeatures for one property. Safe for concurrent use; the result
@@ -75,45 +116,86 @@ func (s *Scorer) Featurize(name string, values []string) *features.Prop {
 	return s.ex.PropertyFeatures(name, values)
 }
 
+// standardizeInto applies the fitted z-score transform to v in place.
+func (s *Scorer) standardizeInto(v []float64) {
+	if s.featMean == nil {
+		return
+	}
+	for i := range v {
+		v[i] = (v[i] - s.featMean[i]) * s.featInvStd[i]
+	}
+}
+
 // Score classifies one featurized property pair, returning the network's
-// positive-class probability.
+// positive-class probability. Warm calls allocate nothing.
 func (s *Scorer) Score(a, b *features.Prop) (float64, error) {
 	if a == nil || b == nil {
 		return 0, errors.New("core: Score on nil property features")
 	}
-	if s.vec == nil {
-		s.vec = make([]float64, s.pairer.Dim())
+	s.pairer.PairVectorScratch(s.vec, a, b, &s.edit)
+	s.standardizeInto(s.vec)
+	if s.qkern != nil {
+		return s.qkern.PositiveScore(s.vec, s.qscratch), nil
 	}
-	s.pairer.PairVector(s.vec, a, b)
-	if s.featMean != nil {
-		for i := range s.vec {
-			s.vec[i] = (s.vec[i] - s.featMean[i]) * s.featInvStd[i]
-		}
-	}
-	p, err := s.net.PositiveScore(s.vec)
-	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
-	return p, nil
+	return s.kern.PositiveScore(s.vec, s.scratch), nil
 }
 
 // Match applies the snapshot threshold to a score.
 func (s *Scorer) Match(score float64) bool { return score >= s.threshold }
 
+// ensureBatch grows the batch arenas to hold n pairs. Growth only ever
+// happens when n exceeds the largest batch this scorer has seen, so the
+// steady-state batch path allocates nothing.
+func (s *Scorer) ensureBatch(n int) {
+	if need := n * s.pairer.Dim(); cap(s.xs) < need {
+		s.xs = make([]float64, need)
+	}
+	if need := n * s.kern.OutDim(); cap(s.probs) < need {
+		s.probs = make([]float64, need)
+	}
+	if s.qkern != nil {
+		if need := s.qkern.BatchScratchLen(n); cap(s.qscratch) < need {
+			s.qscratch = make([]float32, need)
+		}
+	} else if need := s.kern.BatchScratchLen(n); cap(s.scratch) < need {
+		s.scratch = make([]float64, need)
+	}
+}
+
 // ScoreBatch scores len(as) pairs (as[i], bs[i]) into dst — the batched
 // forward pass the serving micro-batcher coalesces concurrent requests
-// into. One pair vector buffer and one network are reused across the
-// whole batch, so per-pair overhead is a single gather + forward pass.
+// into. Pair vectors are gathered back-to-back into the scorer's
+// batch-major arena and the whole batch runs through the kernel in one
+// batch-major pass (each weight row streams once per layer across all
+// pairs). Scores are bit-identical to len(as) separate Score calls.
 func (s *Scorer) ScoreBatch(dst []float64, as, bs []*features.Prop) error {
 	if len(as) != len(bs) || len(dst) != len(as) {
 		return fmt.Errorf("core: ScoreBatch length mismatch: dst=%d as=%d bs=%d", len(dst), len(as), len(bs))
 	}
+	n := len(as)
+	if n == 0 {
+		return nil
+	}
+	dim := s.pairer.Dim()
+	s.ensureBatch(n)
+	xs := s.xs[:n*dim]
 	for i := range as {
-		p, err := s.Score(as[i], bs[i])
-		if err != nil {
-			return fmt.Errorf("core: batch pair %d: %w", i, err)
+		if as[i] == nil || bs[i] == nil {
+			return fmt.Errorf("core: batch pair %d: core: Score on nil property features", i)
 		}
-		dst[i] = p
+		v := xs[i*dim : (i+1)*dim]
+		s.pairer.PairVectorScratch(v, as[i], bs[i], &s.edit)
+		s.standardizeInto(v)
+	}
+	outDim := s.kern.OutDim()
+	probs := s.probs[:n*outDim]
+	if s.qkern != nil {
+		s.qkern.ForwardBatch(probs, xs, n, s.qscratch[:s.qkern.BatchScratchLen(n)])
+	} else {
+		s.kern.ForwardBatch(probs, xs, n, s.scratch[:s.kern.BatchScratchLen(n)])
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = probs[i*outDim+1]
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package features
 import (
 	"fmt"
 	"strings"
+
+	"leapme/internal/text"
 )
 
 // Config selects which Table I feature groups enter the pair vector.
@@ -207,6 +209,22 @@ func (p *Pairer) PairVector(dst []float64, a, b *Prop) {
 	}
 	if p.distances {
 		PairDistances(dst[len(p.diffIdx):], a, b)
+	}
+}
+
+// PairVectorScratch is PairVector with an EditScratch threaded through
+// the string-distance block, the serving hot path's allocation-free
+// variant. Results are bit-identical to PairVector.
+func (p *Pairer) PairVectorScratch(dst []float64, a, b *Prop, es *text.EditScratch) {
+	for k, i := range p.diffIdx {
+		d := a.Vec[i] - b.Vec[i]
+		if d < 0 {
+			d = -d
+		}
+		dst[k] = d
+	}
+	if p.distances {
+		PairDistancesScratch(dst[len(p.diffIdx):], a, b, es)
 	}
 }
 

@@ -153,8 +153,9 @@ type Prop struct {
 	// features followed by the name embedding. Length 29 + 2D.
 	Vec []float64
 
-	norm string            // normalised name for string distances
-	tri  text.NGramProfile // cached 3-gram profile of the normalised name
+	norm  string            // normalised name for string distances
+	runes []rune            // norm as runes, converted once at featurise time
+	tri   text.NGramProfile // cached 3-gram profile of the normalised name
 }
 
 // PropertyFeatures computes the property-level vector (rows 5–6), the
@@ -180,7 +181,7 @@ func (e *Extractor) PropertyFeatures(name string, values []string) *Prop {
 	}
 	copy(vec[e.InstanceDim():], e.store.EncodePhrase(name))
 	norm := text.NormalizeName(name)
-	return &Prop{Name: name, Vec: vec, norm: norm, tri: text.TriGrams(norm)}
+	return &Prop{Name: name, Vec: vec, norm: norm, runes: []rune(norm), tri: text.TriGrams(norm)}
 }
 
 // parValuesThreshold is the minimum number of values before
@@ -233,4 +234,23 @@ func PairDistances(dst []float64, a, b *Prop) {
 	dst[5] = a.tri.CosineDistance(b.tri)
 	dst[6] = a.tri.JaccardDistance(b.tri)
 	dst[7] = text.JaroWinklerDistance(a.norm, b.norm)
+}
+
+// PairDistancesScratch is PairDistances over the properties' cached rune
+// slices, threading an EditScratch through the edit-distance family so a
+// warm caller computes all eight distances with zero heap allocations.
+// Values are bit-identical to PairDistances; the features tests
+// cross-check the two paths.
+//
+// The rune cache is filled by PropertyFeatures alongside norm, so the
+// two are always consistent (norm is unexported and set nowhere else).
+func PairDistancesScratch(dst []float64, a, b *Prop, es *text.EditScratch) {
+	dst[0] = text.NormalizedOSARunes(a.runes, b.runes, es)
+	dst[1] = text.NormalizedLevenshteinRunes(a.runes, b.runes, es)
+	dst[2] = text.NormalizedDamerauLevenshteinRunes(a.runes, b.runes, es)
+	dst[3] = text.NormalizedLCSubstringRunes(a.runes, b.runes, es)
+	dst[4] = text.NormalizedQGramDistance(a.tri, b.tri)
+	dst[5] = a.tri.CosineDistance(b.tri)
+	dst[6] = a.tri.JaccardDistance(b.tri)
+	dst[7] = text.JaroWinklerDistanceRunes(a.runes, b.runes, es)
 }

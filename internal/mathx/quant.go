@@ -1,0 +1,30 @@
+package mathx
+
+import "fmt"
+
+// DotQ8 returns the inner product of an int8-quantised weight row with a
+// float32 activation vector, accumulating in float32.
+//
+// Unlike Dot, this kernel uses four independent accumulators: the
+// quantised path is tolerance-checked against the float64 reference
+// rather than bit-pinned, so reassociating the sum is legal here and
+// breaks the loop-carried dependency that caps the scalar float64 path.
+// The fold order ((s0+s1)+(s2+s3)) is fixed, so the result is still
+// deterministic for a given input.
+func DotQ8(w []int8, x []float32) float32 {
+	if len(w) != len(x) {
+		panic(fmt.Sprintf("mathx: DotQ8 length mismatch %d != %d", len(w), len(x)))
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		s0 += float32(w[i]) * x[i]
+		s1 += float32(w[i+1]) * x[i+1]
+		s2 += float32(w[i+2]) * x[i+2]
+		s3 += float32(w[i+3]) * x[i+3]
+	}
+	for ; i < len(w); i++ {
+		s0 += float32(w[i]) * x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}

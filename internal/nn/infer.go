@@ -1,0 +1,196 @@
+package nn
+
+import "fmt"
+
+// Kernel is a Forward-only view of a trained Network laid out for the
+// serving hot path: all weights live in one flat row-major []float64 and
+// all biases in another, so a forward pass walks two contiguous arrays
+// instead of chasing per-layer *Matrix and per-neuron slices. A Kernel
+// holds no scratch of its own — callers thread an explicit scratch
+// buffer through every call — so one Kernel is immutable after
+// construction and safe to share across any number of goroutines.
+//
+// Bit-identity contract: for the same input, Forward produces outputs
+// byte-for-byte identical to Network.Forward. Both walk each row with
+// the same sequential single-accumulator dot product (the mathx.Dot
+// order) and the same softmax; only the memory layout differs. The
+// determinism suites and the serve layer's reproducibility guarantee
+// rely on this, so any change to the accumulation order here is a
+// format-breaking change, not an optimisation.
+type Kernel struct {
+	layers []kernLayer
+	w      []float64 // all layer weights, row-major, concatenated
+	b      []float64 // all layer biases, concatenated
+	inDim  int
+	outDim int
+	// maxWidth is the widest activation the kernel ever materialises
+	// (max over layer outputs and the input), which fixes the scratch
+	// stride for batch-major buffers.
+	maxWidth int
+}
+
+// kernLayer locates one dense layer inside the flat arrays.
+type kernLayer struct {
+	rows, cols int
+	woff       int // offset of the rows×cols weight block in Kernel.w
+	boff       int // offset of the rows biases in Kernel.b
+	act        Activation
+}
+
+// NewKernel builds an inference kernel from a trained network, copying
+// the weights into the flat layout. The network is not retained; later
+// training steps on n do not affect the kernel.
+func NewKernel(n *Network) *Kernel {
+	k := &Kernel{inDim: n.inDim, outDim: n.OutDim(), maxWidth: n.inDim}
+	var wlen, blen int
+	for _, l := range n.layers {
+		wlen += l.w.Rows * l.w.Cols
+		blen += l.w.Rows
+		if l.w.Rows > k.maxWidth {
+			k.maxWidth = l.w.Rows
+		}
+	}
+	k.w = make([]float64, 0, wlen)
+	k.b = make([]float64, 0, blen)
+	for _, l := range n.layers {
+		k.layers = append(k.layers, kernLayer{
+			rows: l.w.Rows, cols: l.w.Cols,
+			woff: len(k.w), boff: len(k.b),
+			act: l.act,
+		})
+		k.w = append(k.w, l.w.Data...)
+		k.b = append(k.b, l.b...)
+	}
+	return k
+}
+
+// InDim returns the expected input dimension.
+func (k *Kernel) InDim() int { return k.inDim }
+
+// OutDim returns the number of output classes.
+func (k *Kernel) OutDim() int { return k.outDim }
+
+// ScratchLen returns the scratch length required by Forward and
+// PositiveScore for a single input.
+func (k *Kernel) ScratchLen() int { return 2 * k.maxWidth }
+
+// BatchScratchLen returns the scratch length ForwardBatch requires for
+// n inputs.
+func (k *Kernel) BatchScratchLen(n int) int { return 2 * n * k.maxWidth }
+
+// forwardRaw runs all layers on x and returns the pre-softmax logits as
+// a view into scratch (or x itself for a zero-layer kernel). It
+// allocates nothing.
+func (k *Kernel) forwardRaw(x, scratch []float64) []float64 {
+	if len(x) != k.inDim {
+		panic(fmt.Sprintf("nn: kernel input has dim %d, want %d", len(x), k.inDim))
+	}
+	if len(scratch) < k.ScratchLen() {
+		panic(fmt.Sprintf("nn: kernel scratch has len %d, want >= %d", len(scratch), k.ScratchLen()))
+	}
+	cur := x
+	buf0 := scratch[:k.maxWidth]
+	buf1 := scratch[k.maxWidth : 2*k.maxWidth]
+	out := buf0
+	for li, l := range k.layers {
+		w := k.w[l.woff : l.woff+l.rows*l.cols]
+		bias := k.b[l.boff : l.boff+l.rows]
+		in := cur[:l.cols]
+		for r := 0; r < l.rows; r++ {
+			// Sequential single-accumulator dot, the exact mathx.Dot
+			// order Network.forward uses — required for bit identity.
+			row := w[r*l.cols : (r+1)*l.cols]
+			var s float64
+			for c, wv := range row {
+				s += wv * in[c]
+			}
+			out[r] = l.act.apply(s + bias[r])
+		}
+		cur = out[:l.rows]
+		if li%2 == 0 {
+			out = buf1
+		} else {
+			out = buf0
+		}
+	}
+	return cur
+}
+
+// Forward writes the softmax class probabilities for x into dst, using
+// scratch (len >= ScratchLen()) for activations. It performs no heap
+// allocations and its outputs are bit-identical to Network.Forward.
+func (k *Kernel) Forward(dst, x, scratch []float64) {
+	if len(dst) != k.outDim {
+		panic(fmt.Sprintf("nn: kernel output has dim %d, want %d", len(dst), k.outDim))
+	}
+	softmax(dst, k.forwardRaw(x, scratch))
+}
+
+// PositiveScore returns the probability of class 1 for x — LEAPME's
+// similarity score — without allocating. The kernel must have at least
+// two output classes; NewKernel callers validate topology at load time.
+func (k *Kernel) PositiveScore(x, scratch []float64) float64 {
+	z := k.forwardRaw(x, scratch)
+	// The logits view lives in one half of scratch; the softmax result
+	// can safely use the other half (both are maxWidth wide).
+	var dst []float64
+	if &z[0] == &scratch[0] {
+		dst = scratch[k.maxWidth : k.maxWidth+k.outDim]
+	} else {
+		dst = scratch[:k.outDim]
+	}
+	softmax(dst, z)
+	return dst[1]
+}
+
+// ForwardBatch scores n inputs stored back-to-back in xs (len n*InDim),
+// writing softmax probabilities back-to-back into probs (len n*OutDim).
+// scratch must have len >= BatchScratchLen(n). The loop order is
+// batch-major — each weight row is streamed once per layer across the
+// whole batch, instead of re-walking the full weight set per pair — but
+// every individual input sees exactly the per-row sequential
+// accumulation of Forward, so results are bit-identical to n separate
+// Forward calls in any batch size.
+func (k *Kernel) ForwardBatch(probs, xs []float64, n int, scratch []float64) {
+	if n < 0 || len(xs) != n*k.inDim {
+		panic(fmt.Sprintf("nn: kernel batch input has len %d, want %d", len(xs), n*k.inDim))
+	}
+	if len(probs) != n*k.outDim {
+		panic(fmt.Sprintf("nn: kernel batch output has len %d, want %d", len(probs), n*k.outDim))
+	}
+	if len(scratch) < k.BatchScratchLen(n) {
+		panic(fmt.Sprintf("nn: kernel batch scratch has len %d, want >= %d", len(scratch), k.BatchScratchLen(n)))
+	}
+	if n == 0 {
+		return
+	}
+	buf0 := scratch[:n*k.maxWidth]
+	buf1 := scratch[n*k.maxWidth : 2*n*k.maxWidth]
+	cur, curStride := xs, k.inDim
+	out := buf0
+	for li, l := range k.layers {
+		w := k.w[l.woff : l.woff+l.rows*l.cols]
+		bias := k.b[l.boff : l.boff+l.rows]
+		for r := 0; r < l.rows; r++ {
+			row := w[r*l.cols : (r+1)*l.cols]
+			bv := bias[r]
+			for p := 0; p < n; p++ {
+				in := cur[p*curStride : p*curStride+l.cols]
+				var s float64
+				for c, wv := range row {
+					s += wv * in[c]
+				}
+				out[p*k.maxWidth+r] = l.act.apply(s + bv)
+			}
+		}
+		cur, curStride = out, k.maxWidth
+		if li%2 == 0 {
+			out = buf1
+		} else {
+			out = buf0
+		}
+	}
+	for p := 0; p < n; p++ {
+		softmax(probs[p*k.outDim:(p+1)*k.outDim], cur[p*k.maxWidth:p*k.maxWidth+k.outDim])
+	}
+}

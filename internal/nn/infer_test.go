@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"leapme/internal/mathx"
+)
+
+// inferTopologies are the network shapes the kernel suites sweep:
+// the paper's serving topology plus degenerate and odd-width shapes
+// that stress the ping-pong scratch and the batch strides.
+var inferTopologies = []Config{
+	{InDim: 101, Hidden: []int{128, 64}, Out: 2, Activation: ActReLU, Seed: 1},
+	{InDim: 7, Hidden: []int{5}, Out: 2, Activation: ActReLU, Seed: 2},
+	{InDim: 3, Hidden: nil, Out: 2, Activation: ActReLU, Seed: 3},
+	{InDim: 13, Hidden: []int{17, 3, 9}, Out: 4, Activation: ActTanh, Seed: 4},
+	{InDim: 32, Hidden: []int{64}, Out: 2, Activation: ActSigmoid, Seed: 5},
+}
+
+// randInputs returns n seeded random input vectors for cfg, with values
+// on the scale standardised pair features actually take.
+func randInputs(cfg Config, n int, seed int64) [][]float64 {
+	rng := mathx.NewRand(seed)
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := make([]float64, cfg.InDim)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 2
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// TestKernelBitIdentity is the exact-equivalence gate for the default
+// serving path: for every topology and input, the flat kernel's outputs
+// must match Network.Forward byte for byte (compared through
+// math.Float64bits, not a tolerance). If this fails, the serving layer's
+// bit-reproducibility guarantee is broken — fix the kernel, never widen
+// this to a tolerance.
+func TestKernelBitIdentity(t *testing.T) {
+	for _, cfg := range inferTopologies {
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		k := NewKernel(net)
+		if k.InDim() != cfg.InDim || k.OutDim() != cfg.Out {
+			t.Fatalf("kernel dims %d→%d, want %d→%d", k.InDim(), k.OutDim(), cfg.InDim, cfg.Out)
+		}
+		scratch := make([]float64, k.ScratchLen())
+		dst := make([]float64, k.OutDim())
+		for _, x := range randInputs(cfg, 50, cfg.Seed+100) {
+			want, err := net.Forward(x)
+			if err != nil {
+				t.Fatalf("Forward: %v", err)
+			}
+			k.Forward(dst, x, scratch)
+			for i := range want {
+				if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("cfg %+v: kernel output %d = %x, want %x (values %v vs %v)",
+						cfg, i, math.Float64bits(dst[i]), math.Float64bits(want[i]), dst[i], want[i])
+				}
+			}
+			if got, want := k.PositiveScore(x, scratch), dst[1]; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("cfg %+v: PositiveScore %v, want %v", cfg, got, want)
+			}
+		}
+	}
+}
+
+// TestKernelBatchDeterminism proves batch-major execution changes
+// nothing: ForwardBatch over any batch size is bit-identical to one
+// Forward per input. The name keeps it inside `make test-determinism`,
+// which re-runs it under GOMAXPROCS=1 and 4.
+func TestKernelBatchDeterminism(t *testing.T) {
+	for _, cfg := range inferTopologies {
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		k := NewKernel(net)
+		inputs := randInputs(cfg, 33, cfg.Seed+200)
+		single := make([]float64, len(inputs)*k.OutDim())
+		scratch := make([]float64, k.ScratchLen())
+		for i, x := range inputs {
+			k.Forward(single[i*k.OutDim():(i+1)*k.OutDim()], x, scratch)
+		}
+		for _, n := range []int{1, 2, 7, 32, 33} {
+			xs := make([]float64, 0, n*k.InDim())
+			for _, x := range inputs[:n] {
+				xs = append(xs, x...)
+			}
+			probs := make([]float64, n*k.OutDim())
+			bscratch := make([]float64, k.BatchScratchLen(n))
+			k.ForwardBatch(probs, xs, n, bscratch)
+			for i := 0; i < n*k.OutDim(); i++ {
+				if math.Float64bits(probs[i]) != math.Float64bits(single[i]) {
+					t.Fatalf("cfg %+v batch %d: prob %d = %v, want %v", cfg, n, i, probs[i], single[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelZeroAllocs pins the inference kernel at zero heap
+// allocations per call — the hot-path contract the serving arenas build
+// on. Wired into `go test ./...`, so a regression fails tier-1, not
+// just a bench.
+func TestKernelZeroAllocs(t *testing.T) {
+	cfg := inferTopologies[0]
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	k := NewKernel(net)
+	x := randInputs(cfg, 1, 9)[0]
+	scratch := make([]float64, k.ScratchLen())
+	dst := make([]float64, k.OutDim())
+	if n := testing.AllocsPerRun(100, func() { k.Forward(dst, x, scratch) }); n != 0 {
+		t.Errorf("Kernel.Forward allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = k.PositiveScore(x, scratch) }); n != 0 {
+		t.Errorf("Kernel.PositiveScore allocates %v times per call, want 0", n)
+	}
+	const batch = 32
+	xs := make([]float64, batch*k.InDim())
+	for i := range xs {
+		xs[i] = x[i%len(x)]
+	}
+	probs := make([]float64, batch*k.OutDim())
+	bscratch := make([]float64, k.BatchScratchLen(batch))
+	if n := testing.AllocsPerRun(100, func() { k.ForwardBatch(probs, xs, batch, bscratch) }); n != 0 {
+		t.Errorf("Kernel.ForwardBatch allocates %v times per call, want 0", n)
+	}
+
+	q := NewQuantKernel(net)
+	qscratch := make([]float32, q.BatchScratchLen(batch))
+	if n := testing.AllocsPerRun(100, func() { _ = q.PositiveScore(x, qscratch) }); n != 0 {
+		t.Errorf("QuantKernel.PositiveScore allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { q.ForwardBatch(probs, xs, batch, qscratch) }); n != 0 {
+		t.Errorf("QuantKernel.ForwardBatch allocates %v times per call, want 0", n)
+	}
+}
+
+// quantTol is the documented equivalence tolerance for the int8 path:
+// per-row symmetric quantisation bounds each weight's relative error by
+// 1/254, and for the paper's topology the resulting softmax probability
+// shift stays well under this bound on random networks and trained
+// models alike (the core suite re-checks it on a real trained model).
+const quantTol = 0.05
+
+// TestQuantKernelEquivalence checks the int8 path against the float64
+// reference over seeded random networks: probabilities within quantTol
+// (via mathx.VecAlmostEqual), batch path bit-identical to the quant
+// single path, and determinism of quantisation itself.
+func TestQuantKernelEquivalence(t *testing.T) {
+	for _, cfg := range inferTopologies {
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		k := NewKernel(net)
+		q := NewQuantKernel(net)
+		if q.InDim() != k.InDim() || q.OutDim() != k.OutDim() {
+			t.Fatalf("quant dims %d→%d, want %d→%d", q.InDim(), q.OutDim(), k.InDim(), k.OutDim())
+		}
+		scratch := make([]float64, k.ScratchLen())
+		qscratch := make([]float32, q.ScratchLen())
+		ref := make([]float64, k.OutDim())
+		got := make([]float64, q.OutDim())
+		for _, x := range randInputs(cfg, 50, cfg.Seed+300) {
+			k.Forward(ref, x, scratch)
+			q.Forward(got, x, qscratch)
+			if !mathx.VecAlmostEqual(got, ref, quantTol) {
+				t.Fatalf("cfg %+v: quant probs %v diverge from reference %v beyond %v", cfg, got, ref, quantTol)
+			}
+			if p := q.PositiveScore(x, qscratch); !mathx.AlmostEqual(p, got[1], 1e-15) {
+				t.Fatalf("cfg %+v: quant PositiveScore %v vs Forward[1] %v", cfg, p, got[1])
+			}
+		}
+		// Batch vs single: the quant batch path must agree bit-for-bit
+		// with the quant single path (same reassociated dot per pair).
+		inputs := randInputs(cfg, 9, cfg.Seed+400)
+		n := len(inputs)
+		xs := make([]float64, 0, n*q.InDim())
+		for _, x := range inputs {
+			xs = append(xs, x...)
+		}
+		probs := make([]float64, n*q.OutDim())
+		q.ForwardBatch(probs, xs, n, make([]float32, q.BatchScratchLen(n)))
+		for i, x := range inputs {
+			q.Forward(got, x, qscratch)
+			for j := range got {
+				if math.Float64bits(probs[i*q.OutDim()+j]) != math.Float64bits(got[j]) {
+					t.Fatalf("cfg %+v: quant batch pair %d diverges from single", cfg, i)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantKernelRoundTrip proves serialisation is lossless: a reloaded
+// quant kernel produces bit-identical outputs, and quantising the same
+// network twice yields byte-identical bytes (deterministic
+// quantisation).
+func TestQuantKernelRoundTrip(t *testing.T) {
+	cfg := inferTopologies[0]
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	q := NewQuantKernel(net)
+	var buf bytes.Buffer
+	if _, err := q.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := NewQuantKernel(net).WriteTo(&buf2); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("quantising the same network twice produced different bytes")
+	}
+	q2, err := ReadQuantKernel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadQuantKernel: %v", err)
+	}
+	scratch := make([]float32, q.ScratchLen())
+	got := make([]float64, q.OutDim())
+	want := make([]float64, q.OutDim())
+	for _, x := range randInputs(cfg, 20, 77) {
+		q.Forward(want, x, scratch)
+		q2.Forward(got, x, scratch)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("reloaded quant kernel diverges: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+// TestReadQuantKernelRejectsCorruption walks structural corruptions
+// through ReadQuantKernel; every one must be a load error.
+func TestReadQuantKernelRejectsCorruption(t *testing.T) {
+	net, err := New(inferTopologies[1])
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := NewQuantKernel(net).WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadQuantKernel(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Error("truncated quant kernel accepted")
+	}
+	if _, err := ReadQuantKernel(bytes.NewReader(good[:4])); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ReadQuantKernel(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(quantMagic)] = 0xff // implausible layer count
+	if _, err := ReadQuantKernel(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible layer count accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(quantMagic)+4] = 0 // first layer rows = 0
+	if _, err := ReadQuantKernel(bytes.NewReader(bad)); err == nil {
+		t.Error("zero-row layer accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(quantMagic)+12] = 0xee // first layer activation
+	if _, err := ReadQuantKernel(bytes.NewReader(bad)); err == nil {
+		t.Error("unknown activation accepted")
+	}
+}

@@ -1,0 +1,259 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"leapme/internal/mathx"
+)
+
+// QuantKernel is the opt-in int8 inference path: per-row symmetrically
+// quantised weights (scale = maxAbs/127) with float32 biases and
+// float32 accumulation. It is built deterministically from a trained
+// float64 network and, like Kernel, is immutable and scratch-threaded,
+// so one QuantKernel serves any number of goroutines.
+//
+// The quantised path is NOT bit-identical to the float64 reference — it
+// trades ~1e-3-level probability error (see the equivalence tests for
+// the pinned tolerance) for a smaller working set and an unrolled
+// multi-accumulator dot. The float64 Kernel remains the default and the
+// reference; a model only scores through a QuantKernel when its
+// descriptor carries the quantisation flag.
+type QuantKernel struct {
+	layers []qkLayer
+	w      []int8    // all layer weights, row-major, concatenated
+	scale  []float32 // per output row: dequantisation scale
+	b      []float32 // per output row: bias
+	inDim  int
+	outDim int
+	// maxWidth fixes the scratch stride, as in Kernel.
+	maxWidth int
+}
+
+// qkLayer locates one dense layer inside the flat arrays.
+type qkLayer struct {
+	rows, cols int
+	woff       int // offset of the rows×cols int8 block in QuantKernel.w
+	roff       int // offset of the per-row scale/bias entries
+	act        Activation
+}
+
+// NewQuantKernel quantises a trained network. Each weight row r gets a
+// symmetric scale s_r = maxAbs(row)/127 and int8 weights
+// round(w/s_r) ∈ [-127, 127]; an all-zero row gets scale 0 and zero
+// weights, which dequantises exactly to zero. The construction reads
+// only the network's parameters, so it is deterministic: quantising the
+// same model twice yields byte-identical kernels.
+func NewQuantKernel(n *Network) *QuantKernel {
+	k := &QuantKernel{inDim: n.inDim, outDim: n.OutDim(), maxWidth: n.inDim}
+	var wlen, rlen int
+	for _, l := range n.layers {
+		wlen += l.w.Rows * l.w.Cols
+		rlen += l.w.Rows
+		if l.w.Rows > k.maxWidth {
+			k.maxWidth = l.w.Rows
+		}
+	}
+	k.w = make([]int8, 0, wlen)
+	k.scale = make([]float32, 0, rlen)
+	k.b = make([]float32, 0, rlen)
+	for _, l := range n.layers {
+		k.layers = append(k.layers, qkLayer{
+			rows: l.w.Rows, cols: l.w.Cols,
+			woff: len(k.w), roff: len(k.scale),
+			act: l.act,
+		})
+		for r := 0; r < l.w.Rows; r++ {
+			row := l.w.Row(r)
+			var maxAbs float64
+			for _, v := range row {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs <= 0 {
+				k.scale = append(k.scale, 0)
+				for range row {
+					k.w = append(k.w, 0)
+				}
+			} else {
+				s := maxAbs / 127
+				k.scale = append(k.scale, float32(s))
+				for _, v := range row {
+					q := math.Round(v / s)
+					if q > 127 {
+						q = 127
+					} else if q < -127 {
+						q = -127
+					}
+					k.w = append(k.w, int8(q))
+				}
+			}
+			k.b = append(k.b, float32(l.b[r]))
+		}
+	}
+	return k
+}
+
+// InDim returns the expected input dimension.
+func (k *QuantKernel) InDim() int { return k.inDim }
+
+// OutDim returns the number of output classes.
+func (k *QuantKernel) OutDim() int { return k.outDim }
+
+// ScratchLen returns the float32 scratch length required by Forward and
+// PositiveScore for a single input.
+func (k *QuantKernel) ScratchLen() int { return k.inDim + 2*k.maxWidth }
+
+// BatchScratchLen returns the float32 scratch length ForwardBatch
+// requires for n inputs.
+func (k *QuantKernel) BatchScratchLen(n int) int { return n * (k.inDim + 2*k.maxWidth) }
+
+// forwardRaw32 runs all layers on x (converted to float32 inside
+// scratch) and returns the pre-softmax logits as a view into scratch.
+func (k *QuantKernel) forwardRaw32(x []float64, scratch []float32) []float32 {
+	if len(x) != k.inDim {
+		panic(fmt.Sprintf("nn: quant kernel input has dim %d, want %d", len(x), k.inDim))
+	}
+	if len(scratch) < k.ScratchLen() {
+		panic(fmt.Sprintf("nn: quant kernel scratch has len %d, want >= %d", len(scratch), k.ScratchLen()))
+	}
+	xin := scratch[:k.inDim]
+	for i, v := range x {
+		xin[i] = float32(v)
+	}
+	buf0 := scratch[k.inDim : k.inDim+k.maxWidth]
+	buf1 := scratch[k.inDim+k.maxWidth : k.inDim+2*k.maxWidth]
+	cur := xin
+	out := buf0
+	for li, l := range k.layers {
+		w := k.w[l.woff : l.woff+l.rows*l.cols]
+		in := cur[:l.cols]
+		for r := 0; r < l.rows; r++ {
+			s := mathx.DotQ8(w[r*l.cols:(r+1)*l.cols], in)
+			out[r] = l.act.applyF32(s*k.scale[l.roff+r] + k.b[l.roff+r])
+		}
+		cur = out[:l.rows]
+		if li%2 == 0 {
+			out = buf1
+		} else {
+			out = buf0
+		}
+	}
+	return cur
+}
+
+// Forward writes the softmax class probabilities for x into dst. The
+// softmax itself runs in float64 on the float32 logits, matching the
+// reference op order so the only divergence from Kernel.Forward is the
+// quantisation itself.
+func (k *QuantKernel) Forward(dst []float64, x []float64, scratch []float32) {
+	if len(dst) != k.outDim {
+		panic(fmt.Sprintf("nn: quant kernel output has dim %d, want %d", len(dst), k.outDim))
+	}
+	softmax32(dst, k.forwardRaw32(x, scratch))
+}
+
+// PositiveScore returns the probability of class 1 for x without
+// allocating.
+func (k *QuantKernel) PositiveScore(x []float64, scratch []float32) float64 {
+	z := k.forwardRaw32(x, scratch)
+	m := float64(z[0])
+	for _, v := range z[1:] {
+		if float64(v) > m {
+			m = float64(v)
+		}
+	}
+	var sum float64
+	for _, v := range z {
+		sum += math.Exp(float64(v) - m)
+	}
+	return math.Exp(float64(z[1])-m) / sum
+}
+
+// ForwardBatch scores n inputs stored back-to-back in xs (len n*InDim)
+// into probs (len n*OutDim), batch-major like Kernel.ForwardBatch.
+// scratch must have len >= BatchScratchLen(n).
+func (k *QuantKernel) ForwardBatch(probs []float64, xs []float64, n int, scratch []float32) {
+	if n < 0 || len(xs) != n*k.inDim {
+		panic(fmt.Sprintf("nn: quant kernel batch input has len %d, want %d", len(xs), n*k.inDim))
+	}
+	if len(probs) != n*k.outDim {
+		panic(fmt.Sprintf("nn: quant kernel batch output has len %d, want %d", len(probs), n*k.outDim))
+	}
+	if len(scratch) < k.BatchScratchLen(n) {
+		panic(fmt.Sprintf("nn: quant kernel batch scratch has len %d, want >= %d", len(scratch), k.BatchScratchLen(n)))
+	}
+	if n == 0 {
+		return
+	}
+	xin := scratch[:n*k.inDim]
+	for i, v := range xs {
+		xin[i] = float32(v)
+	}
+	buf0 := scratch[n*k.inDim : n*(k.inDim+k.maxWidth)]
+	buf1 := scratch[n*(k.inDim+k.maxWidth) : n*(k.inDim+2*k.maxWidth)]
+	cur, curStride := xin, k.inDim
+	out := buf0
+	for li, l := range k.layers {
+		w := k.w[l.woff : l.woff+l.rows*l.cols]
+		for r := 0; r < l.rows; r++ {
+			row := w[r*l.cols : (r+1)*l.cols]
+			sc, bv := k.scale[l.roff+r], k.b[l.roff+r]
+			for p := 0; p < n; p++ {
+				s := mathx.DotQ8(row, cur[p*curStride:p*curStride+l.cols])
+				out[p*k.maxWidth+r] = l.act.applyF32(s*sc + bv)
+			}
+		}
+		cur, curStride = out, k.maxWidth
+		if li%2 == 0 {
+			out = buf1
+		} else {
+			out = buf0
+		}
+	}
+	for p := 0; p < n; p++ {
+		softmax32(probs[p*k.outDim:(p+1)*k.outDim], cur[p*k.maxWidth:p*k.maxWidth+k.outDim])
+	}
+}
+
+// applyF32 is the float32 twin of apply. ReLU stays exact; the
+// transcendental activations route through the float64 math package and
+// round once, which keeps the float32 path within the documented
+// equivalence tolerance.
+func (a Activation) applyF32(x float32) float32 {
+	switch a {
+	case ActReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case ActSigmoid:
+		return float32(1 / (1 + math.Exp(float64(-x))))
+	case ActTanh:
+		return float32(math.Tanh(float64(x)))
+	default:
+		return x
+	}
+}
+
+// softmax32 writes a numerically stable softmax of the float32 logits z
+// into the float64 dst, using the same max-shift/exp/normalise order as
+// softmax.
+func softmax32(dst []float64, z []float32) {
+	m := float64(z[0])
+	for _, v := range z[1:] {
+		if float64(v) > m {
+			m = float64(v)
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(float64(v) - m)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}

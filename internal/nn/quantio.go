@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary quantised-kernel format: magic, layer count, then per layer
+// (rows, cols, activation, per-row float32 scales, per-row float32
+// biases, int8 weights row-major), all little-endian. The core model
+// file embeds this block length-prefixed when the descriptor carries the
+// quantisation flag.
+const quantMagic = "LEAPMEQ8"
+
+// WriteTo serialises the quantised kernel.
+func (k *QuantKernel) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+	if err := count(bw.WriteString(quantMagic)); err != nil {
+		return written, err
+	}
+	buf := make([]byte, 4)
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf, v)
+		return count(bw.Write(buf))
+	}
+	writeF32 := func(v float32) error {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		return count(bw.Write(buf))
+	}
+	if err := writeU32(uint32(len(k.layers))); err != nil {
+		return written, err
+	}
+	for _, l := range k.layers {
+		if err := writeU32(uint32(l.rows)); err != nil {
+			return written, err
+		}
+		if err := writeU32(uint32(l.cols)); err != nil {
+			return written, err
+		}
+		if err := writeU32(uint32(l.act)); err != nil {
+			return written, err
+		}
+		for r := 0; r < l.rows; r++ {
+			if err := writeF32(k.scale[l.roff+r]); err != nil {
+				return written, err
+			}
+		}
+		for r := 0; r < l.rows; r++ {
+			if err := writeF32(k.b[l.roff+r]); err != nil {
+				return written, err
+			}
+		}
+		for _, q := range k.w[l.woff : l.woff+l.rows*l.cols] {
+			if err := count(1, bw.WriteByte(byte(q))); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadQuantKernel deserialises a kernel written by WriteTo. It reads
+// exactly the serialised bytes — no internal buffering consumes past the
+// block — so a caller handing it a length-delimited reader can verify
+// nothing trails the kernel. Every structural problem (bad magic,
+// implausible shapes, unknown activation, mismatched layer chaining,
+// truncation) is a load error: a model that claims to be quantised but
+// cannot produce a valid kernel must fail closed, never silently fall
+// back to anything else.
+func ReadQuantKernel(r io.Reader) (*QuantKernel, error) {
+	magic := make([]byte, len(quantMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("nn: reading quant magic: %w", err)
+	}
+	if string(magic) != quantMagic {
+		return nil, fmt.Errorf("nn: bad quant magic %q", magic)
+	}
+	buf := make([]byte, 4)
+	readU32 := func() (int, error) {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return 0, err
+		}
+		return int(binary.LittleEndian.Uint32(buf)), nil
+	}
+	readF32 := func() (float32, error) {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return 0, err
+		}
+		return math.Float32frombits(binary.LittleEndian.Uint32(buf)), nil
+	}
+	nLayers, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("nn: reading quant layer count: %w", err)
+	}
+	if nLayers <= 0 || nLayers > 1024 {
+		return nil, fmt.Errorf("nn: implausible quant layer count %d", nLayers)
+	}
+	k := &QuantKernel{}
+	for li := 0; li < nLayers; li++ {
+		rows, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nn: quant layer %d rows: %w", li, err)
+		}
+		cols, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nn: quant layer %d cols: %w", li, err)
+		}
+		actI, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("nn: quant layer %d activation: %w", li, err)
+		}
+		if rows <= 0 || cols <= 0 || rows > 1<<20 || cols > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible quant layer %d shape %dx%d", li, rows, cols)
+		}
+		if actI > int(ActIdentity) {
+			return nil, fmt.Errorf("nn: unknown activation %d in quant layer %d", actI, li)
+		}
+		if li == 0 {
+			k.inDim = cols
+			k.maxWidth = cols
+		} else if prev := k.layers[li-1]; prev.rows != cols {
+			return nil, fmt.Errorf("nn: quant layer %d input dim %d does not match previous output %d", li, cols, prev.rows)
+		}
+		if rows > k.maxWidth {
+			k.maxWidth = rows
+		}
+		k.layers = append(k.layers, qkLayer{
+			rows: rows, cols: cols,
+			woff: len(k.w), roff: len(k.scale),
+			act: Activation(actI),
+		})
+		for r := 0; r < rows; r++ {
+			s, err := readF32()
+			if err != nil {
+				return nil, fmt.Errorf("nn: quant layer %d scales: %w", li, err)
+			}
+			k.scale = append(k.scale, s)
+		}
+		for r := 0; r < rows; r++ {
+			b, err := readF32()
+			if err != nil {
+				return nil, fmt.Errorf("nn: quant layer %d biases: %w", li, err)
+			}
+			k.b = append(k.b, b)
+		}
+		wbytes := make([]byte, rows*cols)
+		if _, err := io.ReadFull(r, wbytes); err != nil {
+			return nil, fmt.Errorf("nn: quant layer %d weights: %w", li, err)
+		}
+		for _, by := range wbytes {
+			k.w = append(k.w, int8(by))
+		}
+	}
+	k.outDim = k.layers[len(k.layers)-1].rows
+	return k, nil
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"leapme/internal/features"
+)
+
+// TestSpanAllocRegression pins the allocation profile of the warm
+// request path through the batcher: a span costs a fixed handful of
+// allocations (the span struct, its result slices, its channel, and the
+// worker's per-run guard closure) REGARDLESS of how many pairs it
+// carries. The scoring itself — featurization scratch, kernel forward,
+// result delivery — must contribute zero allocations per pair; that is
+// the property the arena work in core and nn exists to provide, and
+// this test is the serve-side gate that keeps it from regressing.
+//
+// The HTTP layer on top necessarily allocates per pair for JSON; the
+// contract pinned here is that the scoring pipeline underneath does not.
+func TestSpanAllocRegression(t *testing.T) {
+	md := testModel(t)
+	// One worker makes batching deterministic: a 32-pair span is exactly
+	// one full batch, a 1-pair span one timer-flushed batch.
+	b := newBatcher(1, 32, time.Millisecond, newMetrics(), nil)
+	defer b.Close()
+	ctx := context.Background()
+
+	specs := somePairs(t, 32)
+	n := len(specs)
+	as := make([]*features.Prop, 0, 32)
+	bs := make([]*features.Prop, 0, 32)
+	for i := 0; i < 32; i++ {
+		sp := specs[i%n]
+		as = append(as, md.Featurize(sp.A.Name, sp.A.Values))
+		bs = append(bs, md.Featurize(sp.B.Name, sp.B.Values))
+	}
+
+	runSpan := func(k int) {
+		sp, err := b.EnqueueSpan(ctx, md, as[:k], bs[:k], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			idx, ok := sp.next(ctx)
+			if !ok {
+				t.Fatal("span wait cut short")
+			}
+			if sp.errs[idx] != nil {
+				t.Fatal(sp.errs[idx])
+			}
+		}
+	}
+	// Warm: grow the scorer clones' arenas, the batch-buffer freelist and
+	// the feature cache to steady state.
+	for i := 0; i < 3; i++ {
+		runSpan(1)
+		runSpan(32)
+	}
+
+	a1 := testing.AllocsPerRun(20, func() { runSpan(1) })
+	a32 := testing.AllocsPerRun(20, func() { runSpan(32) })
+	t.Logf("allocs per span: 1 pair = %.1f, 32 pairs = %.1f (marginal %.3f/pair)",
+		a1, a32, (a32-a1)/31)
+	if a32 > a1+1 {
+		t.Errorf("scoring allocates per pair: %.1f allocs for 32 pairs vs %.1f for 1 — the arena path regressed", a32, a1)
+	}
+	if a32 > 16 {
+		t.Errorf("fixed per-span allocation budget exceeded: %.1f allocs, want <= 16", a32)
+	}
+}

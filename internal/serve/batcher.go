@@ -15,25 +15,67 @@ import (
 // ErrDraining is returned for scoring work submitted after Close began.
 var ErrDraining = errors.New("serve: server is draining")
 
-// scoreResult is the outcome of one pair.
-type scoreResult struct {
-	score float64
-	err   error
+// span is one request's worth of pairs enqueued as a unit. Results land
+// in the span's own slices, indexed by pair; the resp channel carries
+// one pair index per completed pair and is buffered for the whole span,
+// so a worker never blocks on a caller that gave up — the zombie-drain
+// contract the admission gate depends on.
+//
+// A span replaces the old per-pair handle: where a 512-pair request
+// used to allocate 512 pending structs and 512 response channels, it
+// now costs one span, two result slices and one channel — the fixed
+// per-request allocation profile the serve alloc-regression test pins.
+type span struct {
+	model  *Model
+	as, bs []*features.Prop
+	// unit names the i-th pair in error messages. It is only invoked on
+	// the failure path, so handlers pass a closure and the steady state
+	// never formats a string. nil falls back to "pair %d".
+	unit   func(i int) string
+	scores []float64
+	errs   []error
+	resp   chan int // buffered len(as)
 }
 
-// pending is one enqueued pair awaiting its score. The response channel
-// is buffered so a worker never blocks on a caller that gave up.
+func (sp *span) n() int { return len(sp.as) }
+
+func (sp *span) unitName(i int) string {
+	if sp.unit != nil {
+		return sp.unit(i)
+	}
+	return fmt.Sprintf("pair %d", i)
+}
+
+// next blocks until one more pair of the span completes, returning its
+// index, or until ctx ends (ok=false). Results arrive in completion
+// order, not submission order.
+func (sp *span) next(ctx context.Context) (idx int, ok bool) {
+	select {
+	case idx = <-sp.resp:
+		return idx, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+// pending is the single-pair compatibility handle: a one-pair span.
 type pending struct {
-	model *Model
-	a, b  *features.Prop
-	unit  string
-	resp  chan scoreResult
+	sp *span
+}
+
+// pairRef locates one pair of a span inside a dispatch batch. Batches
+// are value slices drawn from a freelist, so batching a pair costs no
+// heap allocation.
+type pairRef struct {
+	sp  *span
+	idx int
 }
 
 // batcher coalesces concurrent pair-scoring requests into micro-batches:
-// a dispatcher collects up to maxBatch pairs, flushing early after
-// maxWait, and a worker pool executes batches on per-model scorer clones.
-// Each pair is one guard unit — a panic poisons only that pair's request.
+// a dispatcher collects up to maxBatch pairs — splitting large spans and
+// packing small ones — flushing early after maxWait, and a worker pool
+// executes batches on per-model scorer clones. Each pair is one guard
+// unit — a panic poisons only that pair's slot in its span.
 type batcher struct {
 	maxBatch int
 	maxWait  time.Duration
@@ -42,8 +84,9 @@ type batcher struct {
 
 	mu     sync.RWMutex // guards closed vs. queue sends
 	closed bool
-	queue  chan *pending
-	work   chan []*pending
+	queue  chan *span
+	work   chan []pairRef
+	bufs   chan []pairRef // batch-buffer freelist
 	wg     sync.WaitGroup // dispatcher + workers
 }
 
@@ -65,8 +108,9 @@ func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics, inj 
 		maxWait:  maxWait,
 		met:      met,
 		chaos:    inj,
-		queue:    make(chan *pending, workers*maxBatch),
-		work:     make(chan []*pending, workers),
+		queue:    make(chan *span, workers*maxBatch),
+		work:     make(chan []pairRef, workers),
+		bufs:     make(chan []pairRef, workers+2),
 	}
 	b.wg.Add(1)
 	//lint:allow guardgo scoring panics are guard.Run-isolated per pair in runBatch; a panic in the pool skeleton itself must crash rather than hang Close on a dead dispatcher
@@ -79,21 +123,45 @@ func newBatcher(workers, maxBatch int, maxWait time.Duration, met *Metrics, inj 
 	return b
 }
 
-// Enqueue submits one pair for scoring and returns a handle to await.
-// The model pointer pins the version the pair will be scored with.
-func (b *batcher) Enqueue(ctx context.Context, md *Model, pa, pb *features.Prop, unit string) (*pending, error) {
-	p := &pending{model: md, a: pa, b: pb, unit: unit, resp: make(chan scoreResult, 1)}
+// EnqueueSpan submits len(as) pairs for scoring as one span. Admission
+// is all-or-nothing: the span is either fully queued or not at all. The
+// model pointer pins the version every pair will be scored with; unit
+// (optional) names pairs in error messages and runs only on failures.
+func (b *batcher) EnqueueSpan(ctx context.Context, md *Model, as, bs []*features.Prop, unit func(i int) string) (*span, error) {
+	if len(as) != len(bs) || len(as) == 0 {
+		return nil, fmt.Errorf("serve: bad span shape: %d × %d pairs", len(as), len(bs))
+	}
+	sp := &span{
+		model:  md,
+		as:     as,
+		bs:     bs,
+		unit:   unit,
+		scores: make([]float64, len(as)),
+		errs:   make([]error, len(as)),
+		resp:   make(chan int, len(as)),
+	}
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	if b.closed {
 		return nil, ErrDraining
 	}
 	select {
-	case b.queue <- p:
-		return p, nil
+	case b.queue <- sp:
+		return sp, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// Enqueue submits one pair for scoring and returns a handle to await —
+// the single-pair face of EnqueueSpan.
+func (b *batcher) Enqueue(ctx context.Context, md *Model, pa, pb *features.Prop, unit string) (*pending, error) {
+	sp, err := b.EnqueueSpan(ctx, md, []*features.Prop{pa}, []*features.Prop{pb},
+		func(int) string { return unit })
+	if err != nil {
+		return nil, err
+	}
+	return &pending{sp: sp}, nil
 }
 
 // Await blocks until the pair is scored or ctx ends.
@@ -108,12 +176,11 @@ func (b *batcher) Await(ctx context.Context, p *pending) (float64, error) {
 // will land later, which is what lets an abandoning caller hand the
 // handle to a background drain instead of leaking accounting.
 func (b *batcher) AwaitDelivered(ctx context.Context, p *pending) (score float64, err error, delivered bool) {
-	select {
-	case r := <-p.resp:
-		return r.score, r.err, true
-	case <-ctx.Done():
+	idx, ok := p.sp.next(ctx)
+	if !ok {
 		return 0, ctx.Err(), false
 	}
+	return p.sp.scores[idx], p.sp.errs[idx], true
 }
 
 // Score is Enqueue+Await for a single pair.
@@ -125,45 +192,93 @@ func (b *batcher) Score(ctx context.Context, md *Model, pa, pb *features.Prop, u
 	return b.Await(ctx, p)
 }
 
-// dispatch implements the size-or-deadline batching policy.
+// getBuf takes a batch buffer off the freelist, or grows the pool.
+func (b *batcher) getBuf() []pairRef {
+	select {
+	case buf := <-b.bufs:
+		return buf[:0]
+	default:
+		return make([]pairRef, 0, b.maxBatch)
+	}
+}
+
+// putBuf returns a batch buffer to the freelist (dropping it when the
+// freelist is full, which only happens transiently during shutdown).
+func (b *batcher) putBuf(buf []pairRef) {
+	select {
+	case b.bufs <- buf:
+	default:
+	}
+}
+
+// dispatch implements the size-or-deadline batching policy over spans:
+// the current batch fills pair by pair, splitting a span larger than
+// maxBatch across batches and packing small spans together, and flushes
+// when full or maxWait after its first pair arrived. One timer is reused
+// across batches.
 func (b *batcher) dispatch() {
 	defer b.wg.Done()
 	defer close(b.work)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var cur *span // partially dispatched span
+	var off int
 	for {
-		first, ok := <-b.queue
-		if !ok {
-			return
+		if cur == nil {
+			sp, ok := <-b.queue
+			if !ok {
+				return
+			}
+			cur, off = sp, 0
 		}
-		batch := []*pending{first}
-		timer := time.NewTimer(b.maxWait)
+		batch := b.getBuf()
+		timer.Reset(b.maxWait)
+		fired := false
 	fill:
-		for len(batch) < b.maxBatch {
+		for {
+			for cur != nil && len(batch) < b.maxBatch {
+				batch = append(batch, pairRef{sp: cur, idx: off})
+				off++
+				if off == cur.n() {
+					cur = nil
+				}
+			}
+			if len(batch) == b.maxBatch {
+				break fill
+			}
 			select {
-			case p, ok := <-b.queue:
+			case sp, ok := <-b.queue:
 				if !ok {
 					break fill
 				}
-				batch = append(batch, p)
+				cur, off = sp, 0
 			case <-timer.C:
+				fired = true
 				break fill
 			}
 		}
-		timer.Stop()
+		if !fired && !timer.Stop() {
+			<-timer.C
+		}
 		b.work <- batch
 	}
 }
 
 // worker executes batches: contiguous same-model runs share one checked-
 // out scorer clone, so a coalesced batch is a true batched pass through
-// one network.
+// one network. Finished batch buffers go back to the freelist.
 func (b *batcher) worker() {
 	defer b.wg.Done()
 	for batch := range b.work {
 		b.runBatch(batch)
+		b.putBuf(batch)
 	}
 }
 
-func (b *batcher) runBatch(batch []*pending) {
+func (b *batcher) runBatch(batch []pairRef) {
 	if b.met != nil {
 		b.met.Batches.Add(1)
 		b.met.BatchPairs.Add(int64(len(batch)))
@@ -173,39 +288,52 @@ func (b *batcher) runBatch(batch []*pending) {
 	b.chaos.Inject(chaos.PointBatch)
 	for i := 0; i < len(batch); {
 		j := i
-		for j < len(batch) && batch[j].model == batch[i].model {
+		for j < len(batch) && batch[j].sp.model == batch[i].sp.model {
 			j++
 		}
-		sc := batch[i].model.acquire()
-		for _, p := range batch[i:j] {
-			var s float64
-			err := guard.Run(func() error {
-				// Chaos hook inside the guard unit: an injected panic
-				// must be isolated to this one pair, like any scorer bug.
-				if e := b.chaos.Inject(chaos.PointScore); e != nil {
-					return e
-				}
-				var e error
-				s, e = sc.Score(p.a, p.b)
+		sc := batch[i].sp.model.acquire()
+		// One closure per model run, with the pair threaded through the
+		// captured variables — the hot loop itself allocates nothing.
+		var (
+			pa, pb *features.Prop
+			s      float64
+		)
+		scoreOne := func() error {
+			// Chaos hook inside the guard unit: an injected panic must be
+			// isolated to this one pair, like any scorer bug.
+			if e := b.chaos.Inject(chaos.PointScore); e != nil {
 				return e
-			})
+			}
+			var e error
+			s, e = sc.Score(pa, pb)
+			return e
+		}
+		for _, ref := range batch[i:j] {
+			pa, pb, s = ref.sp.as[ref.idx], ref.sp.bs[ref.idx], 0
+			err := guard.Run(scoreOne)
 			if err != nil {
-				err = fmt.Errorf("serve: scoring %s: %w", p.unit, err)
+				err = fmt.Errorf("serve: scoring %s: %w", ref.sp.unitName(ref.idx), err)
 				if b.met != nil {
 					b.met.ScoreFailures.Add(1)
 				}
 			} else if b.met != nil {
 				b.met.PairsScored.Add(1)
 			}
-			p.resp <- scoreResult{score: s, err: err}
+			ref.sp.scores[ref.idx] = s
+			ref.sp.errs[ref.idx] = err
+			// The channel send publishes the slice writes above to the
+			// receiver (happens-before), and the buffer is sized for the
+			// whole span, so this never blocks.
+			ref.sp.resp <- ref.idx
 		}
-		batch[i].model.release(sc)
+		batch[i].sp.model.release(sc)
 		i = j
 	}
 }
 
-// Close stops admitting work, drains queued pairs through the workers and
-// waits for them — every already-enqueued pair still gets its answer.
+// Close stops admitting work, drains queued spans through the workers
+// and waits for them — every already-enqueued pair still gets its
+// answer.
 func (b *batcher) Close() {
 	b.mu.Lock()
 	if !b.closed {

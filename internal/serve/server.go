@@ -452,52 +452,62 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if req.Threshold != nil {
 		threshold = *req.Threshold
 	}
-	// Featurize (through the cache), then enqueue every pair before
-	// awaiting any — that is what lets the dispatcher coalesce one
-	// request's pairs, and concurrent requests' pairs, into batches.
-	handles := make([]*pending, len(req.Pairs))
+	// Featurize (through the cache), then enqueue the whole request as
+	// one span — the dispatcher coalesces its pairs, and concurrent
+	// requests' pairs, into batches. The unit closure only runs when a
+	// pair fails, so the steady state formats no strings.
+	n := len(req.Pairs)
+	as := make([]*features.Prop, n)
+	bs := make([]*features.Prop, n)
 	for i, p := range req.Pairs {
-		pa := md.Featurize(p.A.Name, p.A.Values)
-		pb := md.Featurize(p.B.Name, p.B.Values)
-		h, err := s.batch.Enqueue(ctx, md, pa, pb, fmt.Sprintf("pair %d (%s × %s)", i, p.A.Name, p.B.Name))
-		if err != nil {
-			s.adm.release(len(req.Pairs) - i) // pairs i.. never entered the pipeline
-			s.drainAbandoned(handles[:i])
-			s.enqueueFail(w, err, 0, len(req.Pairs))
-			return
-		}
-		handles[i] = h
+		as[i] = md.Featurize(p.A.Name, p.A.Values)
+		bs[i] = md.Featurize(p.B.Name, p.B.Values)
 	}
-	results := make([]pairResult, len(handles))
-	var abandoned []*pending
-	scored, failed, deadlined := 0, 0, 0
-	for i, h := range handles {
-		score, err, delivered := s.batch.AwaitDelivered(ctx, h)
-		if delivered {
-			s.adm.release(1)
-		} else {
-			abandoned = append(abandoned, h)
-			if errors.Is(err, context.DeadlineExceeded) {
-				deadlined++
-			}
+	sp, err := s.batch.EnqueueSpan(ctx, md, as, bs, func(i int) string {
+		return fmt.Sprintf("pair %d (%s × %s)", i, req.Pairs[i].A.Name, req.Pairs[i].B.Name)
+	})
+	if err != nil {
+		s.adm.release(n) // nothing entered the pipeline
+		s.enqueueFail(w, err, 0, n)
+		return
+	}
+	results := make([]pairResult, n)
+	delivered := make([]bool, n)
+	scored, failed, received := 0, 0, 0
+	for received < n {
+		idx, ok := sp.next(ctx)
+		if !ok {
+			break
 		}
-		if err != nil {
-			results[i] = pairResult{Error: err.Error()}
+		received++
+		delivered[idx] = true
+		s.adm.release(1)
+		if err := sp.errs[idx]; err != nil {
+			results[idx] = pairResult{Error: err.Error()}
 			failed++
 			continue
 		}
 		scored++
-		results[i] = pairResult{Score: score, Match: score >= threshold}
+		results[idx] = pairResult{Score: sp.scores[idx], Match: sp.scores[idx] >= threshold}
 	}
-	s.drainAbandoned(abandoned)
+	s.drainSpan(sp, n-received)
 	// A budget that expired mid-request answers a typed 504 — but only
 	// when a wait was actually cut off. A request whose last result
 	// landed just before the deadline is a success, not a timeout; the
 	// batcher pool is unharmed either way (workers finish the batch into
-	// buffered channels), only this request's waiters were cancelled.
-	if deadlined > 0 {
-		s.failDeadline(w, scored, len(results))
-		return
+	// the span's buffered channel), only this request's waiter was
+	// cancelled.
+	if received < n {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.failDeadline(w, scored, n)
+			return
+		}
+		for i := range results {
+			if !delivered[i] {
+				results[i] = pairResult{Error: ctx.Err().Error()}
+				failed++
+			}
+		}
 	}
 	if failed == len(results) {
 		// Every pair failed — a poisoned request. The guard kept the
@@ -516,21 +526,22 @@ func cacheOf(md *Model) cacheStats {
 	return cacheStats{Hits: h, Misses: m, Entries: n}
 }
 
-// drainAbandoned returns admission slots for pairs whose waiter gave up
-// (expired budget, dropped client). Each slot is released only when the
-// worker's buffered result actually lands, so leapme_queue_depth keeps
-// counting zombie pairs still occupying the batcher — after a burst of
-// 504s new admissions queue behind the real backlog instead of an
-// under-counted one. The goroutine always terminates: every enqueued
-// pair is answered into its buffered channel, even through Close.
-func (s *Server) drainAbandoned(handles []*pending) {
-	if len(handles) == 0 {
+// drainSpan returns admission slots for a span's remaining pairs after
+// the request's waiter gave up (expired budget, dropped client). Each
+// slot is released only when the worker's result actually lands in the
+// span channel, so leapme_queue_depth keeps counting zombie pairs still
+// occupying the batcher — after a burst of 504s new admissions queue
+// behind the real backlog instead of an under-counted one. The goroutine
+// always terminates: every enqueued pair is answered into the span's
+// buffered channel, even through Close.
+func (s *Server) drainSpan(sp *span, remaining int) {
+	if remaining <= 0 {
 		return
 	}
-	//lint:allow guardgo the body only receives from buffered channels and cannot panic; workers' delivery guarantee bounds its life
+	//lint:allow guardgo the body only receives from a buffered channel and cannot panic; workers' delivery guarantee bounds its life
 	go func() {
-		for _, h := range handles {
-			<-h.resp
+		for i := 0; i < remaining; i++ {
+			<-sp.resp
 			s.adm.release(1)
 		}
 	}()
@@ -664,49 +675,67 @@ func (s *Server) handleMatchAll(w http.ResponseWriter, r *http.Request) {
 	if req.Threshold != nil {
 		threshold = *req.Threshold
 	}
-	handles := make([]*pending, len(cands))
+	n := len(cands)
+	as := make([]*features.Prop, n)
+	bs := make([]*features.Prop, n)
 	for i, c := range cands {
-		h, err := s.batch.Enqueue(ctx, md, feats[c.A], feats[c.B], c.A.String()+" × "+c.B.String())
-		if err != nil {
-			s.adm.release(len(cands) - i) // pairs i.. never entered the pipeline
-			s.drainAbandoned(handles[:i])
-			s.enqueueFail(w, err, 0, len(cands))
-			return
-		}
-		handles[i] = h
+		as[i] = feats[c.A]
+		bs[i] = feats[c.B]
+	}
+	sp, err := s.batch.EnqueueSpan(ctx, md, as, bs, func(i int) string {
+		return cands[i].A.String() + " × " + cands[i].B.String()
+	})
+	if err != nil {
+		s.adm.release(n) // nothing entered the pipeline
+		s.enqueueFail(w, err, 0, n)
+		return
 	}
 	resp := matchAllResponse{
 		Model:      md.Name,
 		Properties: len(props),
-		Candidates: len(cands),
+		Candidates: n,
 	}
-	var abandoned []*pending
-	deadlined := 0
-	for i, h := range handles {
-		score, err, delivered := s.batch.AwaitDelivered(ctx, h)
-		if delivered {
-			s.adm.release(1)
-		} else {
-			abandoned = append(abandoned, h)
-			if errors.Is(err, context.DeadlineExceeded) {
-				deadlined++
-			}
+	received := 0
+	for received < n {
+		idx, ok := sp.next(ctx)
+		if !ok {
+			break
 		}
-		if err != nil {
+		received++
+		s.adm.release(1)
+		if sp.errs[idx] != nil {
 			resp.Failures++
 			continue
 		}
 		resp.Scored++
-		if score >= threshold {
-			resp.Matches = append(resp.Matches, matchAllMatch{A: cands[i].A.String(), B: cands[i].B.String(), Score: score})
+		if sp.scores[idx] >= threshold {
+			resp.Matches = append(resp.Matches, matchAllMatch{A: cands[idx].A.String(), B: cands[idx].B.String(), Score: sp.scores[idx]})
 		}
 	}
-	s.drainAbandoned(abandoned)
-	if deadlined > 0 {
-		s.failDeadline(w, resp.Scored, len(cands))
-		return
+	s.drainSpan(sp, n-received)
+	if received < n {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.failDeadline(w, resp.Scored, n)
+			return
+		}
+		resp.Failures += n - received
 	}
-	sort.Slice(resp.Matches, func(i, j int) bool { return resp.Matches[i].Score > resp.Matches[j].Score })
+	// Matches accumulate in completion order, which races across
+	// workers — the sort must be a total order (score, then keys) so the
+	// response is deterministic for a given request.
+	sort.Slice(resp.Matches, func(i, j int) bool {
+		mi, mj := resp.Matches[i], resp.Matches[j]
+		if mi.Score > mj.Score {
+			return true
+		}
+		if mj.Score > mi.Score {
+			return false
+		}
+		if mi.A != mj.A {
+			return mi.A < mj.A
+		}
+		return mi.B < mj.B
+	})
 	if req.Top > 0 && len(resp.Matches) > req.Top {
 		resp.Matches = resp.Matches[:req.Top]
 	}

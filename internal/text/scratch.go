@@ -1,0 +1,315 @@
+package text
+
+// This file is the allocation-free face of the edit-distance family.
+// The original string-based functions each convert both arguments to
+// []rune and allocate fresh DP rows per call — fine for training, but
+// the serving hot path computes ~16 distances per property pair and the
+// conversions dominated its allocation profile. The *Runes variants
+// below take pre-converted rune slices and an EditScratch that owns
+// every buffer the algorithms need, so a warm scorer computes all pair
+// distances with zero heap allocations.
+//
+// Equivalence contract: for any inputs, FRunes(ra, rb, s) returns
+// exactly the same value as F(string(ra), string(rb)) — same algorithm,
+// same arithmetic, only the buffer lifetimes differ. The features
+// package's distance tests cross-check the two families.
+
+// EditScratch owns the working buffers for the rune-based metric
+// variants. The zero value is ready to use; buffers grow on demand and
+// are retained for reuse. An EditScratch is not safe for concurrent
+// use — each scoring worker owns one.
+type EditScratch struct {
+	r0, r1, r2 []int        // rolling DP rows
+	d          []int        // Damerau–Levenshtein full table
+	lastRow    map[rune]int // Damerau–Levenshtein alphabet index
+	ma, mb     []bool       // Jaro match flags
+}
+
+// rows3 returns three DP rows of length n, growing the retained buffers
+// as needed. Contents are unspecified; callers initialise what they read.
+func (s *EditScratch) rows3(n int) (r0, r1, r2 []int) {
+	if cap(s.r0) < n {
+		s.r0 = make([]int, n)
+		s.r1 = make([]int, n)
+		s.r2 = make([]int, n)
+	}
+	return s.r0[:n], s.r1[:n], s.r2[:n]
+}
+
+// table returns a DP table of length n with unspecified contents.
+func (s *EditScratch) table(n int) []int {
+	if cap(s.d) < n {
+		s.d = make([]int, n)
+	}
+	return s.d[:n]
+}
+
+// flags returns two zeroed bool rows of lengths na and nb.
+func (s *EditScratch) flags(na, nb int) (ma, mb []bool) {
+	if cap(s.ma) < na {
+		s.ma = make([]bool, na)
+	}
+	if cap(s.mb) < nb {
+		s.mb = make([]bool, nb)
+	}
+	ma, mb = s.ma[:na], s.mb[:nb]
+	for i := range ma {
+		ma[i] = false
+	}
+	for i := range mb {
+		mb[i] = false
+	}
+	return ma, mb
+}
+
+// alphabet returns the cleared last-occurrence map.
+func (s *EditScratch) alphabet() map[rune]int {
+	if s.lastRow == nil {
+		s.lastRow = make(map[rune]int, 32)
+	}
+	clear(s.lastRow)
+	return s.lastRow
+}
+
+// LevenshteinRunes is Levenshtein over pre-converted rune slices.
+func LevenshteinRunes(ra, rb []rune, s *EditScratch) int {
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev, cur, _ := s.rows3(lb + 1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// OSARunes is OSA over pre-converted rune slices.
+func OSARunes(ra, rb []rune, s *EditScratch) int {
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev2, prev, cur := s.rows3(lb + 1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// DamerauLevenshteinRunes is DamerauLevenshtein over pre-converted rune
+// slices.
+func DamerauLevenshteinRunes(ra, rb []rune, s *EditScratch) int {
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	inf := la + lb + 1
+	w := lb + 2
+	d := s.table((la + 2) * w)
+	at := func(i, j int) int { return d[i*w+j] }
+	set := func(i, j, v int) { d[i*w+j] = v }
+	set(0, 0, inf)
+	for i := 0; i <= la; i++ {
+		set(i+1, 0, inf)
+		set(i+1, 1, i)
+	}
+	for j := 0; j <= lb; j++ {
+		set(0, j+1, inf)
+		set(1, j+1, j)
+	}
+	lastRow := s.alphabet()
+	for i := 1; i <= la; i++ {
+		lastCol := 0
+		for j := 1; j <= lb; j++ {
+			i1 := lastRow[rb[j-1]]
+			j1 := lastCol
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+				lastCol = j
+			}
+			sub := at(i, j) + cost
+			ins := at(i+1, j) + 1
+			del := at(i, j+1) + 1
+			trans := inf
+			if i1 > 0 && j1 > 0 {
+				trans = at(i1, j1) + (i - i1 - 1) + 1 + (j - j1 - 1)
+			}
+			set(i+1, j+1, min4(sub, ins, del, trans))
+		}
+		lastRow[ra[i-1]] = i
+	}
+	return at(la+1, lb+1)
+}
+
+// LongestCommonSubstringRunes is LongestCommonSubstring over
+// pre-converted rune slices.
+func LongestCommonSubstringRunes(ra, rb []rune, s *EditScratch) int {
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	prev, cur, _ := s.rows3(len(rb) + 1)
+	// Both rows start zeroed in the allocating original; after the first
+	// swap the old cur becomes prev, so its column 0 (never written by
+	// the loop) must be 0 too.
+	for j := range prev {
+		prev[j] = 0
+	}
+	cur[0] = 0
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// LCSubstringDistanceRunes is LCSubstringDistance over pre-converted
+// rune slices.
+func LCSubstringDistanceRunes(ra, rb []rune, s *EditScratch) int {
+	m := len(ra)
+	if len(rb) > m {
+		m = len(rb)
+	}
+	return m - LongestCommonSubstringRunes(ra, rb, s)
+}
+
+// JaroRunes is Jaro over pre-converted rune slices.
+func JaroRunes(ra, rb []rune, s *EditScratch) float64 {
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA, matchB := s.flags(la, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinklerRunes is JaroWinkler over pre-converted rune slices.
+func JaroWinklerRunes(ra, rb []rune, s *EditScratch) float64 {
+	j := JaroRunes(ra, rb, s)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// JaroWinklerDistanceRunes is JaroWinklerDistance over pre-converted
+// rune slices.
+func JaroWinklerDistanceRunes(ra, rb []rune, s *EditScratch) float64 {
+	return 1 - JaroWinklerRunes(ra, rb, s)
+}
+
+// NormalizedLevenshteinRunes is NormalizedLevenshtein over rune slices.
+func NormalizedLevenshteinRunes(ra, rb []rune, s *EditScratch) float64 {
+	return normalizeByMaxLenRunes(LevenshteinRunes(ra, rb, s), ra, rb)
+}
+
+// NormalizedOSARunes is NormalizedOSA over rune slices.
+func NormalizedOSARunes(ra, rb []rune, s *EditScratch) float64 {
+	return normalizeByMaxLenRunes(OSARunes(ra, rb, s), ra, rb)
+}
+
+// NormalizedDamerauLevenshteinRunes is NormalizedDamerauLevenshtein over
+// rune slices.
+func NormalizedDamerauLevenshteinRunes(ra, rb []rune, s *EditScratch) float64 {
+	return normalizeByMaxLenRunes(DamerauLevenshteinRunes(ra, rb, s), ra, rb)
+}
+
+// NormalizedLCSubstringRunes is NormalizedLCSubstring over rune slices.
+func NormalizedLCSubstringRunes(ra, rb []rune, s *EditScratch) float64 {
+	return normalizeByMaxLenRunes(LCSubstringDistanceRunes(ra, rb, s), ra, rb)
+}
+
+func normalizeByMaxLenRunes(d int, ra, rb []rune) float64 {
+	m := max2(len(ra), len(rb))
+	if m == 0 {
+		return 0
+	}
+	return float64(d) / float64(m)
+}
