@@ -11,7 +11,7 @@ DETERMINISM_PACKAGES := ./internal/nn ./internal/features ./internal/core ./inte
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all build test vet lint lint-ext test-race test-determinism test-chaos fuzz bench-json clean
+.PHONY: all build test vet lint lint-audit lint-ext test-race test-determinism test-chaos fuzz bench-json clean
 
 all: build vet lint test
 
@@ -25,11 +25,18 @@ vet:
 	$(GO) vet $(PACKAGES)
 
 # The repository's own invariants, machine-enforced: determinism,
-# guard isolation, ctx cancellation, float comparison, feature layout.
+# guard isolation, ctx cancellation, float comparison, feature layout,
+# hot-path allocation freedom, lock discipline, error vocabulary.
 # See internal/analysis/doc.go for the catalogue and the
 # //lint:allow <analyzer> <reason> suppression syntax.
 lint:
 	$(GO) run ./cmd/leapme-lint $(PACKAGES)
+
+# Suppression hygiene: re-run the analyzers with //lint:allow ignored
+# and fail on directives that no longer suppress anything, so stale
+# allows get deleted instead of silently masking future findings.
+lint-audit:
+	$(GO) run ./cmd/leapme-lint -audit-allows $(PACKAGES)
 
 # General-purpose external analyzers; needs network to fetch the pinned
 # tools, so it is a separate CI job rather than part of `make all`.

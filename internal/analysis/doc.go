@@ -32,6 +32,32 @@
 //	             literals in sizing positions anywhere else — use
 //	             features.MetaDim and the Extractor/Pairer dimension
 //	             methods.
+//	hotalloc     functions annotated //lint:hotpath — plus the seeded
+//	             kernel list (nn.Kernel / nn.QuantKernel forward paths,
+//	             core.Scorer score paths, the batcher span loop) — must
+//	             be statically allocation-free: no make/new, map/slice
+//	             literals, growing append, closures, fmt,
+//	             strings.Builder or interface boxing, with same-package
+//	             callees checked one level deep. panic(...) arguments
+//	             are exempt. Every annotated function must also be
+//	             named inside a testing.AllocsPerRun closure in its
+//	             package's tests (the gate cross-check, run by
+//	             cmd/leapme-lint and CI) so the static and dynamic
+//	             halves of the zero-alloc contract cannot drift apart.
+//	locksafe     in internal/serve and internal/index, nothing may
+//	             block while a sync.Mutex/RWMutex is held — channel
+//	             send/receive, select (unless it has a default clause
+//	             or a ctx.Done() case), time.Sleep, net/* calls,
+//	             Wait() — and lock/unlock must balance on every path
+//	             (no leaked locks at returns, no double acquire, no
+//	             per-iteration imbalance in loops).
+//	errvocab     every non-2xx response in internal/serve and
+//	             cmd/leapme-serve must be written by the typed
+//	             error-vocabulary helpers (fail/failCode/shed/
+//	             failDeadline/enqueueFail, or probe for readiness
+//	             statuses); naked http.Error and WriteHeader(4xx|5xx)
+//	             break the client's code-dispatched retry contract and
+//	             are reported.
 //
 // # Suppressing a finding
 //
@@ -46,6 +72,13 @@
 // under the pseudo-analyzer "lintdirective" and fails the gate — stale
 // suppressions cannot accumulate silently. Type-check errors are
 // likewise surfaced as "typecheck" findings.
+//
+// Suppressions that stop suppressing are caught too: `make lint-audit`
+// (leapme-lint -audit-allows, also a CI step) re-runs every analyzer
+// with directives ignored and fails on any //lint:allow whose covered
+// lines no longer produce a raw diagnostic. Delete the directive; an
+// allow that guards nothing only masks the next real finding on that
+// line.
 //
 // # Adding an analyzer
 //

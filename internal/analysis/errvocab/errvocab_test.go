@@ -1,0 +1,16 @@
+package errvocab_test
+
+import (
+	"testing"
+
+	"leapme/internal/analysis/errvocab"
+	"leapme/internal/analysis/lintkit/lintest"
+)
+
+func TestPositiveFixtures(t *testing.T) {
+	lintest.Run(t, errvocab.Analyzer, "testdata/pos", "leapme/internal/serve")
+}
+
+func TestOutOfScopePackageIsSilent(t *testing.T) {
+	lintest.Run(t, errvocab.Analyzer, "testdata/neg", "leapme/other")
+}

@@ -1,0 +1,10 @@
+// Scope fixture: outside the serving packages the vocabulary contract
+// does not apply — a test helper or tool may answer however it likes.
+package neg
+
+import "net/http"
+
+func handler(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+	w.WriteHeader(500)
+}

@@ -1,0 +1,51 @@
+// Positive fixtures: naked error responses errvocab must flag in the
+// serving packages, alongside the patterns that must stay silent —
+// success statuses and the designated vocabulary writers.
+package pos
+
+import "net/http"
+
+func handler(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `naked http.Error`
+}
+
+func bad500(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `naked WriteHeader\(500\)`
+}
+
+func bad404(w http.ResponseWriter) {
+	w.WriteHeader(404) // want `naked WriteHeader\(404\)`
+}
+
+func badVar(w http.ResponseWriter, status int) {
+	w.WriteHeader(status) // want `non-constant status`
+}
+
+func inLit(w http.ResponseWriter) {
+	f := func() {
+		w.WriteHeader(http.StatusBadGateway) // want `naked WriteHeader\(502\)`
+	}
+	f()
+}
+
+// Success statuses carry no retry contract.
+func okCreated(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusCreated)
+}
+
+// The designated writers ARE the vocabulary: their WriteHeader is the
+// blessed exit point.
+func failCode(w http.ResponseWriter, status int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+}
+
+func shed(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTooManyRequests)
+}
+
+func probe(w http.ResponseWriter, ready bool) {
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+}

@@ -1,0 +1,194 @@
+package hotalloc
+
+// The gate cross-check binds static and dynamic enforcement together:
+// every //lint:hotpath function must be invoked inside a
+// testing.AllocsPerRun closure somewhere in its package's _test.go
+// files. Without this, deleting a benchmark-shaped test silently drops
+// the dynamic half of the zero-alloc contract while the annotation
+// keeps claiming it holds; with it, CI fails the moment either side
+// drifts.
+//
+// The test files are parsed (not type-checked — lintkit.Load
+// deliberately loads only production files), so the match is name-based
+// per package directory: the number of AllocsPerRun closures calling a
+// name must cover the number of hotpath functions bearing that name.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leapme/internal/analysis/lintkit"
+)
+
+// CrossCheck verifies AllocsPerRun gate coverage for every annotated
+// function in pkgs, honoring //lint:allow hotalloc suppressions.
+// Packages without a Dir (fixture packages built from explicit file
+// lists) are skipped unless the fixture set Dir itself.
+func CrossCheck(pkgs []*lintkit.Package) []lintkit.Finding {
+	var out []lintkit.Finding
+	for _, f := range crossCheckRaw(pkgs) {
+		if f.pkg != nil && f.pkg.Allows(Analyzer.Name, f.pos) {
+			continue
+		}
+		out = append(out, f.Finding)
+	}
+	return out
+}
+
+// CrossCheckUnsuppressed returns the cross-check findings without
+// suppression filtering; the -audit-allows mode feeds these to
+// lintkit.AuditDirectives so a directive excusing a missing gate is
+// correctly counted as live.
+func CrossCheckUnsuppressed(pkgs []*lintkit.Package) []lintkit.Finding {
+	var out []lintkit.Finding
+	for _, f := range crossCheckRaw(pkgs) {
+		out = append(out, f.Finding)
+	}
+	return out
+}
+
+// rawFinding keeps the token.Pos and owning package alongside the
+// printable Finding so CrossCheck can consult the suppressor.
+type rawFinding struct {
+	lintkit.Finding
+	pkg *lintkit.Package
+	pos token.Pos
+}
+
+func crossCheckRaw(pkgs []*lintkit.Package) []rawFinding {
+	var out []rawFinding
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		if p.Dir == "" || seen[p.Dir] {
+			continue
+		}
+		seen[p.Dir] = true
+
+		// Annotated hotpath functions in this package, grouped by name.
+		type hotFunc struct {
+			name string
+			pos  token.Pos
+		}
+		var hotFuncs []hotFunc
+		byName := map[string]int{}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !IsHotpath(fd) {
+					continue
+				}
+				hotFuncs = append(hotFuncs, hotFunc{name: fd.Name.Name, pos: fd.Pos()})
+				byName[fd.Name.Name]++
+			}
+		}
+		if len(hotFuncs) == 0 {
+			continue
+		}
+
+		gates, err := gateCounts(p.Dir)
+		if err != nil {
+			out = append(out, rawFinding{
+				Finding: lintkit.Finding{
+					Analyzer: Analyzer.Name,
+					Position: p.Fset.Position(hotFuncs[0].pos),
+					Message:  fmt.Sprintf("cannot scan %s for AllocsPerRun gates: %v", p.Dir, err),
+				},
+				pkg: p, pos: hotFuncs[0].pos,
+			})
+			continue
+		}
+
+		for _, hf := range hotFuncs {
+			if gates[hf.name] >= byName[hf.name] {
+				continue
+			}
+			msg := fmt.Sprintf("//lint:hotpath function %s has no testing.AllocsPerRun gate in %s's tests",
+				hf.name, filepath.Base(p.Dir))
+			if gates[hf.name] > 0 {
+				msg = fmt.Sprintf("%d //lint:hotpath functions named %s in %s but only %d AllocsPerRun gate(s) call that name",
+					byName[hf.name], hf.name, filepath.Base(p.Dir), gates[hf.name])
+			}
+			msg += " — the static annotation needs a dynamic gate backing it (or drop the annotation)"
+			out = append(out, rawFinding{
+				Finding: lintkit.Finding{
+					Analyzer: Analyzer.Name,
+					Position: p.Fset.Position(hf.pos),
+					Message:  msg,
+				},
+				pkg: p, pos: hf.pos,
+			})
+		}
+	}
+	return out
+}
+
+// gateCounts parses dir's _test.go files and counts, per callee name,
+// how many testing.AllocsPerRun closures invoke that name.
+func gateCounts(dir string) (map[string]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AllocsPerRun" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "testing" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			for name := range calledNames(lit.Body) {
+				counts[name]++
+			}
+			return true
+		})
+	}
+	return counts, nil
+}
+
+// calledNames collects the terminal names of every call inside body:
+// f(x) yields f, recv.Method(x) yields Method. Calls nested in further
+// closures count too — the gate measures whatever the closure runs.
+func calledNames(body *ast.BlockStmt) map[string]bool {
+	names := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			names[fun.Name] = true
+		case *ast.SelectorExpr:
+			names[fun.Sel.Name] = true
+		}
+		return true
+	})
+	return names
+}

@@ -1,0 +1,12 @@
+// Gate cross-check fixture: Fast is annotated but no AllocsPerRun gate
+// in fixture_test.go names it — the cross-check must report it.
+package gates
+
+//lint:hotpath
+func Fast(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,10 @@
+package gates
+
+import "testing"
+
+// A plain call outside testing.AllocsPerRun does not count as a gate.
+func TestFastRuns(t *testing.T) {
+	if Fast([]float64{1}) != 1 {
+		t.Fatal("bad sum")
+	}
+}

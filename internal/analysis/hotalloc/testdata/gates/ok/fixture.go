@@ -1,0 +1,12 @@
+// Gate cross-check fixture: Fast is annotated AND named by an
+// AllocsPerRun gate in fixture_test.go — the cross-check must pass.
+package gates
+
+//lint:hotpath
+func Fast(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

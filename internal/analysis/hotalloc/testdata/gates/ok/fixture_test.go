@@ -1,0 +1,10 @@
+package gates
+
+import "testing"
+
+func TestFastAllocs(t *testing.T) {
+	x := []float64{1, 2}
+	if a := testing.AllocsPerRun(10, func() { Fast(x) }); a != 0 {
+		t.Fatalf("Fast allocates: %v", a)
+	}
+}

@@ -1,0 +1,69 @@
+// Negative fixtures: hot-path-legal patterns that must stay silent —
+// the arena idioms the real kernels are written in — plus proof that
+// unannotated functions and suppressed lines are left alone.
+package neg
+
+import "fmt"
+
+//lint:hotpath
+func clean(dst, x []float64) {
+	if len(dst) != len(x) {
+		// Cold precondition failure: panic arguments are exempt.
+		panic(fmt.Sprintf("dim mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i := range x {
+		dst[i] = x[i] * 2
+	}
+}
+
+//lint:hotpath
+func arena(buf []int, n int) []int {
+	// The blessed re-slice append pattern: writes into preallocated cap.
+	return append(buf[:0], n)
+}
+
+//lint:hotpath
+func scratchSlices(scratch []float64, w int) float64 {
+	buf0 := scratch[:w]
+	buf1 := scratch[w : 2*w]
+	return buf0[0] + buf1[0]
+}
+
+//lint:hotpath
+func viaClean(x []float64) float64 {
+	return sum(x)
+}
+
+func sum(x []float64) float64 {
+	t := 0.0
+	for _, v := range x {
+		t += v
+	}
+	return t
+}
+
+type ker struct{ w []float64 }
+
+//lint:hotpath
+func (k *ker) fwd(x []float64) float64 {
+	return k.dot(x)
+}
+
+func (k *ker) dot(x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * k.w[i]
+	}
+	return s
+}
+
+// coldAllocates carries no annotation: free to allocate.
+func coldAllocates() []int {
+	return make([]int, 8)
+}
+
+//lint:hotpath
+func excused() []int {
+	//lint:allow hotalloc cold fallback path, measured irrelevant to the gate
+	return make([]int, 4)
+}

@@ -1,0 +1,87 @@
+// Positive fixtures: every class of allocation hotalloc must flag
+// inside a //lint:hotpath function.
+package pos
+
+import (
+	"fmt"
+	"strings"
+)
+
+//lint:hotpath
+func formats(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf allocates`
+}
+
+//lint:hotpath
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//lint:hotpath
+func sliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates`
+}
+
+//lint:hotpath
+func mk(n int) []float64 {
+	return make([]float64, n) // want `make allocates`
+}
+
+//lint:hotpath
+func newInt() *int {
+	return new(int) // want `new allocates`
+}
+
+type point struct{ x, y int }
+
+//lint:hotpath
+func ptrLit() *point {
+	return &point{1, 2} // want `composite literal escapes`
+}
+
+//lint:hotpath
+func closure(xs []int) func() int {
+	return func() int { return len(xs) } // want `closure`
+}
+
+//lint:hotpath
+func grow(dst []int, x int) []int {
+	return append(dst, x) // want `append may grow`
+}
+
+func sink(v interface{}) { _ = v }
+
+//lint:hotpath
+func box(v int) {
+	sink(v) // want `boxes a concrete value into an interface parameter`
+}
+
+//lint:hotpath
+func conv(v int) any {
+	return any(v) // want `conversion boxes a concrete value`
+}
+
+//lint:hotpath
+func builder(s string) string {
+	var b strings.Builder // want `strings.Builder`
+	b.WriteString(s)      // want `strings.Builder`
+	return b.String()     // want `strings.Builder`
+}
+
+//lint:hotpath
+func viaHelper(n int) []float64 {
+	return helper(n) // want `calls helper, which allocates`
+}
+
+func helper(n int) []float64 {
+	return make([]float64, n)
+}
+
+type mker struct{}
+
+//lint:hotpath
+func (m *mker) fwd() []int {
+	return m.alloc() // want `calls alloc, which allocates`
+}
+
+func (m *mker) alloc() []int { return make([]int, 4) }

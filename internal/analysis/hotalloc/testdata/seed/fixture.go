@@ -1,0 +1,17 @@
+// Seed fixtures: the test retargets hotalloc.Seeded at this package
+// with entries for Kernel.Forward (present but unannotated — must be
+// reported) and Kernel.Gone (absent — reported at the package clause).
+package seed // want `seeded hot-path function Kernel.Gone not found`
+
+type Kernel struct{}
+
+func (k *Kernel) Forward() {} // want `seeded hot-path list and must carry`
+
+//lint:hotpath
+func (k *Kernel) Gated(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

@@ -61,10 +61,19 @@ func Load(patterns ...string) ([]*Package, error) {
 	imp := importer.ForCompiler(fset, "source", nil)
 
 	var pkgs []*Package
+	seen := make(map[string]bool, len(listed))
 	for _, lp := range listed {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
+		// Overlapping patterns (e.g. "./internal/serve ./...") each expand
+		// independently, so go list can report one package twice. Checking
+		// it twice would double every diagnostic — including the
+		// malformed-directive findings — under the multichecker.
+		if seen[lp.ImportPath] {
+			continue
+		}
+		seen[lp.ImportPath] = true
 		files := make([]string, len(lp.GoFiles))
 		for i, f := range lp.GoFiles {
 			files[i] = filepath.Join(lp.Dir, f)

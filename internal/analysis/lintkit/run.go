@@ -27,13 +27,21 @@ const DirectiveCheckName = "lintdirective"
 // diagnostics through //lint:allow directives, validates the directives
 // themselves, and returns the surviving findings sorted by position.
 //
+// extraKnown names analyzers that exist in the catalogue but are not
+// part of this run (a -only selection): directives naming them are
+// legitimate suppressions for the full run, not "unknown analyzer"
+// mistakes, so they pass directive validation here.
+//
 // Type-check errors in an analysed package are returned as findings too
 // (under pseudo-analyzer "typecheck"): a tree that does not compile must
 // fail the lint gate, not sneak past it.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	known := make(map[string]bool, len(analyzers))
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, extraKnown ...string) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers)+len(extraKnown))
 	for _, a := range analyzers {
 		known[a.Name] = true
+	}
+	for _, name := range extraKnown {
+		known[name] = true
 	}
 	var findings []Finding
 	for _, p := range pkgs {
@@ -83,6 +91,14 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	findings = DedupeFindings(findings)
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, then analyzer —
+// the stable presentation order the multichecker prints.
+func SortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -96,5 +112,36 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+}
+
+// DedupeFindings drops findings identical in (analyzer, position,
+// message), preserving first-seen order. Duplicate packages — whether
+// from overlapping go list patterns or callers passing the same
+// *Package twice — would otherwise repeat every report, most visibly
+// the malformed-directive finding which is emitted per package walk.
+func DedupeFindings(findings []Finding) []Finding {
+	type key struct {
+		analyzer, file, message string
+		line, col               int
+	}
+	seen := make(map[key]bool, len(findings))
+	out := findings[:0]
+	for _, f := range findings {
+		k := key{f.Analyzer, f.Position.Filename, f.Message, f.Position.Line, f.Position.Column}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// Allows reports whether a //lint:allow directive in p covers a
+// diagnostic of the named analyzer at pos. Checks that synthesise
+// findings outside an analyzer Run (like hotalloc's gate cross-check)
+// use it to honor the same suppression contract as everything else.
+func (p *Package) Allows(analyzer string, pos token.Pos) bool {
+	sup, _ := newSuppressor(p.Fset, p.Files)
+	return sup.allows(analyzer, pos)
 }

@@ -1,0 +1,15 @@
+// Audit fixture: one live //lint:allow directive (it suppresses a real
+// floateq finding on the next line) and one stale directive (its two
+// covered lines produce no raw diagnostic). leapme-lint -audit-allows
+// over this package must flag exactly the stale one.
+package fixture
+
+func live(a, b float64) bool {
+	//lint:allow floateq fixture's live directive: the comparison below is a real finding
+	return a == b
+}
+
+//lint:allow floateq deliberately stale: nothing on this line or the next produces a floateq diagnostic
+func stale(n int) int {
+	return n + 1
+}

@@ -1,0 +1,109 @@
+// Package locksafe implements the locksafe analyzer: in the serving and
+// index packages, no goroutine may block while holding a sync.Mutex or
+// sync.RWMutex, and every acquire must be released on every path.
+//
+// The serving layer's liveness story depends on its critical sections
+// staying tiny: the registry hot-swap (SIGHUP reload under load), the
+// feature cache and the batcher all take locks on the request path, and
+// a blocking operation inside any of those sections — a channel send to
+// a full queue, a select that can park forever, a network call — turns
+// one slow consumer into a server-wide stall that the admission gate
+// cannot shed its way out of. The index packages share the constraint
+// because snapshot hot-swaps follow the same pattern.
+//
+// locksafe tracks lock state per function with lintkit's flow walker
+// and reports: blocking operations (channel send/receive, select,
+// time.Sleep, net/* calls, Wait()) reached while a lock is held;
+// function exits that leak a lock with no deferred unlock; double
+// acquisition of the same lock; and loop bodies whose lock set changes
+// across an iteration. Two select forms are exempt because they are
+// bounded by construction: a select with a default clause cannot block,
+// and a select with a ctx.Done() receive case is bounded by caller
+// cancellation — the batcher's EnqueueSpan admission uses exactly that
+// shape under RLock, deliberately, so concurrent enqueues serialize
+// against Close without wedging.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"leapme/internal/analysis/lintkit"
+)
+
+// ScopePackages is the set of import paths the analyzer enforces. A var
+// so the fixture tests can retarget it. Production scope is the serving
+// layer and the ANN index — the packages whose locks sit on the request
+// path.
+var ScopePackages = map[string]bool{
+	"leapme/internal/serve": true,
+	"leapme/internal/index": true,
+}
+
+// Analyzer is the locksafe analyzer.
+var Analyzer = &lintkit.Analyzer{
+	Name: "locksafe",
+	Doc: "in internal/serve and internal/index, no blocking operation (channel send/recv, select without " +
+		"default or ctx.Done(), time.Sleep, net/* calls, Wait) while a sync.Mutex/RWMutex is held, and " +
+		"lock/unlock must balance on every path",
+	Run: run,
+}
+
+func run(pass *lintkit.Pass) (any, error) {
+	if pass.Pkg == nil || !ScopePackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Name.Name, fd.Body)
+			// Function literals are separate lock contexts (goroutine
+			// bodies, deferred cleanups, callbacks): analyze each as its
+			// own function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, fd.Name.Name+" (func literal)", lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *lintkit.Pass, name string, body *ast.BlockStmt) {
+	lf := &lintkit.LockFlow{
+		Pass: pass,
+		OnBlocked: func(pos token.Pos, what string, held []lintkit.HeldLock) {
+			pass.Reportf(pos, "%s in %s while %s is held: a blocked goroutine here stalls every path that needs the lock",
+				what, name, heldList(held))
+		},
+		OnExit: func(pos token.Pos, held []lintkit.HeldLock) {
+			pass.Reportf(pos, "%s can exit while %s is still locked (no unlock or deferred unlock on this path)",
+				name, heldList(held))
+		},
+		OnDoubleLock: func(pos token.Pos, lock lintkit.HeldLock) {
+			pass.Reportf(pos, "%s acquires %s twice on the same path: self-deadlock", name, lock.String())
+		},
+		OnLoopImbalance: func(pos token.Pos, before, after []lintkit.HeldLock) {
+			pass.Reportf(pos, "loop in %s changes the held-lock set across an iteration (before: [%s], after: [%s]): the imbalance compounds per iteration",
+				name, heldList(before), heldList(after))
+		},
+	}
+	lf.Func(body)
+}
+
+func heldList(held []lintkit.HeldLock) string {
+	if len(held) == 0 {
+		return "<none>"
+	}
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = h.String()
+	}
+	return strings.Join(parts, ", ")
+}

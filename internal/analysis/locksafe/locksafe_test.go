@@ -1,0 +1,20 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"leapme/internal/analysis/lintkit/lintest"
+	"leapme/internal/analysis/locksafe"
+)
+
+func TestPositiveFixtures(t *testing.T) {
+	lintest.Run(t, locksafe.Analyzer, "testdata/pos", "leapme/internal/serve")
+}
+
+func TestNegativeFixtures(t *testing.T) {
+	lintest.Run(t, locksafe.Analyzer, "testdata/neg", "leapme/internal/index")
+}
+
+func TestOutOfScopePackageIsSilent(t *testing.T) {
+	lintest.Run(t, locksafe.Analyzer, "testdata/scope", "leapme/other")
+}

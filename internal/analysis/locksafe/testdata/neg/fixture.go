@@ -1,0 +1,101 @@
+// Negative fixtures: the locking idioms the serving and index layers
+// are built on — short inline critical sections, defer-unlock with
+// ctx-bounded selects, try-sends, and separate goroutine lock contexts.
+// All must stay silent.
+package neg
+
+import (
+	"context"
+	"sync"
+)
+
+type reg struct {
+	mu    sync.RWMutex
+	items map[string]int
+	queue chan int
+}
+
+func (r *reg) get(k string) (int, bool) {
+	r.mu.RLock()
+	v, ok := r.items[k]
+	r.mu.RUnlock()
+	return v, ok
+}
+
+func (r *reg) put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+}
+
+// The EnqueueSpan shape: a queue send under RLock, bounded by the
+// caller's ctx — the select cannot park past cancellation.
+func (r *reg) enqueue(ctx context.Context, v int) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	select {
+	case r.queue <- v:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// A select with a default clause cannot block at all.
+func (r *reg) tryEnqueue(v int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Blocking after release is fine.
+func (r *reg) sendAfter(v int) {
+	r.mu.Lock()
+	r.items["n"] = v
+	r.mu.Unlock()
+	r.queue <- v
+}
+
+// Early unlock on each path balances.
+func (r *reg) branchy(b bool) {
+	r.mu.Lock()
+	if b {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+}
+
+// A goroutine launched under lock runs in its own lock context; its
+// body blocking is not blocking under our lock.
+func (r *reg) spawn() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.queue <- 1
+	}()
+}
+
+// An unlock inside a deferred closure still counts as the paired
+// release.
+func (r *reg) deferClosure() {
+	r.mu.Lock()
+	defer func() {
+		r.mu.Unlock()
+	}()
+	r.items["x"] = 1
+}
+
+// Lock balanced within each loop iteration.
+func (r *reg) perIter(n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		r.items["i"] = i
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,84 @@
+// Positive fixtures: every blocking-under-lock and imbalance class
+// locksafe must flag inside the scoped packages.
+package pos
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type q struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (s *q) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send in sendHeld while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *q) recvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive in recvHeld`
+}
+
+func (s *q) selectHeld(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default and no ctx.Done\(\) case in selectHeld`
+	case s.ch <- 1:
+	case <-done:
+	}
+}
+
+func (s *q) sleepHeld() {
+	s.rw.RLock()
+	time.Sleep(time.Millisecond) // want `time.Sleep in sleepHeld while s.rw \(RLock\) is held`
+	s.rw.RUnlock()
+}
+
+func (s *q) fetchHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	http.Get("http://localhost/x") // want `network I/O`
+}
+
+func (s *q) waitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `wg.Wait\(\) in waitHeld`
+	s.mu.Unlock()
+}
+
+func (s *q) rangeHeld(in chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for v := range in { // want `range over channel in rangeHeld`
+		total += v
+	}
+	return total
+}
+
+func (s *q) leak(b bool) {
+	s.mu.Lock()
+	if b {
+		return // want `leak can exit while s.mu is still locked`
+	}
+	s.mu.Unlock()
+}
+
+func (s *q) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `double acquires s.mu twice`
+	s.mu.Unlock()
+}
+
+func (s *q) loopLeak(n int) {
+	for i := 0; i < n; i++ { // want `loop in loopLeak changes the held-lock set`
+		s.mu.Lock()
+	}
+} // want `loopLeak can exit while s.mu is still locked`

@@ -1,0 +1,16 @@
+// Scope fixture: the same violation locksafe flags in serve/index must
+// stay silent in packages outside its scope.
+package scope
+
+import "sync"
+
+type t struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *t) sendHeld() {
+	x.mu.Lock()
+	x.ch <- 1
+	x.mu.Unlock()
+}

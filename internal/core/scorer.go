@@ -128,6 +128,8 @@ func (s *Scorer) standardizeInto(v []float64) {
 
 // Score classifies one featurized property pair, returning the network's
 // positive-class probability. Warm calls allocate nothing.
+//
+//lint:hotpath gated by TestScorerZeroAllocs
 func (s *Scorer) Score(a, b *features.Prop) (float64, error) {
 	if a == nil || b == nil {
 		return 0, errors.New("core: Score on nil property features")
@@ -168,8 +170,11 @@ func (s *Scorer) ensureBatch(n int) {
 // batch-major arena and the whole batch runs through the kernel in one
 // batch-major pass (each weight row streams once per layer across all
 // pairs). Scores are bit-identical to len(as) separate Score calls.
+//
+//lint:hotpath gated by TestScorerZeroAllocs
 func (s *Scorer) ScoreBatch(dst []float64, as, bs []*features.Prop) error {
 	if len(as) != len(bs) || len(dst) != len(as) {
+		//lint:allow hotalloc cold validation failure: the request is malformed and never reaches the kernel
 		return fmt.Errorf("core: ScoreBatch length mismatch: dst=%d as=%d bs=%d", len(dst), len(as), len(bs))
 	}
 	n := len(as)
@@ -177,10 +182,12 @@ func (s *Scorer) ScoreBatch(dst []float64, as, bs []*features.Prop) error {
 		return nil
 	}
 	dim := s.pairer.Dim()
+	//lint:allow hotalloc ensureBatch grows the arenas only when n exceeds every batch seen before; steady state allocates nothing (pinned by TestScorerZeroAllocs)
 	s.ensureBatch(n)
 	xs := s.xs[:n*dim]
 	for i := range as {
 		if as[i] == nil || bs[i] == nil {
+			//lint:allow hotalloc cold validation failure: nil pair, request rejected before scoring
 			return fmt.Errorf("core: batch pair %d: core: Score on nil property features", i)
 		}
 		v := xs[i*dim : (i+1)*dim]

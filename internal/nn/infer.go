@@ -119,6 +119,8 @@ func (k *Kernel) forwardRaw(x, scratch []float64) []float64 {
 // Forward writes the softmax class probabilities for x into dst, using
 // scratch (len >= ScratchLen()) for activations. It performs no heap
 // allocations and its outputs are bit-identical to Network.Forward.
+//
+//lint:hotpath gated by TestKernelZeroAllocs
 func (k *Kernel) Forward(dst, x, scratch []float64) {
 	if len(dst) != k.outDim {
 		panic(fmt.Sprintf("nn: kernel output has dim %d, want %d", len(dst), k.outDim))
@@ -129,6 +131,8 @@ func (k *Kernel) Forward(dst, x, scratch []float64) {
 // PositiveScore returns the probability of class 1 for x — LEAPME's
 // similarity score — without allocating. The kernel must have at least
 // two output classes; NewKernel callers validate topology at load time.
+//
+//lint:hotpath gated by TestKernelZeroAllocs
 func (k *Kernel) PositiveScore(x, scratch []float64) float64 {
 	z := k.forwardRaw(x, scratch)
 	// The logits view lives in one half of scratch; the softmax result
@@ -151,6 +155,8 @@ func (k *Kernel) PositiveScore(x, scratch []float64) float64 {
 // every individual input sees exactly the per-row sequential
 // accumulation of Forward, so results are bit-identical to n separate
 // Forward calls in any batch size.
+//
+//lint:hotpath gated by TestKernelZeroAllocs
 func (k *Kernel) ForwardBatch(probs, xs []float64, n int, scratch []float64) {
 	if n < 0 || len(xs) != n*k.inDim {
 		panic(fmt.Sprintf("nn: kernel batch input has len %d, want %d", len(xs), n*k.inDim))

@@ -138,6 +138,9 @@ func TestKernelZeroAllocs(t *testing.T) {
 
 	q := NewQuantKernel(net)
 	qscratch := make([]float32, q.BatchScratchLen(batch))
+	if n := testing.AllocsPerRun(100, func() { q.Forward(dst, x, qscratch) }); n != 0 {
+		t.Errorf("QuantKernel.Forward allocates %v times per call, want 0", n)
+	}
 	if n := testing.AllocsPerRun(100, func() { _ = q.PositiveScore(x, qscratch) }); n != 0 {
 		t.Errorf("QuantKernel.PositiveScore allocates %v times per call, want 0", n)
 	}

@@ -147,6 +147,8 @@ func (k *QuantKernel) forwardRaw32(x []float64, scratch []float32) []float32 {
 // softmax itself runs in float64 on the float32 logits, matching the
 // reference op order so the only divergence from Kernel.Forward is the
 // quantisation itself.
+//
+//lint:hotpath gated by TestKernelZeroAllocs
 func (k *QuantKernel) Forward(dst []float64, x []float64, scratch []float32) {
 	if len(dst) != k.outDim {
 		panic(fmt.Sprintf("nn: quant kernel output has dim %d, want %d", len(dst), k.outDim))
@@ -156,6 +158,8 @@ func (k *QuantKernel) Forward(dst []float64, x []float64, scratch []float32) {
 
 // PositiveScore returns the probability of class 1 for x without
 // allocating.
+//
+//lint:hotpath gated by TestKernelZeroAllocs
 func (k *QuantKernel) PositiveScore(x []float64, scratch []float32) float64 {
 	z := k.forwardRaw32(x, scratch)
 	m := float64(z[0])
@@ -174,6 +178,8 @@ func (k *QuantKernel) PositiveScore(x []float64, scratch []float32) float64 {
 // ForwardBatch scores n inputs stored back-to-back in xs (len n*InDim)
 // into probs (len n*OutDim), batch-major like Kernel.ForwardBatch.
 // scratch must have len >= BatchScratchLen(n).
+//
+//lint:hotpath gated by TestKernelZeroAllocs
 func (k *QuantKernel) ForwardBatch(probs []float64, xs []float64, n int, scratch []float32) {
 	if n < 0 || len(xs) != n*k.inDim {
 		panic(fmt.Sprintf("nn: quant kernel batch input has len %d, want %d", len(xs), n*k.inDim))

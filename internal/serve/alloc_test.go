@@ -70,3 +70,67 @@ func TestSpanAllocRegression(t *testing.T) {
 		t.Errorf("fixed per-span allocation budget exceeded: %.1f allocs, want <= 16", a32)
 	}
 }
+
+// TestRunBatchFixedAllocs is the dynamic gate behind runBatch's
+// //lint:hotpath annotation: calling the span hot loop directly (no
+// dispatcher, no HTTP) must cost a fixed handful of allocations — the
+// per-model-run guard closure — with zero marginal allocations per
+// pair. The hotalloc cross-check requires this test to exist; deleting
+// it fails `make lint`.
+func TestRunBatchFixedAllocs(t *testing.T) {
+	md := testModel(t)
+	b := newBatcher(1, 32, time.Millisecond, newMetrics(), nil)
+	defer b.Close()
+
+	specs := somePairs(t, 32)
+	n := len(specs)
+	as := make([]*features.Prop, 0, 32)
+	bs := make([]*features.Prop, 0, 32)
+	for i := 0; i < 32; i++ {
+		p := specs[i%n]
+		as = append(as, md.Featurize(p.A.Name, p.A.Values))
+		bs = append(bs, md.Featurize(p.B.Name, p.B.Values))
+	}
+	sp := &span{
+		model:  md,
+		as:     as,
+		bs:     bs,
+		scores: make([]float64, 32),
+		errs:   make([]error, 32),
+		resp:   make(chan int, 32),
+	}
+	batch := make([]pairRef, 32)
+	for i := range batch {
+		batch[i] = pairRef{sp: sp, idx: i}
+	}
+	drain := func(k int) {
+		for i := 0; i < k; i++ {
+			idx := <-sp.resp
+			if sp.errs[idx] != nil {
+				t.Fatal(sp.errs[idx])
+			}
+		}
+	}
+	// Warm: first acquire clones the scorer and grows its batch arenas.
+	for i := 0; i < 3; i++ {
+		b.runBatch(batch[:1])
+		drain(1)
+		b.runBatch(batch)
+		drain(32)
+	}
+	a1 := testing.AllocsPerRun(20, func() {
+		b.runBatch(batch[:1])
+		drain(1)
+	})
+	a32 := testing.AllocsPerRun(20, func() {
+		b.runBatch(batch)
+		drain(32)
+	})
+	t.Logf("runBatch allocs: 1 pair = %.1f, 32 pairs = %.1f", a1, a32)
+	if a32 > a1 {
+		t.Errorf("runBatch allocates per pair: %.1f allocs for 32 pairs vs %.1f for 1 pair", a32, a1)
+	}
+	if a32 > 4 {
+		t.Errorf("runBatch fixed allocation budget exceeded: %.1f allocs, want <= 4", a32)
+	}
+}

@@ -257,17 +257,17 @@ type matchAllResponse struct {
 }
 
 type modelDesc struct {
-	Name         string    `json:"name"`
-	Path         string    `json:"path"`
-	Active       bool      `json:"active"`
-	LoadedAt     time.Time `json:"loaded_at"`
-	Format       int       `json:"format_version"`
-	Features     string    `json:"features"`
-	EmbeddingDim int       `json:"embedding_dim,omitempty"`
-	InDim        int       `json:"in_dim"`
-	Hidden       []int     `json:"hidden"`
-	CRC          string    `json:"crc"`
-	Threshold    float64   `json:"threshold"`
+	Name         string     `json:"name"`
+	Path         string     `json:"path"`
+	Active       bool       `json:"active"`
+	LoadedAt     time.Time  `json:"loaded_at"`
+	Format       int        `json:"format_version"`
+	Features     string     `json:"features"`
+	EmbeddingDim int        `json:"embedding_dim,omitempty"`
+	InDim        int        `json:"in_dim"`
+	Hidden       []int      `json:"hidden"`
+	CRC          string     `json:"crc"`
+	Threshold    float64    `json:"threshold"`
 	Cache        cacheStats `json:"cache"`
 }
 
@@ -319,6 +319,16 @@ func (s *Server) failCode(w http.ResponseWriter, status int, code, format string
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// probe answers a non-200 health/readiness probe with a typed apiError.
+// Unlike failCode it does not count toward RequestErrors: a load
+// balancer polling a draining instance is the system working, not a
+// failed request.
+func (s *Server) probe(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: msg, Code: code})
 }
 
 // shed answers a typed 429: the admission queue is full, come back after
@@ -514,6 +524,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		// server alive; this request alone answers 500.
 		s.met.RequestErrors.Add(1)
 		w.Header().Set("Content-Type", "application/json")
+		//lint:allow errvocab this 500 deliberately carries the full per-pair matchResponse body (not an apiError) so the client sees which pair poisoned the request
 		w.WriteHeader(http.StatusInternalServerError)
 		json.NewEncoder(w).Encode(matchResponse{Model: md.Name, CRC: fmt.Sprintf("%08x", md.Info.CRC), Results: results, Cache: cacheOf(md)})
 		return
@@ -798,11 +809,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case !s.ready.Load() || s.reg.Active() == nil:
-		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		s.probe(w, http.StatusServiceUnavailable, "not_ready", "not ready")
 	case s.adm.degraded():
 		// Above the high-water mark: still serving, but load balancers
 		// should steer new traffic elsewhere before shedding starts.
-		http.Error(w, "degraded: admission queue above high-water mark", http.StatusServiceUnavailable)
+		s.probe(w, http.StatusServiceUnavailable, "degraded", "degraded: admission queue above high-water mark")
 	default:
 		w.Write([]byte("ready\n"))
 	}

@@ -316,9 +316,13 @@ func TestHealthReadyMetrics(t *testing.T) {
 	}
 
 	// After Close the server drains: readyz flips, scoring answers 503.
+	// The probe body is part of the typed error vocabulary (errvocab):
+	// JSON with a dispatchable code, not a bare text line.
 	s.Close()
-	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
 		t.Errorf("/readyz after Close = %d", code)
+	} else if !strings.Contains(body, `"code":"not_ready"`) {
+		t.Errorf("/readyz after Close body = %q, want typed not_ready JSON", body)
 	}
 	resp, _ := postJSON(t, ts, "/v1/match", matchRequest{Pairs: somePairs(t, 1)})
 	if resp.StatusCode != http.StatusServiceUnavailable {
