@@ -169,7 +169,7 @@ func runBench(suite, out string, seed int64, dim, workers int, quick, stamp bool
 	case "serve":
 		err = benchServe(fx, &rep, quick)
 	case "train":
-		err = benchTrain(fx, &rep, quick)
+		err = benchTrain(fx, &rep, workers, quick)
 	case "parallel":
 		err = benchParallel(fx, &rep, workers, quick)
 	default:
@@ -190,7 +190,7 @@ func runBench(suite, out string, seed int64, dim, workers int, quick, stamp bool
 	return nil
 }
 
-func benchTrain(fx *benchFixture, rep *benchReport, quick bool) error {
+func benchTrain(fx *benchFixture, rep *benchReport, workers int, quick bool) error {
 	ctx := context.Background()
 
 	// Feature computation over the whole dataset (one op = all properties).
@@ -205,6 +205,24 @@ func benchTrain(fx *benchFixture, rep *benchReport, quick bool) error {
 		return err
 	}
 	rep.Results = append(rep.Results, resultOf("compute_features_dataset", 0, r))
+
+	// Flat-slab featurisation of the same properties through the
+	// extractor's matrix path — the allocation-free emission the
+	// pipeline uses underneath ComputeFeatures.
+	values := fx.data.InstancesByProperty()
+	items := make([]features.PropertyInput, len(fx.data.Props))
+	for i, p := range fx.data.Props {
+		items[i] = features.PropertyInput{Name: p.Name, Values: values[p.Key()]}
+	}
+	fmEx := features.NewExtractor(fx.store)
+	r, err = benchOp(quick, func() error {
+		_, _, err := fmEx.FeatureMatrix(ctx, 0, items)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, resultOf("feature_matrix", 0, r))
 
 	// Training-pair generation.
 	r, err = benchOp(quick, func() error {
@@ -232,7 +250,43 @@ func benchTrain(fx *benchFixture, rep *benchReport, quick bool) error {
 	if err != nil {
 		return err
 	}
-	rep.Results = append(rep.Results, resultOf("train_full", len(fx.pairs), r))
+	trainFull := resultOf("train_full", len(fx.pairs), r)
+	rep.Results = append(rep.Results, trainFull)
+
+	// Same training run through the flat TrainKernel (Workers ≥ 1
+	// dispatches core.Train onto it). The trained bytes are bit-identical
+	// to the chunked Fit path — the equivalence suites pin that — so this
+	// row measures pure hot-path speedup, not a different model.
+	kw := workers
+	if kw <= 0 {
+		kw = runtime.GOMAXPROCS(0)
+	}
+	kOpts := core.DefaultOptions(fx.seed)
+	kOpts.Workers = kw
+	km, err := core.NewMatcher(fx.store, kOpts)
+	if err != nil {
+		return err
+	}
+	if err := km.ComputeFeatures(ctx, fx.data); err != nil {
+		return err
+	}
+	r, err = benchOp(quick, func() error {
+		_, err := km.Train(ctx, fx.pairs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	trainKernel := resultOf("train_kernel_full", len(fx.pairs), r)
+	rep.Results = append(rep.Results, trainKernel)
+
+	if rep.Derived == nil {
+		rep.Derived = map[string]float64{}
+	}
+	if trainKernel.NsPerOp > 0 {
+		rep.Derived["train_speedup"] = trainFull.NsPerOp / trainKernel.NsPerOp
+	}
+	rep.Config["kernel_workers"] = kw
 	return nil
 }
 

@@ -180,7 +180,7 @@ func cmdTrain(ctx context.Context, args []string) error {
 	featStr := fs.String("features", "both/all", "feature config level/kind")
 	threshold := fs.Float64("threshold", 0.5, "match threshold")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic flat-kernel path (bit-identical for any N), -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -281,7 +281,7 @@ func cmdMatch(ctx context.Context, args []string) error {
 	top := fs.Int("top", 0, "print only the top N matches by score (0 = all)")
 	explain := fs.Bool("explain", false, "attribute each printed match to its feature groups")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic flat-kernel path (bit-identical for any N), -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -326,7 +326,7 @@ func cmdEval(ctx context.Context, args []string) error {
 	runs := fs.Int("runs", 5, "number of random splits")
 	featStr := fs.String("features", "both/all", "feature config")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic flat-kernel path (bit-identical for any N), -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -371,7 +371,7 @@ func cmdLabel(ctx context.Context, args []string) error {
 	trainList := fs.String("train", "", "comma-separated training sources (ground truth used)")
 	top := fs.Int("top", 20, "print only the N most confident labels (0 = all)")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic flat-kernel path (bit-identical for any N), -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)
@@ -454,7 +454,7 @@ func cmdCluster(ctx context.Context, args []string) error {
 	scheme := fs.String("scheme", "components", "clustering scheme: components|star|correlation")
 	threshold := fs.Float64("threshold", 0.5, "match threshold")
 	seed := fs.Int64("seed", 1, "seed")
-	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic N-worker path, -1 = all CPUs")
+	workers := fs.Int("workers", 0, "parallelism: 0 = legacy serial training, N = deterministic flat-kernel path (bit-identical for any N), -1 = all CPUs")
 	lenient := fs.Bool("lenient", false, "quarantine malformed dataset records instead of failing")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	fs.Parse(args)

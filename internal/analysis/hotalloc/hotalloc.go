@@ -54,6 +54,12 @@ var Seeded = []SeededFunc{
 	{Pkg: "leapme/internal/nn", Recv: "QuantKernel", Name: "Forward"},
 	{Pkg: "leapme/internal/nn", Recv: "QuantKernel", Name: "PositiveScore"},
 	{Pkg: "leapme/internal/nn", Recv: "QuantKernel", Name: "ForwardBatch"},
+	{Pkg: "leapme/internal/nn", Recv: "TrainKernel", Name: "runBatch"},
+	{Pkg: "leapme/internal/nn", Recv: "TrainKernel", Name: "chunkGrads"},
+	{Pkg: "leapme/internal/nn", Recv: "TrainKernel", Name: "accumLayerGrads"},
+	{Pkg: "leapme/internal/nn", Recv: "TrainKernel", Name: "reduceGrads"},
+	{Pkg: "leapme/internal/nn", Recv: "TrainKernel", Name: "optStep"},
+	{Pkg: "leapme/internal/features", Recv: "Extractor", Name: "accumulateInstances"},
 	{Pkg: "leapme/internal/core", Recv: "Scorer", Name: "Score"},
 	{Pkg: "leapme/internal/core", Recv: "Scorer", Name: "ScoreBatch"},
 	{Pkg: "leapme/internal/serve", Recv: "batcher", Name: "runBatch"},

@@ -195,15 +195,17 @@ func (m *Matcher) ComputeFeatures(ctx context.Context, d *dataset.Dataset) error
 		return errors.New("core: ComputeFeatures on nil dataset")
 	}
 	values := d.InstancesByProperty()
-	out := make([]*features.Prop, len(d.Props))
-	rep, err := guard.ForEach(ctx, m.opts.Workers, len(d.Props),
-		func(i int) string { return "featurize " + d.Props[i].Key().String() },
-		func(i int) error {
-			out[i] = m.ex.PropertyFeatures(d.Props[i].Name, values[d.Props[i].Key()])
-			return nil
-		})
+	items := make([]features.PropertyInput, len(d.Props))
+	for i, p := range d.Props {
+		items[i] = features.PropertyInput{
+			Name:   p.Name,
+			Values: values[p.Key()],
+			Label:  "featurize " + p.Key().String(),
+		}
+	}
+	mat, rep, err := m.ex.FeatureMatrix(ctx, m.opts.Workers, items)
 	m.lastReport = rep
-	for i, p := range out {
+	for i, p := range mat.Props {
 		if p != nil {
 			m.props[d.Props[i].Key()] = p
 		}
@@ -258,9 +260,14 @@ func (m *Matcher) Train(ctx context.Context, pairs []LabeledPair) (float64, erro
 	if len(pairs) == 0 {
 		return 0, errors.New("core: no training pairs")
 	}
+	// Pair vectors are emitted into one flat (n × dim) slab; xs holds row
+	// views, so the standardizer and the legacy Fit path see the exact
+	// slices they always did while the kernel path consumes the slab.
+	dim := m.pairer.Dim()
+	flat := make([]float64, len(pairs)*dim)
 	xs := make([][]float64, 0, len(pairs))
 	ys := make([]int, 0, len(pairs))
-	for _, lp := range pairs {
+	for i, lp := range pairs {
 		a, err := m.prop(lp.A)
 		if err != nil {
 			return 0, err
@@ -269,7 +276,9 @@ func (m *Matcher) Train(ctx context.Context, pairs []LabeledPair) (float64, erro
 		if err != nil {
 			return 0, err
 		}
-		xs = append(xs, m.pairer.NewPairVector(a, b))
+		row := flat[i*dim : (i+1)*dim]
+		m.pairer.PairVector(row, a, b)
+		xs = append(xs, row)
 		y := 0
 		if lp.Match {
 			y = 1
@@ -298,7 +307,21 @@ func (m *Matcher) Train(ctx context.Context, pairs []LabeledPair) (float64, erro
 		Seed:        m.opts.Seed,
 		Workers:     m.opts.Workers,
 	}
-	loss, err := net.Fit(ctx, xs, ys, cfg)
+	var loss float64
+	if m.opts.Workers == 0 {
+		// Legacy serial gradient path, preserved bit-for-bit so
+		// historical seeds keep reproducing.
+		loss, err = net.Fit(ctx, xs, ys, cfg)
+	} else {
+		// Workers ≥ 1 selects the chunked path; the flat training kernel
+		// is its drop-in replacement, bit-identical for every worker
+		// count (pinned by the nn equivalence suite and the golden
+		// determinism gate here).
+		var k *nn.TrainKernel
+		if k, err = nn.NewTrainKernel(net, cfg); err == nil {
+			loss, err = k.Fit(ctx, flat, ys)
+		}
+	}
 	if err != nil {
 		return 0, fmt.Errorf("core: training: %w", err)
 	}

@@ -1,0 +1,83 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leapme/internal/text"
+)
+
+func encodeTestStore(t *testing.T) *Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	words := []string{"camera", "resolution", "hdmi", "port", "24", "mp", "weight", "größe"}
+	vecs := make([][]float64, len(words))
+	for i := range vecs {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	s, err := NewStore(words, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEncodePhraseIntoBitIdentity pins EncodePhraseInto to EncodePhrase
+// bit for bit, including phrases that are all-unknown, empty, and mixed
+// known/unknown — the zero-vector adds must still happen so signed zeros
+// match.
+func TestEncodePhraseIntoBitIdentity(t *testing.T) {
+	s := encodeTestStore(t)
+	phrases := []string{
+		"",
+		"   ",
+		"camera resolution",
+		"CameraResolution",
+		"HDMIPort weight",
+		"24MP",
+		"völlig unbekannt phrase",
+		"camera unknownword camera",
+		"GRÖSSE größe",
+	}
+	var ts text.TokenScratch
+	dst := make([]float64, s.Dim())
+	for _, ph := range phrases {
+		want := s.EncodePhrase(ph)
+		s.EncodePhraseInto(dst, ph, &ts)
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("EncodePhraseInto(%q)[%d] = %x, EncodePhrase = %x",
+					ph, i, math.Float64bits(dst[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+func TestEncodePhraseIntoWarmAllocs(t *testing.T) {
+	s := encodeTestStore(t)
+	var ts text.TokenScratch
+	dst := make([]float64, s.Dim())
+	s.EncodePhraseInto(dst, "camera resolution HDMIPort 24MP unknownword", &ts)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.EncodePhraseInto(dst, "camera resolution HDMIPort 24MP unknownword", &ts)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm EncodePhraseInto allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEncodePhraseIntoPanicsOnBadDim(t *testing.T) {
+	s := encodeTestStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst length")
+		}
+	}()
+	var ts text.TokenScratch
+	s.EncodePhraseInto(make([]float64, s.Dim()+1), "camera", &ts)
+}

@@ -102,6 +102,35 @@ func (s *Store) EncodePhrase(phrase string) []float64 {
 	return s.Average(text.Tokenize(phrase))
 }
 
+// EncodePhraseInto is EncodePhrase writing into dst (length Dim)
+// through a reusable token scratch instead of allocating: tokens are
+// scanned with text.ScanTokens (bit-identical to Tokenize) and looked up
+// without converting to string, and the average uses the exact
+// accumulation order of Average — zero dst, add each token's vector in
+// token order (unknown tokens add the zero vector, which still counts in
+// the denominator), then scale once. A warm scratch makes the whole call
+// allocation-free; the embedding tests cross-check the bits against
+// EncodePhrase.
+func (s *Store) EncodePhraseInto(dst []float64, phrase string, ts *text.TokenScratch) {
+	if len(dst) != s.dim {
+		panic(fmt.Sprintf("embedding: EncodePhraseInto dst has len %d, want %d", len(dst), s.dim))
+	}
+	mathx.Zero(dst)
+	text.ScanTokens(phrase, ts)
+	n := ts.Count()
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		vec := s.zero
+		if id, ok := s.ids[string(ts.Token(i))]; ok {
+			vec = s.vectors[id]
+		}
+		mathx.AddTo(dst, dst, vec)
+	}
+	mathx.ScaleTo(dst, dst, 1/float64(n))
+}
+
 // Similarity returns the cosine similarity between the vectors of two
 // words (0 if either is unknown or zero).
 func (s *Store) Similarity(a, b string) float64 {

@@ -2,6 +2,8 @@ package features
 
 import (
 	"context"
+	"fmt"
+	"sync"
 
 	"leapme/internal/embedding"
 	"leapme/internal/mathx"
@@ -26,6 +28,13 @@ type Extractor struct {
 	// a worker pool when > 1 (negative = one per CPU, 0/1 = serial). The
 	// result is bit-identical for every setting — see the package doc.
 	Workers int
+
+	// scPool recycles *Scratch arenas across properties and workers so
+	// the steady-state featurisation path allocates nothing per value.
+	scPool sync.Pool
+	// winPool recycles the featureWindow-sized buffer of the parallel
+	// aggregation path (hoisted per-window scratch).
+	winPool sync.Pool
 }
 
 // NewExtractor returns an Extractor over the given embedding store.
@@ -46,11 +55,12 @@ func (e *Extractor) PropertyDim() int { return MetaDim + 2*e.store.Dim() }
 // (Table I rows 1–4), the paper's iFeatures.
 func (e *Extractor) InstanceFeatures(value string) []float64 {
 	out := make([]float64, e.InstanceDim())
-	e.instanceFeaturesInto(out, value)
+	var ts text.TokenScratch
+	e.instanceFeaturesInto(out, value, &ts)
 	return out
 }
 
-func (e *Extractor) instanceFeaturesInto(dst []float64, value string) {
+func (e *Extractor) instanceFeaturesInto(dst []float64, value string, ts *text.TokenScratch) {
 	// Row 1: character classes. The paper's 9 types are upper, lower,
 	// letters of both cases, marks, numbers, punctuation, symbols,
 	// separators, other; "both cases" is the total letter count.
@@ -88,8 +98,9 @@ func (e *Extractor) instanceFeaturesInto(dst []float64, value string) {
 	dst[i] = NumericValue(value)
 	i++
 
-	// Row 4: average embedding of the value's words.
-	copy(dst[i:], e.store.EncodePhrase(value))
+	// Row 4: average embedding of the value's words, computed straight
+	// into the destination row (bit-identical to copying EncodePhrase).
+	e.store.EncodePhraseInto(dst[i:], value, ts)
 }
 
 // NumericValue parses value as a number, returning −1 when it is not one.
@@ -162,26 +173,51 @@ type Prop struct {
 // paper's pFeatures: the mean of the instance feature vectors of values,
 // concatenated with the average embedding of the property name's words.
 func (e *Extractor) PropertyFeatures(name string, values []string) *Prop {
+	vec := make([]float64, e.PropertyDim())
+	sc := e.getScratch()
+	p := e.PropertyFeaturesInto(vec, name, values, sc)
+	e.putScratch(sc)
+	return p
+}
+
+// PropertyFeaturesInto is PropertyFeatures writing the feature vector
+// into dst (length PropertyDim), which becomes the returned Prop's Vec.
+// The accumulation order — serial value loop or windowed parallel sum,
+// then one scale, then the name embedding — is exactly PropertyFeatures',
+// so the bits are identical for every worker count; only the vector's
+// backing storage is caller-chosen. dst need not be zeroed.
+func (e *Extractor) PropertyFeaturesInto(dst []float64, name string, values []string, sc *Scratch) *Prop {
+	if len(dst) != e.PropertyDim() {
+		panic(fmt.Sprintf("features: PropertyFeaturesInto dst has len %d, want %d", len(dst), e.PropertyDim()))
+	}
 	if e.MaxValues > 0 && len(values) > e.MaxValues {
 		values = values[:e.MaxValues]
 	}
-	vec := make([]float64, e.PropertyDim())
-	instPart := vec[:e.InstanceDim()]
+	instPart := dst[:e.InstanceDim()]
+	mathx.Zero(instPart)
 	if len(values) > 0 {
 		if w := parallel.Resolve(e.Workers); w > 1 && len(values) >= parValuesThreshold {
 			e.sumInstanceFeatures(instPart, values, w)
 		} else {
-			tmp := make([]float64, e.InstanceDim())
-			for _, v := range values {
-				e.instanceFeaturesInto(tmp, v)
-				mathx.AddTo(instPart, instPart, tmp)
-			}
+			e.accumulateInstances(instPart, values, sc)
 		}
 		mathx.ScaleTo(instPart, instPart, 1/float64(len(values)))
 	}
-	copy(vec[e.InstanceDim():], e.store.EncodePhrase(name))
+	e.store.EncodePhraseInto(dst[e.InstanceDim():], name, &sc.toks)
 	norm := text.NormalizeName(name)
-	return &Prop{Name: name, Vec: vec, norm: norm, runes: []rune(norm), tri: text.TriGrams(norm)}
+	return &Prop{Name: name, Vec: dst, norm: norm, runes: []rune(norm), tri: text.TriGrams(norm)}
+}
+
+// accumulateInstances sums the instance-feature vector of every value
+// into dst through the scratch arena — the serial inner loop of property
+// featurisation. With a warm scratch it performs no heap allocations.
+//
+//lint:hotpath gated by TestFeatureMatrixAllocs
+func (e *Extractor) accumulateInstances(dst []float64, values []string, sc *Scratch) {
+	for _, v := range values {
+		e.instanceFeaturesInto(sc.inst, v, &sc.toks)
+		mathx.AddTo(dst, dst, sc.inst)
+	}
 }
 
 // parValuesThreshold is the minimum number of values before
@@ -200,7 +236,11 @@ const featureWindow = 256
 // worker count (the ordered merge of the package doc).
 func (e *Extractor) sumInstanceFeatures(dst []float64, values []string, workers int) {
 	dim := e.InstanceDim()
-	buf := make([]float64, featureWindow*dim)
+	// The window buffer and per-worker token scratches are hoisted into
+	// pools: a steady-state caller featurising many properties reuses
+	// them instead of re-allocating per property (and per value).
+	buf := e.getWindow()
+	defer e.putWindow(buf)
 	// Each window is bounded (featureWindow values) so cancellation
 	// between windows is the per-property ctx check in internal/core;
 	// the fan-out itself never blocks long enough to need its own.
@@ -212,7 +252,9 @@ func (e *Extractor) sumInstanceFeatures(dst []float64, values []string, workers 
 		}
 		n := hi - lo
 		parallel.ForEach(ctx, workers, n, nil, func(i int) error {
-			e.instanceFeaturesInto(buf[i*dim:(i+1)*dim], values[lo+i])
+			sc := e.getScratch()
+			e.instanceFeaturesInto(buf[i*dim:(i+1)*dim], values[lo+i], &sc.toks)
+			e.putScratch(sc)
 			return nil
 		})
 		for i := 0; i < n; i++ {

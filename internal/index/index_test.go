@@ -284,7 +284,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := snap.WriteTo(&buf); err != nil {
+	if err := snap.Write(&buf); err != nil {
 		t.Fatalf("WriteTo: %v", err)
 	}
 	loaded, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))

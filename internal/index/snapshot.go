@@ -108,8 +108,10 @@ func (s *Snapshot) Neighbors(id, k int) []Candidate {
 	return out
 }
 
-// WriteTo serialises the snapshot.
-func (s *Snapshot) WriteTo(w io.Writer) error {
+// Write serialises the snapshot. (Named Write, not WriteTo: the
+// io.WriterTo contract returns a byte count this envelope writer does
+// not track.)
+func (s *Snapshot) Write(w io.Writer) error {
 	ixPayload, err := indexPayload(s.idx)
 	if err != nil {
 		return err
@@ -124,7 +126,7 @@ func (s *Snapshot) WriteTo(w io.Writer) error {
 	return writeEnvelope(w, snapshotMagic, bw.buf.Bytes())
 }
 
-// ReadSnapshot loads a snapshot written by WriteTo.
+// ReadSnapshot loads a snapshot written by Write.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	payload, err := readIndexEnvelope(r, snapshotMagic)
 	if err != nil {
@@ -165,7 +167,7 @@ func (s *Snapshot) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := s.WriteTo(f); err != nil {
+	if err := s.Write(f); err != nil {
 		f.Close()
 		return err
 	}

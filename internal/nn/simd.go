@@ -1,0 +1,165 @@
+package nn
+
+import "math"
+
+// SIMD kernels for the training hot path.
+//
+// The flat training kernel's inner loops are eight independent
+// per-example accumulator chains advanced in lockstep (see
+// TrainKernel). Vertical SIMD — one VMULPD + VADDPD per column over
+// the eight lanes — performs exactly the same multiply-then-add per
+// lane as the scalar code: AVX packed mul/add are IEEE 754
+// correctly-rounded per element, each lane stays an independent
+// sequential chain, and no fused multiply-add is used (FMA rounds
+// once where mul+add rounds twice, which would change bits). The
+// assembly paths are therefore bit-identical to the generic Go
+// paths below, which remain the reference semantics and the fallback
+// for non-amd64 builds and pre-AVX CPUs.
+//
+// useAVX is resolved once at init via CPUID (OSXSAVE + AVX + YMM
+// state enabled in XCR0); the _noasm build pins it false.
+var useAVX = hasAVXAsm()
+
+// fwdRow8 computes one weight row's contribution to a full chunk:
+// acc[e] = Σ_c w[c]·x[c*8+e], each lane a sequential dot chain in
+// ascending c starting from zero (the mathx.Dot order per example).
+// x is unit-major with stride 8 and must hold len(w)*8 values.
+func fwdRow8(acc *[gradChunkSize]float64, x, w []float64) {
+	if useAVX {
+		fwdrow8AVX(&x[0], &w[0], len(w), &acc[0])
+		return
+	}
+	fwdrow8Generic(acc, x, w)
+}
+
+// fwd2Row8 runs fwdRow8 for two adjacent weight rows against the
+// same chunk: w holds both rows back to back (len 2·cols), acc[0:8]
+// gets the first row's lanes and acc[8:16] the second's. Fusing the
+// rows keeps four independent accumulator chains in flight, hiding
+// the add latency that bounds the single-row loop; each chain is
+// still a strictly sequential dot in ascending c, so the bits match
+// two fwdRow8 calls exactly.
+func fwd2Row8(acc *[2 * gradChunkSize]float64, x, w []float64) {
+	if useAVX {
+		fwd2row8AVX(&x[0], &w[0], len(w)/2, &acc[0])
+		return
+	}
+	fwd2row8Generic(acc, x, w)
+}
+
+// bwdRow8 propagates one row's deltas into the previous layer's
+// delta block: dprev[c*8+e] += d[e]·w[c], unconditionally (the
+// MulVecT order — no zero-skip, signed zeros must match). d holds
+// the row's eight delta lanes, dprev is unit-major with stride 8.
+func bwdRow8(d, w, dprev []float64) {
+	if useAVX {
+		bwdrow8AVX(&d[0], &w[0], &dprev[0], len(w))
+		return
+	}
+	bwdrow8Generic(d, w, dprev)
+}
+
+// axpySet stores dst[i] = 0 + a·x[i]. The leading zero is
+// load-bearing: it normalises a −0 product to +0 exactly as
+// accumulating into a zeroed buffer does.
+func axpySet(dst, x []float64, a float64) {
+	if useAVX {
+		axpySetAVX(&dst[0], &x[0], len(dst), a)
+		return
+	}
+	axpySetGeneric(dst, x, a)
+}
+
+// axpyAdd accumulates dst[i] += a·x[i] with dst as the left operand
+// of each add, matching the scalar accumulation order.
+func axpyAdd(dst, x []float64, a float64) {
+	if useAVX {
+		axpyAddAVX(&dst[0], &x[0], len(dst), a)
+		return
+	}
+	axpyAddGeneric(dst, x, a)
+}
+
+// adamStep applies one flat Adam update over n elements:
+//
+//	m = b1·mw[j] + (1−b1)·g
+//	v = b2·vw[j] + (1−b2)·g·g
+//	w[j] −= lr · (m/c1) / (√(v/c2) + eps)
+//
+// Every element is independent and every operation (including the
+// divides and the square root) is correctly rounded per IEEE 754, so
+// the vectorised path is bit-identical to this scalar order.
+func adamStep(w, g, mw, vw []float64, b1, b2, c1, c2, eps, lr float64) {
+	if useAVX {
+		adamStepAVX(&w[0], &g[0], &mw[0], &vw[0], len(w), b1, b2, 1-b1, 1-b2, c1, c2, eps, lr)
+		return
+	}
+	adamStepGeneric(w, g, mw, vw, b1, b2, c1, c2, eps, lr)
+}
+
+func fwdrow8Generic(acc *[gradChunkSize]float64, x, w []float64) {
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	for c, wv := range w {
+		cb := c * gradChunkSize
+		xc := x[cb : cb+gradChunkSize]
+		a0 += wv * xc[0]
+		a1 += wv * xc[1]
+		a2 += wv * xc[2]
+		a3 += wv * xc[3]
+		a4 += wv * xc[4]
+		a5 += wv * xc[5]
+		a6 += wv * xc[6]
+		a7 += wv * xc[7]
+	}
+	acc[0], acc[1], acc[2], acc[3] = a0, a1, a2, a3
+	acc[4], acc[5], acc[6], acc[7] = a4, a5, a6, a7
+}
+
+func fwd2row8Generic(acc *[2 * gradChunkSize]float64, x, w []float64) {
+	cols := len(w) / 2
+	var a [gradChunkSize]float64
+	fwdrow8Generic(&a, x, w[:cols])
+	copy(acc[:gradChunkSize], a[:])
+	fwdrow8Generic(&a, x, w[cols:])
+	copy(acc[gradChunkSize:], a[:])
+}
+
+func bwdrow8Generic(d, w, dprev []float64) {
+	dre := d[:gradChunkSize]
+	d0, d1, d2, d3 := dre[0], dre[1], dre[2], dre[3]
+	d4, d5, d6, d7 := dre[4], dre[5], dre[6], dre[7]
+	for c, wv := range w {
+		cb := c * gradChunkSize
+		p := dprev[cb : cb+gradChunkSize]
+		p[0] += d0 * wv
+		p[1] += d1 * wv
+		p[2] += d2 * wv
+		p[3] += d3 * wv
+		p[4] += d4 * wv
+		p[5] += d5 * wv
+		p[6] += d6 * wv
+		p[7] += d7 * wv
+	}
+}
+
+func axpySetGeneric(dst, x []float64, a float64) {
+	for i := range dst {
+		dst[i] = 0 + a*x[i]
+	}
+}
+
+func axpyAddGeneric(dst, x []float64, a float64) {
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+func adamStepGeneric(w, g, mw, vw []float64, b1, b2, c1, c2, eps, lr float64) {
+	for j, gv := range g {
+		m := b1*mw[j] + (1-b1)*gv
+		v := b2*vw[j] + (1-b2)*gv*gv
+		mw[j] = m
+		vw[j] = v
+		w[j] -= lr * (m / c1) / (math.Sqrt(v/c2) + eps)
+	}
+}

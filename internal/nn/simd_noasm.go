@@ -1,0 +1,32 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds pin useAVX to false; the AVX entry points are
+// declared only so simd.go compiles and are never reached.
+
+func hasAVXAsm() bool { return false }
+
+func fwdrow8AVX(x, w *float64, cols int, acc *float64) {
+	panic("nn: AVX kernel on non-amd64 build")
+}
+
+func fwd2row8AVX(x, w *float64, cols int, acc *float64) {
+	panic("nn: AVX kernel on non-amd64 build")
+}
+
+func bwdrow8AVX(d, w, dprev *float64, cols int) {
+	panic("nn: AVX kernel on non-amd64 build")
+}
+
+func axpySetAVX(dst, x *float64, n int, a float64) {
+	panic("nn: AVX kernel on non-amd64 build")
+}
+
+func axpyAddAVX(dst, x *float64, n int, a float64) {
+	panic("nn: AVX kernel on non-amd64 build")
+}
+
+func adamStepAVX(w, grad, mw, vw *float64, n int, b1, b2, om1, om2, c1, c2, eps, lr float64) {
+	panic("nn: AVX kernel on non-amd64 build")
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leapme/internal/mathx"
+)
+
+// simdVals fills a slice with values that stress rounding and sign
+// handling: mixed magnitudes, exact negatives, and signed zeros.
+func simdVals(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch rng.Intn(8) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = math.Copysign(0, -1)
+		case 2:
+			out[i] = rng.Float64() * 1e-8
+		default:
+			out[i] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: got %x (%g), want %x (%g)",
+				name, i, math.Float64bits(got[i]), got[i],
+				math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestSIMDKernelsBitDeterminism pins the AVX kernels to the generic
+// Go reference semantics bit for bit, across awkward lengths (SIMD
+// tails) and sign-of-zero cases. On machines without AVX the asm and
+// generic paths are the same code and the test is a tautology.
+func TestSIMDKernelsBitDeterminism(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX: generic path is the only path")
+	}
+	rng := mathx.NewRand(11)
+	for _, cols := range []int{1, 2, 3, 5, 16, 33, 101, 128} {
+		x := simdVals(rng, cols*gradChunkSize)
+		w := simdVals(rng, 2*cols)
+
+		var accAsm, accGen [gradChunkSize]float64
+		fwdrow8AVX(&x[0], &w[0], cols, &accAsm[0])
+		fwdrow8Generic(&accGen, x, w[:cols])
+		bitsEqual(t, "fwdrow8", accAsm[:], accGen[:])
+
+		var acc2Asm, acc2Gen [2 * gradChunkSize]float64
+		fwd2row8AVX(&x[0], &w[0], cols, &acc2Asm[0])
+		fwd2row8Generic(&acc2Gen, x, w)
+		bitsEqual(t, "fwd2row8", acc2Asm[:], acc2Gen[:])
+
+		d := simdVals(rng, gradChunkSize)
+		dpAsm := simdVals(rng, cols*gradChunkSize)
+		dpGen := append([]float64(nil), dpAsm...)
+		bwdrow8AVX(&d[0], &w[0], &dpAsm[0], cols)
+		bwdrow8Generic(d, w[:cols], dpGen)
+		bitsEqual(t, "bwdrow8", dpAsm, dpGen)
+
+		a := rng.NormFloat64()
+		dstAsm := simdVals(rng, cols)
+		dstGen := append([]float64(nil), dstAsm...)
+		axpySetAVX(&dstAsm[0], &x[0], cols, a)
+		axpySetGeneric(dstGen, x, a)
+		bitsEqual(t, "axpySet", dstAsm, dstGen)
+
+		axpyAddAVX(&dstAsm[0], &x[0], cols, a)
+		axpyAddGeneric(dstGen, x, a)
+		bitsEqual(t, "axpyAdd", dstAsm, dstGen)
+	}
+}
+
+// TestSIMDAdamStepBitDeterminism pins the vectorised Adam update —
+// divides and square root included — to the scalar reference.
+func TestSIMDAdamStepBitDeterminism(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX: generic path is the only path")
+	}
+	rng := mathx.NewRand(7)
+	b1, b2, eps, lr := 0.9, 0.999, 1e-8, 1e-3
+	for _, n := range []int{1, 2, 3, 4, 7, 64, 101} {
+		for step := 1; step <= 3; step++ {
+			c1 := 1 - math.Pow(b1, float64(step))
+			c2 := 1 - math.Pow(b2, float64(step))
+			g := simdVals(rng, n)
+			wAsm := simdVals(rng, n)
+			mwAsm := simdVals(rng, n)
+			vwAsm := make([]float64, n)
+			for i := range vwAsm {
+				vwAsm[i] = rng.Float64() // v must stay ≥ 0 like a real second moment
+			}
+			wGen := append([]float64(nil), wAsm...)
+			mwGen := append([]float64(nil), mwAsm...)
+			vwGen := append([]float64(nil), vwAsm...)
+			adamStepAVX(&wAsm[0], &g[0], &mwAsm[0], &vwAsm[0], n, b1, b2, 1-b1, 1-b2, c1, c2, eps, lr)
+			adamStepGeneric(wGen, g, mwGen, vwGen, b1, b2, c1, c2, eps, lr)
+			bitsEqual(t, "adam w", wAsm, wGen)
+			bitsEqual(t, "adam m", mwAsm, mwGen)
+			bitsEqual(t, "adam v", vwAsm, vwGen)
+		}
+	}
+}

@@ -1,0 +1,759 @@
+package nn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"leapme/internal/mathx"
+	"leapme/internal/parallel"
+)
+
+// TrainKernel is the training-side twin of the inference Kernel: the
+// whole network — weights, biases, batch gradients, optimizer moments,
+// and the phase-rollback snapshot — lives in flat row-major float64
+// slabs, and each gradient chunk runs a fused forward/backward pass over
+// a per-chunk arena instead of gradSlot's per-layer slice-of-slices.
+//
+// Memory layout (shared with Kernel via kernLayer):
+//
+//	w    ┌ layer0 rows×cols ┬ layer1 rows×cols ┬ … ┐   row-major weights
+//	b    ┌ layer0 rows      ┬ layer1 rows      ┬ … ┐   biases
+//	gw/gb, mw/vw/mb/vb, velW/velB, snap: same offsets as w and b
+//
+// Per-chunk arenas hold activations and deltas unit-major with a fixed
+// stride of gradChunkSize: outs[li][r*8+e] is unit r of example e, so
+// the fused pass streams each weight row once per chunk across all
+// eight examples (eight independent accumulator chains) instead of
+// re-walking the full weight set per example.
+//
+// Bit-identity contract: Fit reproduces the chunked Network.Fit path
+// (Workers ≥ 1) byte for byte — same fixed 8-example chunks, same
+// per-chunk example-order accumulation, same binary-tree reduction,
+// same per-element optimizer arithmetic — for every worker count. The
+// golden equivalence test and the determinism gates pin this; any
+// change to an accumulation order here is a model-format change, not an
+// optimisation. (The Workers == 0 legacy serial path differs in last
+// ulps and is intentionally out of scope, exactly as for parTrainer.)
+//
+// On amd64 the full-chunk inner loops dispatch to the AVX kernels in
+// simd_amd64.s (vertical lane arithmetic only — see simd.go for why
+// that preserves the contract bit for bit); everywhere else, and for
+// partial tail chunks, the scalar loops below are the implementation
+// as well as the reference.
+type TrainKernel struct {
+	net    *Network // weights are written back here on every Fit exit
+	layers []kernLayer
+	inDim  int
+	outDim int
+	wlen   int
+	blen   int
+
+	w, b   []float64 // parameters, flat
+	gw, gb []float64 // batch-averaged gradients, flat
+	snap   []float64 // phase checkpoint: w then b
+
+	// Optimizer state, the flat twin of Adam/SGD from optimizer.go.
+	optKind           int // optAdam or optSGD
+	beta1, beta2, eps float64
+	momentum          float64
+	adamT             int
+	mw, vw, mb, vb    []float64 // Adam moments (weights, biases)
+	velW, velB        []float64 // SGD momentum velocities
+
+	cfg     TrainConfig
+	workers int
+
+	slots []*trainSlot
+
+	// Per-batch dispatch state for the persistent worker pool. The
+	// channels are buffered to len(slots) so a batch's sends never block.
+	curXS  []float64
+	curYS  []int
+	curIdx []int
+	tasks  chan int
+	done   chan struct{}
+}
+
+const (
+	optAdam = iota
+	optSGD
+)
+
+// trainSlot is one chunk's fused forward/backward arena. Activation and
+// delta blocks are unit-major with stride gradChunkSize; gradient slabs
+// mirror the kernel's flat layout so the reduction indexes them
+// uniformly.
+type trainSlot struct {
+	gw, gb []float64   // per-chunk gradient sums, flat kernel layout
+	outs   [][]float64 // per-layer activations, unit-major [r*8+e]
+	outsEM [][]float64 // the same activations example-major [e*rows+r]
+	deltas [][]float64 // per-layer dL/d(pre-activation), unit-major
+	inT    []float64   // transposed chunk input [c*8+e]
+	inEM   []float64   // chunk input example-major [e*inDim+c]
+	probs  []float64   // softmax probabilities, example-major [e*out+r]
+	loss   float64
+}
+
+// NewTrainKernel builds a training kernel over n, copying its weights
+// into the flat layout and pre-allocating every arena the epoch loop
+// touches, so the loop itself performs no heap allocations. cfg is
+// defaulted exactly as Network.Fit defaults it; the optimizer must be a
+// fresh *Adam or *SGD (no accumulated state), because its state moves
+// into the kernel's flat slabs. Trained weights are written back into n
+// when Fit returns, so serialization and inference read the same bytes
+// as a Network.Fit-trained network.
+func NewTrainKernel(n *Network, cfg TrainConfig) (*TrainKernel, error) {
+	if n == nil {
+		return nil, errors.New("nn: NewTrainKernel on nil network")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = NewAdam()
+	}
+	if len(cfg.Schedule) == 0 {
+		cfg.Schedule = PaperSchedule()
+	}
+	if cfg.MaxPhaseRetries <= 0 {
+		cfg.MaxPhaseRetries = 3
+	}
+	if cfg.LRBackoff <= 0 || cfg.LRBackoff >= 1 {
+		cfg.LRBackoff = 0.1
+	}
+	if cfg.ExplodeThreshold <= 0 {
+		cfg.ExplodeThreshold = 1e8
+	}
+
+	k := &TrainKernel{net: n, inDim: n.inDim, outDim: n.OutDim(), cfg: cfg}
+	for _, l := range n.layers {
+		k.layers = append(k.layers, kernLayer{
+			rows: l.w.Rows, cols: l.w.Cols,
+			woff: k.wlen, boff: k.blen,
+			act: l.act,
+		})
+		k.wlen += l.w.Rows * l.w.Cols
+		k.blen += l.w.Rows
+	}
+	k.w = make([]float64, k.wlen)
+	k.b = make([]float64, k.blen)
+	k.gw = make([]float64, k.wlen)
+	k.gb = make([]float64, k.blen)
+	k.snap = make([]float64, k.wlen+k.blen)
+	for li, l := range n.layers {
+		copy(k.w[k.layers[li].woff:], l.w.Data)
+		copy(k.b[k.layers[li].boff:], l.b)
+	}
+
+	switch opt := cfg.Optimizer.(type) {
+	case *Adam:
+		if opt.t != 0 || opt.m != nil || opt.v != nil {
+			return nil, errors.New("nn: NewTrainKernel requires a fresh optimizer (Adam has accumulated state)")
+		}
+		k.optKind = optAdam
+		k.beta1, k.beta2, k.eps = opt.Beta1, opt.Beta2, opt.Eps
+		k.mw = make([]float64, k.wlen)
+		k.vw = make([]float64, k.wlen)
+		k.mb = make([]float64, k.blen)
+		k.vb = make([]float64, k.blen)
+	case *SGD:
+		if opt.vel != nil {
+			return nil, errors.New("nn: NewTrainKernel requires a fresh optimizer (SGD has accumulated state)")
+		}
+		k.optKind = optSGD
+		k.momentum = opt.Momentum
+		if opt.Momentum != 0 {
+			k.velW = make([]float64, k.wlen)
+			k.velB = make([]float64, k.blen)
+		}
+	default:
+		return nil, fmt.Errorf("nn: NewTrainKernel does not support optimizer %s", cfg.Optimizer.Name())
+	}
+
+	numSlots := (cfg.BatchSize + gradChunkSize - 1) / gradChunkSize
+	for i := 0; i < numSlots; i++ {
+		s := &trainSlot{
+			gw:    make([]float64, k.wlen),
+			gb:    make([]float64, k.blen),
+			inT:   make([]float64, k.inDim*gradChunkSize),
+			inEM:  make([]float64, k.inDim*gradChunkSize),
+			probs: make([]float64, k.outDim*gradChunkSize),
+		}
+		for _, l := range k.layers {
+			s.outs = append(s.outs, make([]float64, l.rows*gradChunkSize))
+			s.outsEM = append(s.outsEM, make([]float64, l.rows*gradChunkSize))
+			s.deltas = append(s.deltas, make([]float64, l.rows*gradChunkSize))
+		}
+		k.slots = append(k.slots, s)
+	}
+	k.workers = parallel.Resolve(cfg.Workers)
+	return k, nil
+}
+
+// InDim returns the expected input dimension.
+func (k *TrainKernel) InDim() int { return k.inDim }
+
+// OutDim returns the number of output classes.
+func (k *TrainKernel) OutDim() int { return k.outDim }
+
+// Fit trains on a flat row-major training set: example i occupies
+// xs[i*InDim : (i+1)*InDim] and ys[i] is its class. The control flow —
+// validation, shuffling, batching, divergence rollback, callbacks,
+// cancellation — mirrors Network.Fit statement for statement, and the
+// resulting weights are bit-identical to Network.Fit with Workers ≥ 1
+// on the same data for every worker count. The final weights are
+// written back into the source Network on every exit path that touched
+// them, so the network serializes identically however it was trained.
+func (k *TrainKernel) Fit(ctx context.Context, xs []float64, ys []int) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(ys)
+	if n == 0 {
+		return 0, errors.New("nn: Fit with no training examples")
+	}
+	if len(xs) != n*k.inDim {
+		return 0, fmt.Errorf("nn: flat training set has len %d, want %d (%d examples × dim %d)",
+			len(xs), n*k.inDim, n, k.inDim)
+	}
+	for i := 0; i < n; i++ {
+		row := xs[i*k.inDim : (i+1)*k.inDim]
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("nn: example %d has non-finite feature %d (%v)", i, j, v)
+			}
+		}
+		if ys[i] < 0 || ys[i] >= k.outDim {
+			return 0, fmt.Errorf("nn: label %d of example %d outside [0, %d)", ys[i], i, k.outDim)
+		}
+	}
+	cfg := k.cfg
+
+	rng := mathx.NewRand(cfg.Seed)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if k.workers > 1 {
+		k.startWorkers()
+		defer k.stopWorkers()
+	}
+
+	var lastLoss float64
+	epoch := 0
+	for pi, phase := range cfg.Schedule {
+		lr := phase.LR
+		// The rollback checkpoint: parameters as of the start of the
+		// phase, i.e. the last state every earlier phase signed off on.
+		k.snapshot()
+		retries := 0
+		for e := 0; e < phase.Epochs; e++ {
+			mathx.Shuffle(order, rng)
+			var epochLoss float64
+			for start := 0; start < len(order); start += cfg.BatchSize {
+				if err := ctx.Err(); err != nil {
+					k.writeBack()
+					return lastLoss, err
+				}
+				end := start + cfg.BatchSize
+				if end > len(order) {
+					end = len(order)
+				}
+				epochLoss += k.runBatch(xs, ys, order[start:end], lr)
+				if math.IsNaN(epochLoss) || math.IsInf(epochLoss, 0) {
+					break // mid-epoch divergence: no point finishing the epoch
+				}
+			}
+
+			reason := ""
+			if math.IsNaN(epochLoss) || math.IsInf(epochLoss, 0) {
+				reason = "non-finite loss"
+			} else if m := k.maxAbsParam(); math.IsNaN(m) || m > cfg.ExplodeThreshold {
+				reason = fmt.Sprintf("exploding weights (max |w| = %g)", m)
+			}
+			if reason != "" {
+				retries++
+				if retries > cfg.MaxPhaseRetries {
+					k.restore()
+					k.writeBack()
+					return lastLoss, fmt.Errorf("%w: phase %d: %s after %d recovery attempts",
+						ErrDiverged, pi, reason, cfg.MaxPhaseRetries)
+				}
+				k.restore()
+				k.resetOpt() // stale moments would re-poison the restored weights
+				lr *= cfg.LRBackoff
+				if cfg.OnRecovery != nil {
+					cfg.OnRecovery(pi, retries, lr, reason)
+				}
+				e = -1 // restart the phase from the checkpoint
+				continue
+			}
+
+			lastLoss = epochLoss / float64(n)
+			if cfg.OnEpoch != nil {
+				cfg.OnEpoch(epoch, lastLoss)
+			}
+			epoch++
+		}
+	}
+	k.writeBack()
+	return lastLoss, nil
+}
+
+// startWorkers launches the persistent chunk workers for one Fit run.
+// Sends of a chunk index happen-before the worker's reads of the batch
+// state, and the worker's slot writes happen-before the main
+// goroutine's done receive, so the pool is race-free by construction.
+func (k *TrainKernel) startWorkers() {
+	k.tasks = make(chan int, len(k.slots))
+	k.done = make(chan struct{}, len(k.slots))
+	// Workers capture the channels as locals: a goroutine the scheduler
+	// never runs until after Fit returns must not read the struct fields
+	// stopWorkers nils out.
+	tasks, done := k.tasks, k.done
+	for w := 0; w < k.workers; w++ {
+		//lint:allow guardgo a panicking gradient chunk must crash Fit loudly; guard isolation would return a silently partial gradient sum
+		go func() {
+			for ci := range tasks {
+				k.chunkGrads(ci)
+				done <- struct{}{}
+			}
+		}()
+	}
+}
+
+func (k *TrainKernel) stopWorkers() {
+	close(k.tasks)
+	k.tasks, k.done = nil, nil
+}
+
+// runBatch computes one mini-batch update: fused chunk gradients (up to
+// k.workers in flight), the fused tree reduction with batch averaging,
+// one optimizer step, and decoupled weight decay. It returns the
+// batch's summed loss. Allocation-free; the chunk structure and every
+// accumulation order are pure functions of the batch, never of the
+// worker count.
+//
+//lint:hotpath gated by TestTrainKernelEpochAllocs
+func (k *TrainKernel) runBatch(xs []float64, ys []int, idx []int, lr float64) float64 {
+	nChunks := (len(idx) + gradChunkSize - 1) / gradChunkSize
+	workers := k.workers
+	if workers > nChunks {
+		workers = nChunks
+	}
+	k.curXS, k.curYS, k.curIdx = xs, ys, idx
+	if workers <= 1 || k.tasks == nil {
+		for ci := 0; ci < nChunks; ci++ {
+			k.chunkGrads(ci)
+		}
+	} else {
+		for ci := 0; ci < nChunks; ci++ {
+			k.tasks <- ci
+		}
+		for i := 0; i < nChunks; i++ {
+			<-k.done
+		}
+	}
+	loss := k.reduceGrads(nChunks, 1/float64(len(idx)))
+	k.optStep(lr)
+	if k.cfg.WeightDecay > 0 {
+		shrink := 1 - lr*k.cfg.WeightDecay
+		for j := range k.w {
+			k.w[j] *= shrink // biases are conventionally not decayed
+		}
+	}
+	return loss
+}
+
+// chunkGrads runs the fused forward/backward pass for chunk ci of the
+// current batch, writing the chunk's gradient sums and loss into its
+// slot. Within the chunk every example sees the exact serial
+// accumulation order of forwardSlot/backwardSlot — the batch-major loop
+// only interleaves the eight independent per-example accumulator
+// chains, it never regroups any individual sum.
+//
+//lint:hotpath gated by TestTrainKernelEpochAllocs
+func (k *TrainKernel) chunkGrads(ci int) {
+	idx := k.curIdx
+	lo := ci * gradChunkSize
+	hi := lo + gradChunkSize
+	if hi > len(idx) {
+		hi = len(idx)
+	}
+	m := hi - lo
+	s := k.slots[ci]
+	xs := k.curXS
+
+	// Gather the chunk's input rows in both layouts — example-major for
+	// the gradient sweeps, unit-major (transposed) for the forward pass.
+	// Pure copies, no arithmetic, so layout cannot affect bits.
+	inT := s.inT
+	inEM := s.inEM
+	for e := 0; e < m; e++ {
+		row := xs[idx[lo+e]*k.inDim : (idx[lo+e]+1)*k.inDim]
+		copy(inEM[e*k.inDim:(e+1)*k.inDim], row)
+		for c, v := range row {
+			inT[c*gradChunkSize+e] = v
+		}
+	}
+
+	// Forward, batch-major: each weight row streams once across the
+	// chunk; each example keeps its private sequential dot accumulator
+	// (the mathx.Dot order), advanced in lockstep over c. The full-chunk
+	// case is unrolled into eight named accumulators — eight independent
+	// dependency chains the CPU overlaps — which is where the kernel's
+	// single-core speedup comes from.
+	cur := inT
+	for li := range k.layers {
+		l := &k.layers[li]
+		w := k.w[l.woff : l.woff+l.rows*l.cols]
+		bias := k.b[l.boff : l.boff+l.rows]
+		out := s.outs[li]
+		if m == gradChunkSize {
+			var acc2 [2 * gradChunkSize]float64
+			r := 0
+			for ; r+2 <= l.rows; r += 2 {
+				fwd2Row8(&acc2, cur, w[r*l.cols:(r+2)*l.cols])
+				bv0, bv1 := bias[r], bias[r+1]
+				o := out[r*gradChunkSize : (r+2)*gradChunkSize]
+				for e := 0; e < gradChunkSize; e++ {
+					o[e] = l.act.apply(acc2[e] + bv0)
+					o[gradChunkSize+e] = l.act.apply(acc2[gradChunkSize+e] + bv1)
+				}
+			}
+			if r < l.rows {
+				var acc [gradChunkSize]float64
+				fwdRow8(&acc, cur, w[r*l.cols:(r+1)*l.cols])
+				bv := bias[r]
+				o := out[r*gradChunkSize : (r+1)*gradChunkSize]
+				for e := 0; e < gradChunkSize; e++ {
+					o[e] = l.act.apply(acc[e] + bv)
+				}
+			}
+		} else {
+			for r := 0; r < l.rows; r++ {
+				row := w[r*l.cols : (r+1)*l.cols]
+				var acc [gradChunkSize]float64
+				for c, wv := range row {
+					cb := c * gradChunkSize
+					for e := 0; e < m; e++ {
+						acc[e] += wv * cur[cb+e]
+					}
+				}
+				bv := bias[r]
+				rb := r * gradChunkSize
+				for e := 0; e < m; e++ {
+					out[rb+e] = l.act.apply(acc[e] + bv)
+				}
+			}
+		}
+		// Mirror the activations example-major for the gradient sweeps
+		// and the softmax reads — a pure copy, bit-neutral.
+		em := s.outsEM[li]
+		for r := 0; r < l.rows; r++ {
+			rb := r * gradChunkSize
+			for e := 0; e < m; e++ {
+				em[e*l.rows+r] = out[rb+e]
+			}
+		}
+		cur = out
+	}
+
+	// Softmax, loss and output deltas per example, in example order. The
+	// example-major mirror of the last layer is exactly each example's
+	// logit vector.
+	last := len(k.layers) - 1
+	lastEM := s.outsEM[last]
+	dlast := s.deltas[last]
+	ys := k.curYS
+	s.loss = 0
+	for e := 0; e < m; e++ {
+		pb := s.probs[e*k.outDim : (e+1)*k.outDim]
+		softmax(pb, lastEM[e*k.outDim:(e+1)*k.outDim])
+		label := ys[idx[lo+e]]
+		for r := 0; r < k.outDim; r++ {
+			d := pb[r]
+			if r == label {
+				d -= 1
+			}
+			dlast[r*gradChunkSize+e] = d
+		}
+		p := pb[label]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		s.loss += -math.Log(p)
+	}
+
+	// Backward: per layer, gradient accumulation then delta propagation,
+	// exactly backwardSlot's order per example.
+	for li := last; li > 0; li-- {
+		l := &k.layers[li]
+		k.accumLayerGrads(s, li, s.outsEM[li-1], m)
+		w := k.w[l.woff : l.woff+l.rows*l.cols]
+		dcur := s.deltas[li]
+		dprev := s.deltas[li-1]
+		pn := l.cols * gradChunkSize
+		for i := 0; i < pn; i++ {
+			dprev[i] = 0
+		}
+		// MulVecT order: dst[c] += delta[r]*w[r][c], r ascending,
+		// unconditional (no zero-skip — signed zeros must match).
+		if m == gradChunkSize {
+			for r := 0; r < l.rows; r++ {
+				rb := r * gradChunkSize
+				bwdRow8(dcur[rb:rb+gradChunkSize], w[r*l.cols:(r+1)*l.cols], dprev)
+			}
+		} else {
+			for r := 0; r < l.rows; r++ {
+				row := w[r*l.cols : (r+1)*l.cols]
+				var dr [gradChunkSize]float64
+				rb := r * gradChunkSize
+				for e := 0; e < m; e++ {
+					dr[e] = dcur[rb+e]
+				}
+				for c, wv := range row {
+					cb := c * gradChunkSize
+					for e := 0; e < m; e++ {
+						dprev[cb+e] += dr[e] * wv
+					}
+				}
+			}
+		}
+		prevAct := k.layers[li-1].act
+		prevOut := s.outs[li-1]
+		for i := 0; i < pn; i++ {
+			dprev[i] *= prevAct.derivFromOutput(prevOut[i])
+		}
+	}
+	k.accumLayerGrads(s, 0, s.inEM, m)
+}
+
+// accumLayerGrads stores layer li's chunk gradient sums — gw from the
+// outer products delta×input, gb from the delta sums — as one axpy
+// sweep per live delta lane over the example-major inputs, lanes in
+// ascending example order. The AddOuterTo zero-skip is preserved per
+// (example, row): a zero delta contributes nothing to gw (its lane is
+// compacted away), while gb adds unconditionally, exactly as
+// backwardSlot does; per column the sweep order reproduces the
+// column-major zero-skip chain term for term.
+//
+//lint:hotpath gated by TestTrainKernelEpochAllocs
+func (k *TrainKernel) accumLayerGrads(s *trainSlot, li int, insEM []float64, m int) {
+	l := &k.layers[li]
+	d := s.deltas[li]
+	gw := s.gw[l.woff : l.woff+l.rows*l.cols]
+	gb := s.gb[l.boff : l.boff+l.rows]
+	for r := 0; r < l.rows; r++ {
+		// Compact the nonzero delta lanes up front (ascending, so the
+		// per-column accumulation order is exactly AddOuterTo's zero-skip
+		// order) instead of re-testing every lane in the column loop.
+		var dr [gradChunkSize]float64
+		var nzi [gradChunkSize]int32
+		nz := 0
+		rb := r * gradChunkSize
+		for e := 0; e < m; e++ {
+			v := d[rb+e]
+			dr[e] = v
+			if v != 0 {
+				nzi[nz] = int32(e)
+				nz++
+			}
+		}
+		var bs float64
+		for e := 0; e < m; e++ {
+			bs += dr[e]
+		}
+		gb[r] = bs
+		grow := gw[r*l.cols : (r+1)*l.cols]
+		if nz == 0 {
+			// Every example skipped this row: the slot value is the
+			// untouched zero, exactly as AddOuterTo leaves it.
+			for c := range grow {
+				grow[c] = 0
+			}
+			continue
+		}
+		// First live lane seeds each column with 0 + d·x (the leading
+		// zero is load-bearing for −0 products), the rest accumulate in
+		// ascending example order — per column exactly the zero-skip
+		// chain the legacy AddOuterTo runs.
+		e0 := int(nzi[0])
+		axpySet(grow, insEM[e0*l.cols:][:len(grow)], dr[e0])
+		for _, e := range nzi[1:nz] {
+			axpyAdd(grow, insEM[int(e)*l.cols:][:len(grow)], dr[e])
+		}
+	}
+}
+
+// reduceGrads folds the first nChunks slots into the kernel's gradient
+// slabs with the parallel.TreeReduce combination order, the zero-grads
+// fold and the 1/batch scale fused into a single per-element pass:
+// g = (0 + tree(slots)) * inv, which is bit-identical to zeroGrads +
+// merge tree + AddScaled(1, s0) + scaleGrads. The explicit leading zero
+// is load-bearing: it normalises a −0 tree total to +0 exactly as the
+// fold into zeroed buffers does. Returns the batch loss (the same tree
+// over the slot losses, unscaled).
+//
+//lint:hotpath gated by TestTrainKernelEpochAllocs
+func (k *TrainKernel) reduceGrads(nChunks int, inv float64) float64 {
+	s := k.slots
+	switch nChunks {
+	case 1:
+		a := s[0]
+		for j, v := range a.gw {
+			k.gw[j] = (0 + v) * inv
+		}
+		for j, v := range a.gb {
+			k.gb[j] = (0 + v) * inv
+		}
+		return a.loss
+	case 2:
+		a, b := s[0], s[1]
+		for j, v := range a.gw {
+			k.gw[j] = (0 + (v + b.gw[j])) * inv
+		}
+		for j, v := range a.gb {
+			k.gb[j] = (0 + (v + b.gb[j])) * inv
+		}
+		return a.loss + b.loss
+	case 3:
+		a, b, c := s[0], s[1], s[2]
+		for j, v := range a.gw {
+			k.gw[j] = (0 + ((v + b.gw[j]) + c.gw[j])) * inv
+		}
+		for j, v := range a.gb {
+			k.gb[j] = (0 + ((v + b.gb[j]) + c.gb[j])) * inv
+		}
+		return (a.loss + b.loss) + c.loss
+	case 4:
+		a, b, c, d := s[0], s[1], s[2], s[3]
+		for j, v := range a.gw {
+			k.gw[j] = (0 + ((v + b.gw[j]) + (c.gw[j] + d.gw[j]))) * inv
+		}
+		for j, v := range a.gb {
+			k.gb[j] = (0 + ((v + b.gb[j]) + (c.gb[j] + d.gb[j]))) * inv
+		}
+		return (a.loss + b.loss) + (c.loss + d.loss)
+	}
+	// General tree for batch sizes beyond 32: replay TreeReduce's merge
+	// sequence element-wise through the first slot's slab.
+	for stride := 1; stride < nChunks; stride *= 2 {
+		for i := 0; i+stride < nChunks; i += 2 * stride {
+			dst, src := s[i], s[i+stride]
+			for j, v := range src.gw {
+				dst.gw[j] += v
+			}
+			for j, v := range src.gb {
+				dst.gb[j] += v
+			}
+			dst.loss += src.loss
+		}
+	}
+	for j, v := range s[0].gw {
+		k.gw[j] = (0 + v) * inv
+	}
+	for j, v := range s[0].gb {
+		k.gb[j] = (0 + v) * inv
+	}
+	return s[0].loss
+}
+
+// optStep applies one optimizer update to the flat parameters with the
+// exact per-element arithmetic of Adam.Step / SGD.Step; only the
+// iteration grouping differs (all weights then all biases), which is
+// bit-irrelevant for element-independent updates.
+//
+//lint:hotpath gated by TestTrainKernelEpochAllocs
+func (k *TrainKernel) optStep(lr float64) {
+	if k.optKind == optAdam {
+		k.adamT++
+		c1 := 1 - math.Pow(k.beta1, float64(k.adamT))
+		c2 := 1 - math.Pow(k.beta2, float64(k.adamT))
+		adamStep(k.w, k.gw, k.mw, k.vw, k.beta1, k.beta2, c1, c2, k.eps, lr)
+		adamStep(k.b, k.gb, k.mb, k.vb, k.beta1, k.beta2, c1, c2, k.eps, lr)
+		return
+	}
+	if k.momentum == 0 {
+		for j, g := range k.gw {
+			k.w[j] += -lr * g
+		}
+		for j, g := range k.gb {
+			k.b[j] += -lr * g
+		}
+		return
+	}
+	mom := k.momentum
+	for j, g := range k.gw {
+		v := k.velW[j] * mom
+		v += -lr * g
+		k.velW[j] = v
+		k.w[j] += 1 * v
+	}
+	for j, g := range k.gb {
+		v := mom*k.velB[j] - lr*g
+		k.velB[j] = v
+		k.b[j] += v
+	}
+}
+
+// snapshot records the current parameters as the phase checkpoint.
+func (k *TrainKernel) snapshot() {
+	copy(k.snap[:k.wlen], k.w)
+	copy(k.snap[k.wlen:], k.b)
+}
+
+// restore rolls the parameters back to the phase checkpoint.
+func (k *TrainKernel) restore() {
+	copy(k.w, k.snap[:k.wlen])
+	copy(k.b, k.snap[k.wlen:])
+}
+
+// resetOpt clears the optimizer state, the flat twin of Optimizer.Reset
+// (dropped buffers are re-initialised to zero on the next step either
+// way).
+func (k *TrainKernel) resetOpt() {
+	k.adamT = 0
+	mathx.Zero(k.mw)
+	mathx.Zero(k.vw)
+	mathx.Zero(k.mb)
+	mathx.Zero(k.vb)
+	mathx.Zero(k.velW)
+	mathx.Zero(k.velB)
+}
+
+// maxAbsParam is the exploding-weights detector over the flat
+// parameters: the largest magnitude, or NaN if any parameter is NaN.
+func (k *TrainKernel) maxAbsParam() float64 {
+	m := 0.0
+	for _, v := range k.w {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	for _, v := range k.b {
+		if math.IsNaN(v) {
+			return math.NaN()
+		}
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// writeBack copies the kernel's parameters into the source network, so
+// the network's own forward pass, serialization and kernels see the
+// trained weights.
+func (k *TrainKernel) writeBack() {
+	for li, l := range k.net.layers {
+		kl := k.layers[li]
+		copy(l.w.Data, k.w[kl.woff:kl.woff+kl.rows*kl.cols])
+		copy(l.b, k.b[kl.boff:kl.boff+kl.rows])
+	}
+}

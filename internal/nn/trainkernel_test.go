@@ -1,0 +1,392 @@
+package nn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tkDataset builds a deterministic synthetic training set both as row
+// slices (for Network.Fit) and as a flat slab (for TrainKernel.Fit).
+func tkDataset(n, dim, classes int, seed int64) ([][]float64, []float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, n)
+	flat := make([]float64, n*dim)
+	ys := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := flat[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		// Make the labels weakly learnable so losses stay finite and
+		// training actually moves the weights.
+		if row[0]+0.3*row[dim-1] > 0 {
+			ys[i] = 1
+		} else {
+			ys[i] = i % classes
+		}
+		rows[i] = row
+	}
+	return rows, flat, ys
+}
+
+func mustNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func netBytes(t *testing.T, n *Network) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := n.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func tkSchedule() []Phase {
+	return []Phase{{Epochs: 3, LR: 1e-3}, {Epochs: 2, LR: 1e-4}}
+}
+
+// trainLegacy trains a fresh network through the chunked Network.Fit
+// path and returns its serialized bytes plus the final loss.
+func trainLegacy(t *testing.T, cfg Config, tc TrainConfig, rows [][]float64, ys []int) ([]byte, float64) {
+	t.Helper()
+	net := mustNet(t, cfg)
+	loss, err := net.Fit(context.Background(), rows, ys, tc)
+	if err != nil {
+		t.Fatalf("legacy Fit: %v", err)
+	}
+	return netBytes(t, net), loss
+}
+
+// trainKernel trains a fresh network through TrainKernel.Fit and returns
+// its serialized bytes plus the final loss.
+func trainKernel(t *testing.T, cfg Config, tc TrainConfig, flat []float64, ys []int) ([]byte, float64) {
+	t.Helper()
+	net := mustNet(t, cfg)
+	k, err := NewTrainKernel(net, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, err := k.Fit(context.Background(), flat, ys)
+	if err != nil {
+		t.Fatalf("kernel Fit: %v", err)
+	}
+	return netBytes(t, net), loss
+}
+
+// TestTrainKernelMatchesChunkedFit pins the tentpole contract: for every
+// worker count, TrainKernel trains byte-identical weights to the chunked
+// (Workers ≥ 1) Network.Fit path, across topologies, activations,
+// optimizers, and weight decay.
+func TestTrainKernelMatchesChunkedFit(t *testing.T) {
+	rows, flat, ys := tkDataset(173, 13, 3, 41)
+
+	cases := []struct {
+		name string
+		cfg  Config
+		tc   TrainConfig
+	}{
+		{
+			name: "relu-adam",
+			cfg:  Config{InDim: 13, Hidden: []int{16, 8}, Out: 3, Activation: ActReLU, Seed: 7},
+			tc:   TrainConfig{Schedule: tkSchedule(), BatchSize: 32, Seed: 11},
+		},
+		{
+			name: "sigmoid-adam-decay",
+			cfg:  Config{InDim: 13, Hidden: []int{10}, Out: 3, Activation: ActSigmoid, Seed: 9},
+			tc:   TrainConfig{Schedule: tkSchedule(), BatchSize: 16, Seed: 5, WeightDecay: 1e-4},
+		},
+		{
+			name: "tanh-sgd-momentum",
+			cfg:  Config{InDim: 13, Hidden: []int{12}, Out: 3, Activation: ActTanh, Seed: 3},
+			tc:   TrainConfig{Schedule: tkSchedule(), BatchSize: 24, Seed: 2},
+		},
+		{
+			name: "no-hidden-sgd",
+			cfg:  Config{InDim: 13, Out: 3, Activation: ActReLU, Seed: 1},
+			tc:   TrainConfig{Schedule: []Phase{{Epochs: 4, LR: 1e-2}}, BatchSize: 32, Seed: 8},
+		},
+		{
+			name: "uneven-batch",
+			cfg:  Config{InDim: 13, Hidden: []int{8}, Out: 3, Activation: ActReLU, Seed: 4},
+			tc:   TrainConfig{Schedule: tkSchedule(), BatchSize: 19, Seed: 6},
+		},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			refTC := tt.tc
+			refTC.Workers = 1
+			switch tt.name {
+			case "tanh-sgd-momentum":
+				refTC.Optimizer = &SGD{Momentum: 0.9}
+			case "no-hidden-sgd":
+				refTC.Optimizer = &SGD{}
+			}
+			ref, refLoss := trainLegacy(t, tt.cfg, refTC, rows, ys)
+			for _, w := range []int{1, 2, 3, 8} {
+				kTC := refTC
+				kTC.Workers = w
+				switch tt.name {
+				case "tanh-sgd-momentum":
+					kTC.Optimizer = &SGD{Momentum: 0.9}
+				case "no-hidden-sgd":
+					kTC.Optimizer = &SGD{}
+				default:
+					kTC.Optimizer = nil // fresh Adam per run
+				}
+				got, gotLoss := trainKernel(t, tt.cfg, kTC, flat, ys)
+				if !bytes.Equal(got, ref) {
+					t.Fatalf("workers=%d: kernel-trained model bytes differ from chunked Fit", w)
+				}
+				if math.Float64bits(gotLoss) != math.Float64bits(refLoss) {
+					t.Fatalf("workers=%d: final loss %x, want %x", w,
+						math.Float64bits(gotLoss), math.Float64bits(refLoss))
+				}
+			}
+		})
+	}
+}
+
+// TestTrainKernelDeterminismAcrossWorkerCounts is the determinism gate:
+// kernel training is worker-count independent down to the byte.
+func TestTrainKernelDeterminismAcrossWorkerCounts(t *testing.T) {
+	_, flat, ys := tkDataset(151, 9, 2, 17)
+	cfg := Config{InDim: 9, Hidden: []int{16, 8}, Out: 2, Activation: ActReLU, Seed: 12}
+	base := TrainConfig{Schedule: tkSchedule(), BatchSize: 32, Seed: 3}
+
+	mk := func(w int) []byte {
+		tc := base
+		tc.Workers = w
+		b, _ := trainKernel(t, cfg, tc, flat, ys)
+		return b
+	}
+	ref := mk(1)
+	for _, w := range []int{2, 4, 8, -1} {
+		if !bytes.Equal(mk(w), ref) {
+			t.Fatalf("workers=%d: trained model bytes differ from workers=1", w)
+		}
+	}
+}
+
+// TestTrainKernelDivergenceRecoveryMatchesFit pins the rollback path: an
+// absurdly low explode threshold forces phase retries through to the
+// ErrDiverged exit, and the kernel must restore and fail exactly as the
+// chunked Fit does.
+func TestTrainKernelDivergenceRecoveryMatchesFit(t *testing.T) {
+	rows, flat, ys := tkDataset(64, 7, 2, 23)
+	cfg := Config{InDim: 7, Hidden: []int{8}, Out: 2, Activation: ActReLU, Seed: 2}
+	tc := TrainConfig{
+		Schedule:         []Phase{{Epochs: 3, LR: 1e-3}},
+		BatchSize:        16,
+		Seed:             9,
+		Workers:          1,
+		MaxPhaseRetries:  2,
+		ExplodeThreshold: 1e-3, // trips immediately: initial weights exceed it
+	}
+
+	refNet := mustNet(t, cfg)
+	var refRecov []string
+	refTC := tc
+	refTC.OnRecovery = func(phase, retry int, lr float64, reason string) {
+		refRecov = append(refRecov, reason)
+	}
+	_, refErr := refNet.Fit(context.Background(), rows, ys, refTC)
+	if !errors.Is(refErr, ErrDiverged) {
+		t.Fatalf("legacy Fit err = %v, want ErrDiverged", refErr)
+	}
+
+	kNet := mustNet(t, cfg)
+	var kRecov []string
+	kTC := tc
+	kTC.OnRecovery = func(phase, retry int, lr float64, reason string) {
+		kRecov = append(kRecov, reason)
+	}
+	k, err := NewTrainKernel(kNet, kTC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kErr := k.Fit(context.Background(), flat, ys)
+	if !errors.Is(kErr, ErrDiverged) {
+		t.Fatalf("kernel Fit err = %v, want ErrDiverged", kErr)
+	}
+	if kErr.Error() != refErr.Error() {
+		t.Fatalf("error text diverges:\nkernel: %s\nlegacy: %s", kErr, refErr)
+	}
+	if len(kRecov) != len(refRecov) {
+		t.Fatalf("recovery counts differ: %d vs %d", len(kRecov), len(refRecov))
+	}
+	for i := range kRecov {
+		if kRecov[i] != refRecov[i] {
+			t.Fatalf("recovery %d reason %q, want %q", i, kRecov[i], refRecov[i])
+		}
+	}
+	if !bytes.Equal(netBytes(t, kNet), netBytes(t, refNet)) {
+		t.Fatal("restored weights differ after divergence failure")
+	}
+}
+
+// TestTrainKernelCancellationWritesBack: a deterministic mid-training
+// cancel must leave the kernel-trained network byte-identical to the
+// chunked Fit cancelled at the same point.
+func TestTrainKernelCancellationWritesBack(t *testing.T) {
+	rows, flat, ys := tkDataset(96, 7, 2, 31)
+	cfg := Config{InDim: 7, Hidden: []int{8}, Out: 2, Activation: ActReLU, Seed: 6}
+	mkTC := func(cancel context.CancelFunc) TrainConfig {
+		return TrainConfig{
+			Schedule:  []Phase{{Epochs: 10, LR: 1e-3}},
+			BatchSize: 32,
+			Seed:      4,
+			Workers:   2,
+			OnEpoch: func(epoch int, loss float64) {
+				if epoch == 2 {
+					cancel()
+				}
+			},
+		}
+	}
+
+	refCtx, refCancel := context.WithCancel(context.Background())
+	defer refCancel()
+	refNet := mustNet(t, cfg)
+	_, refErr := refNet.Fit(refCtx, rows, ys, mkTC(refCancel))
+	if !errors.Is(refErr, context.Canceled) {
+		t.Fatalf("legacy Fit err = %v, want context.Canceled", refErr)
+	}
+
+	kCtx, kCancel := context.WithCancel(context.Background())
+	defer kCancel()
+	kNet := mustNet(t, cfg)
+	k, err := NewTrainKernel(kNet, mkTC(kCancel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, kErr := k.Fit(kCtx, flat, ys)
+	if !errors.Is(kErr, context.Canceled) {
+		t.Fatalf("kernel Fit err = %v, want context.Canceled", kErr)
+	}
+	if !bytes.Equal(netBytes(t, kNet), netBytes(t, refNet)) {
+		t.Fatal("cancelled kernel weights differ from cancelled chunked Fit")
+	}
+}
+
+func TestNewTrainKernelRejectsStaleOptimizer(t *testing.T) {
+	cfg := Config{InDim: 4, Hidden: []int{4}, Out: 2, Activation: ActReLU, Seed: 1}
+	_, flat, ys := tkDataset(16, 4, 2, 1)
+
+	adam := NewAdam()
+	net := mustNet(t, cfg)
+	k, err := NewTrainKernel(net, TrainConfig{Schedule: []Phase{{Epochs: 1, LR: 1e-3}}, Optimizer: adam, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Fit(context.Background(), flat, ys); err != nil {
+		t.Fatal(err)
+	}
+	// The Adam instance itself was never stepped — the kernel keeps its
+	// own flat state — so reuse is still legal; only a genuinely stepped
+	// optimizer is rejected.
+	stepped := NewAdam()
+	stepped.t = 3
+	if _, err := NewTrainKernel(mustNet(t, cfg), TrainConfig{Optimizer: stepped}); err == nil {
+		t.Fatal("expected error for stepped Adam")
+	}
+	sgd := &SGD{Momentum: 0.9}
+	sgd.vel = make([]velocity, 1)
+	if _, err := NewTrainKernel(mustNet(t, cfg), TrainConfig{Optimizer: sgd}); err == nil {
+		t.Fatal("expected error for SGD with velocities")
+	}
+}
+
+func TestTrainKernelValidation(t *testing.T) {
+	cfg := Config{InDim: 4, Hidden: []int{4}, Out: 2, Activation: ActReLU, Seed: 1}
+	k, err := NewTrainKernel(mustNet(t, cfg), TrainConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Fit(context.Background(), nil, nil); err == nil {
+		t.Fatal("expected error for empty training set")
+	}
+	if _, err := k.Fit(context.Background(), make([]float64, 7), []int{0, 1}); err == nil {
+		t.Fatal("expected error for misaligned flat set")
+	}
+	bad := make([]float64, 8)
+	bad[5] = math.NaN()
+	if _, err := k.Fit(context.Background(), bad, []int{0, 1}); err == nil {
+		t.Fatal("expected error for non-finite feature")
+	}
+	if _, err := k.Fit(context.Background(), make([]float64, 8), []int{0, 2}); err == nil {
+		t.Fatal("expected error for out-of-range label")
+	}
+}
+
+// TestTrainKernelEpochAllocs is the dynamic half of the hotalloc gate:
+// the warm epoch inner loop — runBatch dispatch, chunkGrads fused
+// passes, reduceGrads, optStep — performs zero heap allocations, serial
+// and with the worker pool alike.
+func TestTrainKernelEpochAllocs(t *testing.T) {
+	_, flat, ys := tkDataset(64, 9, 2, 13)
+	cfg := Config{InDim: 9, Hidden: []int{16, 8}, Out: 2, Activation: ActReLU, Seed: 5}
+
+	for _, workers := range []int{1, 2} {
+		k, err := NewTrainKernel(mustNet(t, cfg), TrainConfig{
+			Schedule:    []Phase{{Epochs: 1, LR: 1e-3}},
+			BatchSize:   32,
+			Seed:        1,
+			Workers:     workers,
+			WeightDecay: 1e-4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers > 1 {
+			k.startWorkers()
+			defer k.stopWorkers()
+		}
+		idx := make([]int, 32) // one full batch: Fit never passes more than BatchSize
+		for i := range idx {
+			idx[i] = i
+		}
+		k.runBatch(flat, ys, idx, 1e-3) // warm
+		allocs := testing.AllocsPerRun(50, func() {
+			k.runBatch(flat, ys, idx, 1e-3)
+		})
+		if allocs != 0 {
+			t.Fatalf("workers=%d: warm runBatch allocated %.1f times per run, want 0", workers, allocs)
+		}
+		allocs = testing.AllocsPerRun(50, func() {
+			k.chunkGrads(0)
+			k.accumLayerGrads(k.slots[0], 0, k.slots[0].inEM, 8)
+			k.reduceGrads(4, 1.0/32)
+			k.optStep(1e-3)
+		})
+		if allocs != 0 {
+			t.Fatalf("workers=%d: warm chunkGrads/reduceGrads/optStep allocated %.1f times per run, want 0", workers, allocs)
+		}
+	}
+}
+
+// TestTrainKernelGeneralTreeReduce exercises the nChunks > 4 generic
+// reduction (batch sizes beyond 32) against the chunked Fit.
+func TestTrainKernelGeneralTreeReduce(t *testing.T) {
+	rows, flat, ys := tkDataset(200, 6, 2, 29)
+	cfg := Config{InDim: 6, Hidden: []int{8}, Out: 2, Activation: ActReLU, Seed: 3}
+	tc := TrainConfig{Schedule: []Phase{{Epochs: 2, LR: 1e-3}}, BatchSize: 96, Seed: 7, Workers: 1}
+	ref, _ := trainLegacy(t, cfg, tc, rows, ys)
+	for _, w := range []int{1, 4} {
+		kTC := tc
+		kTC.Workers = w
+		got, _ := trainKernel(t, cfg, kTC, flat, ys)
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d: bytes differ with 12-chunk batches", w)
+		}
+	}
+}

@@ -121,18 +121,76 @@ func ClassifyToken(tok string) (in [NumTokenClasses]bool) {
 }
 
 // TokenClassCounts counts, over the whitespace tokens of s, how many tokens
-// fall in each token class, plus the total token count.
+// fall in each token class, plus the total token count. It scans the
+// whitespace fields in place — the same maximal non-space runs Words
+// returns — and classifies each without materialising a []rune, so it
+// performs no heap allocations; the charclass tests cross-check it
+// against the Words + ClassifyToken reference.
 func TokenClassCounts(s string) (counts [NumTokenClasses]int, total int) {
-	for _, tok := range Words(s) {
-		in := ClassifyToken(tok)
-		for c := TokenClass(0); c < NumTokenClasses; c++ {
-			if in[c] {
-				counts[c]++
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				countTokenClasses(s[start:i], &counts)
+				total++
+				start = -1
 			}
+			continue
 		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		countTokenClasses(s[start:], &counts)
 		total++
 	}
 	return counts, total
+}
+
+// countTokenClasses increments the class counters tok belongs to,
+// mirroring ClassifyToken rune for rune over the decoded string instead
+// of an allocated rune slice.
+func countTokenClasses(tok string, counts *[NumTokenClasses]int) {
+	hasLetter := false
+	allUpper := true
+	var first, second rune
+	n := 0
+	for _, r := range tok {
+		switch n {
+		case 0:
+			first = r
+		case 1:
+			second = r
+		}
+		n++
+		if unicode.IsLetter(r) {
+			hasLetter = true
+			if !unicode.IsUpper(r) {
+				allUpper = false
+			}
+		} else {
+			allUpper = false
+		}
+	}
+	if n == 0 {
+		return
+	}
+	if hasLetter {
+		counts[TokWord]++
+	}
+	if unicode.IsLower(first) {
+		counts[TokLowerInit]++
+	}
+	if unicode.IsUpper(first) && n > 1 && !unicode.IsSpace(second) {
+		counts[TokCapital]++
+	}
+	if hasLetter && allUpper {
+		counts[TokUpper]++
+	}
+	if isNumericString(tok) {
+		counts[TokNumeric]++
+	}
 }
 
 func isNumericString(tok string) bool {

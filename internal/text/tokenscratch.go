@@ -1,0 +1,98 @@
+package text
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenScratch is the reusable arena behind ScanTokens: the lowercased
+// token bytes of one string packed back-to-back in a single buffer plus
+// the offsets that delimit them. Like EditScratch, the zero value is
+// ready to use, buffers grow on demand and are retained across calls,
+// so a warm scratch tokenises without heap allocations.
+//
+// Equivalence contract: after ScanTokens(s, ts), ts holds exactly the
+// tokens Tokenize(s) returns, in order, with identical bytes. The text
+// tests cross-check the two paths over the full tokenizer corpus; any
+// boundary-rule change must land in both.
+type TokenScratch struct {
+	buf  []byte // lowercased token bytes, back-to-back
+	offs []int  // token i spans buf[offs[i]:offs[i+1]]
+	cur  []rune // the token being accumulated
+}
+
+// Count returns the number of tokens produced by the last ScanTokens.
+func (ts *TokenScratch) Count() int {
+	if len(ts.offs) == 0 {
+		return 0
+	}
+	return len(ts.offs) - 1
+}
+
+// Token returns the i-th token's lowercased bytes. The slice aliases the
+// scratch buffer and is invalidated by the next ScanTokens call; look it
+// up or copy it before rescanning.
+func (ts *TokenScratch) Token(i int) []byte {
+	return ts.buf[ts.offs[i]:ts.offs[i+1]]
+}
+
+// flush lowercases the accumulated runes into the byte arena and records
+// the token boundary, mirroring Tokenize's strings.ToLower(string(cur))
+// rune for rune (strings.ToLower is strings.Map(unicode.ToLower, ·), a
+// 1:1 rune mapping, so per-rune unicode.ToLower + AppendRune produces
+// identical bytes).
+func (ts *TokenScratch) flush() {
+	if len(ts.cur) == 0 {
+		return
+	}
+	for _, r := range ts.cur {
+		ts.buf = utf8.AppendRune(ts.buf, unicode.ToLower(r))
+	}
+	ts.offs = append(ts.offs, len(ts.buf))
+	ts.cur = ts.cur[:0]
+}
+
+// ScanTokens tokenises s into ts with the exact boundary rules of
+// Tokenize: maximal letter or digit runs, letter/digit splits, camelCase
+// splits, and the UPPERRun+lower rule ("HDMIPort" → "hdmi" | "port").
+// A warm scratch performs no heap allocations; bytes are bit-identical
+// to Tokenize's output.
+func ScanTokens(s string, ts *TokenScratch) {
+	ts.buf = ts.buf[:0]
+	ts.cur = ts.cur[:0]
+	ts.offs = append(ts.offs[:0], 0)
+	var curKind rune // 'l' letters, 'd' digits, 0 none
+	prevUpper := false
+	for _, r := range s {
+		var kind rune
+		switch {
+		case unicode.IsLetter(r):
+			kind = 'l'
+		case unicode.IsDigit(r):
+			kind = 'd'
+		default:
+			ts.flush()
+			curKind = 0
+			prevUpper = false
+			continue
+		}
+		switch {
+		case curKind != 0 && kind != curKind:
+			ts.flush()
+		case kind == 'l' && unicode.IsUpper(r) && !prevUpper && len(ts.cur) > 0:
+			// lower→Upper boundary: camelCase.
+			ts.flush()
+		case kind == 'l' && !unicode.IsUpper(r) && prevUpper && len(ts.cur) > 1:
+			// UPPERRun followed by lowercase: the last upper rune starts
+			// the next word.
+			last := ts.cur[len(ts.cur)-1]
+			ts.cur = ts.cur[:len(ts.cur)-1]
+			ts.flush()
+			ts.cur = append(ts.cur, last)
+		}
+		ts.cur = append(ts.cur, r)
+		curKind = kind
+		prevUpper = kind == 'l' && unicode.IsUpper(r)
+	}
+	ts.flush()
+}
